@@ -1,0 +1,67 @@
+"""Section 4.3.2: arbitrage-style offers.
+
+Paper: 3.9% of advertised apps use arbitrage offers (pay users to earn
+in-app currency by completing further offers inside the app); 7% of
+vetted-advertised vs 2% of unvetted-advertised apps.
+"""
+
+from repro.analysis.monetization import arbitrage_stats
+from repro.core.reports import render_arbitrage
+from repro.iip.registry import VETTED_IIPS
+
+
+def test_arbitrage(benchmark, wild):
+    stats = benchmark(arbitrage_stats, wild.results.dataset, VETTED_IIPS)
+    print("\n" + render_arbitrage(stats))
+
+    assert 0.01 < stats.overall_fraction < 0.10
+    assert stats.vetted_fraction > stats.unvetted_fraction
+    assert 0.03 < stats.vetted_fraction < 0.12
+    assert stats.unvetted_fraction < 0.06
+    assert stats.arbitrage_apps >= 3
+
+
+def test_cost_recovery(benchmark, wild):
+    """Section 4.3.2's open question, answered under an explicit model:
+    engagement bought through usage/registration offers does NOT pay for
+    itself through ads at realistic eCPMs."""
+    from repro.analysis.revenue import (
+        cost_recovery_analysis,
+        summarize_cost_recovery,
+    )
+    economics = benchmark(cost_recovery_analysis, wild.results.dataset,
+                          wild.results.apk_scan)
+    summary = summarize_cost_recovery(economics)
+    print(f"\noffers analysed: {summary.offers_analysed}, recouping: "
+          f"{summary.recouping_fraction:.1%}, median ratio "
+          f"{summary.median_recovery_ratio:.2f}")
+    for kind, ratio in summary.recovery_by_kind.items():
+        print(f"  {kind}: median recovery ratio {ratio:.2f}")
+    assert summary.offers_analysed > 100
+    # Direct recovery is the exception, not the rule.
+    assert summary.recouping_fraction < 0.35
+    assert summary.median_recovery_ratio < 1.0
+    # Usage offers earn more of their cost back than no-activity offers
+    # (that is the point of buying engagement)...
+    assert (summary.recovery_by_kind["usage"]
+            > summary.recovery_by_kind["no_activity"])
+    # ...but still less than purchase offers, which recoup via IAP.
+    assert (summary.recovery_by_kind["purchase"]
+            > summary.recovery_by_kind["usage"])
+
+
+def test_disclosure(benchmark, wild):
+    """Section 5.1: notify developers of popular advertised apps."""
+    import random
+    from repro.disclosure.campaign import DisclosureCampaign
+    campaign = DisclosureCampaign(wild.results.archive, wild.results.dataset)
+    sent = benchmark.pedantic(
+        campaign.notify_developers, args=(110, random.Random(0)),
+        rounds=1, iterations=1)
+    campaign.notify_google()
+    print("\n" + campaign.render())
+    summary = campaign.summary()
+    assert summary["apps_selected"] >= 3
+    assert sent <= summary["apps_selected"]
+    assert summary["responders_unaware"] == summary["responses"]
+    assert summary["google_acknowledged"]

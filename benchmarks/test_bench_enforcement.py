@@ -1,0 +1,41 @@
+"""Section 5.2: Google Play's enforcement is weak.
+
+Paper: no install-count decreases for baseline or vetted-advertised
+apps over three months; decreases for only ~2% of unvetted-advertised
+apps (e.g. 1,000+ -> 500+).  Separately, the honey app's 1,679 openly
+purchased installs were never filtered.
+"""
+
+from repro.analysis.appstore_impact import enforcement_decreases
+from repro.core.reports import render_enforcement
+
+
+def test_enforcement(benchmark, wild):
+    results = wild.results
+    observations = benchmark(enforcement_decreases, results.archive, {
+        "Baseline": results.baseline_packages,
+        "Vetted": wild.vetted,
+        "Unvetted": wild.unvetted,
+    })
+    print("\n" + render_enforcement(observations))
+    by_label = {obs.label: obs for obs in observations}
+
+    # Never baseline, never vetted.
+    assert by_label["Baseline"].decreased == 0
+    assert by_label["Vetted"].decreased == 0
+    # Unvetted occasionally -- but only a tiny fraction.
+    assert by_label["Unvetted"].fraction < 0.06
+
+
+def test_honey_installs_survive_enforcement(benchmark, honey):
+    """The paper's observable: the honey app's public install count
+    reached 1,000+ and never visibly decreased.  (Even if the store
+    filters one crude campaign, removing <=503 of 1,679 installs cannot
+    cross back below the 1,000 bin edge -- enforcement that the bins
+    hide is enforcement the ecosystem never sees.)"""
+    results, world = honey
+    from repro.honeyapp.app import HONEY_PACKAGE
+    displayed = benchmark(world.store.displayed_installs, HONEY_PACKAGE, 60)
+    assert results.enforcement_actions <= 1
+    assert displayed >= 1000
+    assert results.displayed_installs_after >= 1000

@@ -1,0 +1,29 @@
+"""Figure 4: install-count histogram of the baseline apps.
+
+Paper: the 300 Lumen-sampled baseline apps cover every popularity band
+from <1k to >1000M installs, with the bulk between 100k and 100M.
+"""
+
+from repro.analysis.characterize import install_count_histogram
+from repro.core.reports import render_fig4
+
+
+def test_fig4(benchmark, wild):
+    archive = wild.results.archive
+    installs = [archive.first_profile(p).installs_floor
+                for p in wild.results.baseline_packages
+                if archive.first_profile(p) is not None]
+    histogram = benchmark(install_count_histogram, installs)
+    print("\n" + render_fig4(histogram))
+
+    counts = dict(histogram)
+    # Every popularity band is populated.
+    populated = [label for label, count in histogram if count > 0]
+    assert len(populated) >= 7
+    # The mode sits in the mid-popularity bands, tails are thin.
+    peak_label = max(histogram, key=lambda pair: pair[1])[0]
+    assert peak_label in ("100k-1M", "1M-10M")
+    assert counts["1000M+"] < counts["1M-10M"]
+    assert counts["0-1k"] < counts["1M-10M"]
+    # All baseline apps were profiled.
+    assert sum(counts.values()) == len(wild.results.baseline_packages)

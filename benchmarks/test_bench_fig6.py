@@ -1,0 +1,50 @@
+"""Figure 6: CDF of unique ad libraries per app.
+
+Paper: 60% of activity-offer apps vs 25% of no-activity-offer apps have
+5+ ad libraries (Figure 6a); 55% vetted vs 20% unvetted vs 35% baseline
+(Figure 6b) -- activity campaigns are built to monetize the engagement
+they buy.
+"""
+
+from repro.analysis.monetization import (
+    ad_library_distribution,
+    split_packages_by_offer_type,
+)
+from repro.core.reports import render_fig6
+
+
+def build_groups(wild):
+    groups = dict(split_packages_by_offer_type(wild.results.dataset))
+    groups["Vetted"] = wild.vetted
+    groups["Unvetted"] = wild.unvetted
+    groups["Baseline"] = wild.results.baseline_packages
+    return groups
+
+
+def test_fig6(benchmark, wild):
+    groups = build_groups(wild)
+    distributions = benchmark(ad_library_distribution,
+                              wild.results.apk_scan, groups)
+    print("\n" + render_fig6(distributions))
+    by_label = {d.label: d for d in distributions}
+
+    activity = by_label["Activity offers"].fraction_with_at_least(5)
+    no_activity = by_label["No activity offers"].fraction_with_at_least(5)
+    vetted = by_label["Vetted"].fraction_with_at_least(5)
+    unvetted = by_label["Unvetted"].fraction_with_at_least(5)
+    baseline = by_label["Baseline"].fraction_with_at_least(5)
+
+    # Figure 6a: activity apps carry far more ad SDKs.
+    assert activity > no_activity + 0.15
+    assert 0.4 < activity < 0.75
+    assert no_activity < 0.35
+    # Figure 6b: vetted > baseline > unvetted.
+    assert vetted > baseline > unvetted
+    assert 0.4 < vetted < 0.75
+    assert unvetted < 0.35
+    # CDFs are proper distributions.
+    for distribution in distributions:
+        series = distribution.series(max_count=30)
+        values = [v for _, v in series]
+        assert values == sorted(values)
+        assert values[-1] == 1.0

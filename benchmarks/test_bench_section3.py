@@ -1,0 +1,58 @@
+"""Section 3: the honey-app experiment, end to end.
+
+Paper numbers this bench checks the shape of: 1,679 installs total
+(626/550/503), install count 0 -> 1,000+, 45% of RankApp installs
+missing telemetry, 44%/44%/6% record-click rates, engagement collapsing
+after one day, emulator/cloud/device-farm automation signals, and
+money-keyword affiliate apps on 42%/72%/98% of worker devices.
+"""
+
+from repro.core.reports import render_honey_report
+
+
+def summarize(results):
+    return {
+        "acquisition": {s.iip_name: s for s in results.analysis.acquisition()},
+        "engagement": {s.iip_name: s for s in results.analysis.engagement()},
+        "automation": results.analysis.automation(),
+        "co_installs": results.analysis.co_installs(),
+    }
+
+
+def test_section3(benchmark, honey):
+    results, world = honey
+    summary = benchmark(summarize, results)
+    print("\n" + render_honey_report(results))
+
+    acquisition = summary["acquisition"]
+    assert results.total_installs() == 1679
+    assert acquisition["Fyber"].installs == 626
+    assert acquisition["ayeT-Studios"].installs == 550
+    assert acquisition["RankApp"].installs == 503
+    assert 0.35 < acquisition["RankApp"].missing_fraction < 0.55
+    assert acquisition["Fyber"].delivery_hours < 3
+    assert acquisition["RankApp"].delivery_hours > 24
+
+    engagement = summary["engagement"]
+    assert 0.35 < engagement["Fyber"].click_rate < 0.53
+    assert engagement["RankApp"].click_rate < 0.12
+    for s in engagement.values():
+        assert s.clicked_day_after < s.clicked_record  # engagement fades
+
+    automation = summary["automation"]
+    assert automation.emulator_installs >= 1
+    assert automation.cloud_asn_devices >= 2
+    assert automation.farms and automation.farms[0].installs == 20
+    assert automation.farms[0].rooted_sharing_ssid >= 14
+
+    co = summary["co_installs"]
+    rates = co.money_keyword_fraction_by_iip
+    assert rates["RankApp"] > rates["ayeT-Studios"] > rates["Fyber"]
+    assert co.top_affiliate_by_iip["RankApp"][0] == "eu.gcashapp"
+    assert co.total_unique_packages > 5000
+
+    # The manipulation worked and was not enforced away.
+    assert results.displayed_installs_before == 0
+    assert results.displayed_installs_after >= 1000
+    # Cost per install is cents (paper: ~$0.06-0.10 range).
+    assert results.mean_cost_per_install < 0.30

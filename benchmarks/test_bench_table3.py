@@ -1,0 +1,32 @@
+"""Table 3: offer-type prevalence and average payouts.
+
+Paper: 47% no-activity at $0.06 average vs 53% activity at $0.52
+(usage 37%/$0.50, registration 11%/$0.34, purchase 5%/$2.98) -- i.e.
+activity offers are ~9x more expensive, and purchase offers are the
+most expensive subcategory by a wide margin.
+"""
+
+from repro.analysis.characterize import offer_type_table
+from repro.core.reports import render_table3
+
+
+def test_table3(benchmark, wild):
+    rows = benchmark(offer_type_table, wild.results.dataset)
+    print("\n" + render_table3(rows))
+    by_label = {row.label: row for row in rows}
+    no_activity = by_label["No activity"]
+    activity = by_label["Activity"]
+    # Split close to 47/53.
+    assert 0.35 < no_activity.fraction_of_all < 0.60
+    assert 0.40 < activity.fraction_of_all < 0.65
+    # Activity offers pay several times more than no-activity offers.
+    assert activity.average_payout_usd > 4 * no_activity.average_payout_usd
+    # Subcategory ordering: purchase >> usage > registration-ish.
+    purchase = by_label["Activity (Purchase)"]
+    usage = by_label["Activity (Usage)"]
+    registration = by_label["Activity (Registration)"]
+    assert purchase.average_payout_usd > 3 * usage.average_payout_usd
+    assert purchase.average_payout_usd > 3 * registration.average_payout_usd
+    # Usage dominates the activity subcategories; purchase is rare.
+    assert usage.offer_count > registration.offer_count > 0
+    assert purchase.fraction_of_all < 0.12

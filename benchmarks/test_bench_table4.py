@@ -1,0 +1,49 @@
+"""Table 4: per-IIP summary of offers and Play metadata.
+
+The paper's qualitative claims: unvetted IIPs carry cheaper, mostly
+no-activity offers for newer and far less popular apps; vetted IIPs
+carry activity-heavy campaigns for established apps (median installs
+500k-1M, median ages 557-854 days vs 33-70 days for unvetted).
+"""
+
+from repro.analysis.characterize import iip_summary_table
+from repro.analysis.stats import median
+from repro.core.reports import render_table4
+from repro.iip.registry import UNVETTED_IIPS, VETTED_IIPS
+
+
+def test_table4(benchmark, wild):
+    rows = benchmark(iip_summary_table, wild.results.dataset,
+                     wild.results.archive, VETTED_IIPS)
+    print("\n" + render_table4(rows))
+    by_name = {row.iip_name: row for row in rows}
+    assert set(by_name) == set(VETTED_IIPS) | set(UNVETTED_IIPS)
+
+    rankapp = by_name["RankApp"]
+    ayet = by_name["ayeT-Studios"]
+    fyber = by_name["Fyber"]
+
+    # Unvetted: cheap, no-activity-dominated offers.
+    assert rankapp.median_offer_payout_usd <= 0.04
+    assert rankapp.no_activity_fraction > 0.7
+    assert ayet.no_activity_fraction > 0.5
+    # Vetted: activity-dominated.
+    for name in ("Fyber", "AdscendMedia", "AdGem", "HangMyAds"):
+        assert by_name[name].activity_fraction > 0.55
+
+    # Popularity gap: vetted medians orders of magnitude above unvetted.
+    vetted_installs = median([by_name[n].median_install_count
+                              for n in VETTED_IIPS])
+    unvetted_installs = median([by_name[n].median_install_count
+                                for n in UNVETTED_IIPS])
+    assert vetted_installs >= 100 * unvetted_installs
+
+    # Age gap: unvetted apps are weeks old, vetted apps are years old.
+    for name in UNVETTED_IIPS:
+        assert by_name[name].median_app_age_days < 150
+    for name in VETTED_IIPS:
+        assert by_name[name].median_app_age_days > 300
+
+    # Hundreds of developers from dozens of countries.
+    assert fyber.developer_count > 0.7 * fyber.app_count
+    assert fyber.country_count >= 15

@@ -1,0 +1,34 @@
+"""Table 8: offer mix and payouts of the funded vetted apps.
+
+Paper: the 30 vetted-advertised apps that raised funding used both
+offer types (67% no-activity, 63% activity -- they overlap) and paid
+roughly twice the ecosystem-average payout ($0.12 no-activity vs the
+global $0.06; $0.92 activity vs the global $0.52): developers chasing
+funding acquire users aggressively.
+"""
+
+from repro.analysis.characterize import offer_type_table
+from repro.analysis.funding import funded_offer_breakdown, funded_packages
+from repro.core.reports import render_table8
+
+
+def test_table8(benchmark, wild):
+    results = wild.results
+    funded = funded_packages(results.archive, results.dataset,
+                             results.snapshot, wild.vetted)
+    breakdown = benchmark(funded_offer_breakdown, results.dataset, funded)
+    print("\n" + render_table8(breakdown))
+
+    assert breakdown.funded_app_count >= 5
+    # Funded apps run both offer types (fractions overlap past 100%).
+    assert breakdown.no_activity_app_fraction > 0.4
+    assert breakdown.activity_app_fraction > 0.4
+    assert (breakdown.no_activity_app_fraction
+            + breakdown.activity_app_fraction) > 1.0
+
+    # Their campaigns pay more than the ecosystem average.
+    global_rows = {row.label: row for row in offer_type_table(results.dataset)}
+    assert (breakdown.activity_average_payout
+            > global_rows["Activity"].average_payout_usd)
+    assert (breakdown.no_activity_average_payout
+            > global_rows["No activity"].average_payout_usd)

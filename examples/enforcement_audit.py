@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Play Store enforcement audit (paper Section 5.2).
+
+Runs many campaigns of varying quality against the store's enforcement
+engine and shows what the paper observed: campaigns from vetted-style
+platforms (high open rates, organic-looking pacing) are essentially
+never filtered, while a small percentage of the crudest no-activity
+campaigns lose their installs -- visible as an install-count bin drop,
+like the "Phonebook - Contacts manager" app falling from 1,000+ to 500+.
+
+Run:  python examples/enforcement_audit.py
+"""
+
+import random
+
+from repro.playstore.bins import bin_label
+from repro.playstore.catalog import AppListing, Developer
+from repro.playstore.ledger import InstallSource
+from repro.playstore.policy import CampaignSignals
+from repro.playstore.store import PlayStore
+
+
+def run_cohort(store, rng, label, count, open_rate_range, emulator_rate,
+               delivery_hours, installs_each=600):
+    detected = 0
+    for index in range(count):
+        package = f"com.{label.lower()}.app{index:04d}.x"
+        store.publish(AppListing(
+            package=package, title=f"{label} App {index}", genre="Tools",
+            developer=Developer(developer_id=f"dev-{label}-{index}",
+                                name=f"{label} Dev {index}", country="US"),
+            release_day=0))
+        store.record_install_batch(package, 0, InstallSource.ORGANIC, 450)
+        campaign_id = f"{label}-c{index}"
+        store.record_install_batch(package, 1, InstallSource.INCENTIVIZED,
+                                   installs_each, campaign_id=campaign_id)
+        signals = CampaignSignals(
+            campaign_id=campaign_id, package=package,
+            installs_delivered=installs_each,
+            open_rate=rng.uniform(*open_rate_range),
+            emulator_rate=emulator_rate,
+            delivery_hours=delivery_hours, end_day=3)
+        action = store.enforcement.review(signals, day=10, rng=rng)
+        if action:
+            detected += 1
+            before = bin_label(store.ledger.total_installs(package, 9))
+            after = bin_label(store.ledger.total_installs(package, 10))
+            print(f"  filtered {package}: {action.installs_removed} installs "
+                  f"removed, displayed count {before} -> {after}")
+    return detected
+
+
+def main() -> None:
+    rng = random.Random(20)
+    store = PlayStore()
+
+    print("cohort A: vetted-style campaigns (98% open rate, day-long pacing)")
+    vetted_hits = run_cohort(store, rng, "Vetted", 300,
+                             open_rate_range=(0.95, 1.0),
+                             emulator_rate=0.002, delivery_hours=26.0)
+    print(f"  -> {vetted_hits}/300 campaigns filtered "
+          f"({vetted_hits / 3:.1f}%)")
+
+    print("\ncohort B: unvetted-style campaigns "
+          "(~half of installs never open the app, 2h burst delivery)")
+    unvetted_hits = run_cohort(store, rng, "Unvetted", 300,
+                               open_rate_range=(0.45, 0.7),
+                               emulator_rate=0.006, delivery_hours=1.5)
+    print(f"  -> {unvetted_hits}/300 campaigns filtered "
+          f"({unvetted_hits / 3:.1f}%)")
+
+    print("\ncohort C: emulator farms (pure automation)")
+    farm_hits = run_cohort(store, rng, "Farm", 50,
+                           open_rate_range=(0.1, 0.3),
+                           emulator_rate=0.9, delivery_hours=0.5)
+    print(f"  -> {farm_hits}/50 campaigns filtered ({farm_hits * 2:.0f}%)")
+
+    print("\npaper's observation: no decreases for baseline or vetted apps;")
+    print("decreases for only ~2% of unvetted-advertised apps --")
+    print("'the effectiveness of enforcement on the Google Play Store is")
+    print("rather limited.'")
+
+
+if __name__ == "__main__":
+    main()

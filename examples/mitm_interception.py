@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Anatomy of the milking infrastructure (paper Section 4.1, Figure 3).
+
+Step by step: bring up an IIP offer wall over TLS, run an affiliate app
+on a measurement phone, point the phone at a mitmproxy-style
+interception proxy, fuzz the app's UI, and read the decrypted offers
+out of the proxy -- then show the two ways interception fails (no CA
+installed; certificate pinning), which is why the paper notes that none
+of the monitored offer walls used pinning.
+
+Run:  python examples/mitm_interception.py
+"""
+
+import random
+
+from repro.affiliates.app import AffiliateAppRuntime, AffiliateAppSpec
+from repro.iip.accounting import MoneyLedger
+from repro.iip.mediator import AttributionMediator
+from repro.iip.offers import ActivityKind, OfferCategory, tasks_for
+from repro.iip.offerwall import OfferWallServer
+from repro.iip.platform import DeveloperCredentials
+from repro.iip.registry import build_platforms
+from repro.monitor.fuzzer import UiFuzzer
+from repro.net.client import HttpClient
+from repro.net.errors import CertificatePinningError, CertificateVerificationError
+from repro.net.fabric import NetworkFabric, PacketCapture
+from repro.net.proxy import MitmProxy
+from repro.net.tls import CertificateAuthority, TrustStore
+from repro.users.devices import DeviceFactory
+
+
+def main() -> None:
+    rng = random.Random(42)
+    fabric = NetworkFabric()
+    root_ca = CertificateAuthority("GlobalTrust Root CA", rng)
+    public_trust = TrustStore()
+    public_trust.add_root(root_ca.self_certificate())
+
+    # 1. An IIP with a live campaign, serving its wall over TLS.
+    ledger = MoneyLedger()
+    platforms = build_platforms(ledger, AttributionMediator())
+    fyber = platforms["Fyber"]
+    fyber.register_developer(DeveloperCredentials(
+        developer_id="dev1", tax_id="TAX-1", bank_account="IBAN-1"))
+    ledger.mint("dev1", 10_000, day=0)
+    campaign = fyber.create_campaign(
+        developer_id="dev1", package="com.mmm.trebelmusic",
+        app_title="TREBEL Music", description="Install, register, and download a song",
+        payout_usd=0.26, category=OfferCategory.ACTIVITY,
+        activity_kind=ActivityKind.USAGE,
+        tasks=tasks_for(OfferCategory.ACTIVITY, ActivityKind.USAGE),
+        installs=5000, start_day=0, end_day=25)
+    fyber.launch(campaign.campaign_id, day=0)
+    wall = OfferWallServer(fabric, fyber, root_ca, rng, current_day=lambda: 0)
+
+    spec = AffiliateAppSpec(
+        package="com.ayet.cashpirate", title="CashPirate",
+        installs_display="1M+", integrated_iips=("Fyber",),
+        currency_name="pirate coins", points_per_usd=2500.0)
+    wall.register_affiliate(spec.wall_config())
+    print(f"offer wall live at https://{wall.hostname}/api/v1/offers")
+
+    # 2. The interception proxy, with its own CA.
+    mitm = MitmProxy(fabric, "mitm.lab.example",
+                     fabric.asn_db.allocate(14061, rng), rng,
+                     upstream_trust=public_trust)
+    print(f"mitm proxy live at {mitm.hostname}:{mitm.port}")
+
+    # 3. The measurement phone, with the proxy's CA installed (the
+    #    "self-signed certificate on the Android phone" of Section 4.1).
+    phone_trust = TrustStore()
+    phone_trust.add_root(root_ca.self_certificate())
+    phone_trust.add_root(mitm.ca_certificate())
+    phone = DeviceFactory(fabric.asn_db, rng).real_phone(
+        "US", trust_store=phone_trust)
+    client = HttpClient(fabric, phone.endpoint, phone.trust_store, rng,
+                        proxy=(mitm.hostname, mitm.port))
+
+    # 4. Fuzz the affiliate app's UI; watch the wire while we do.
+    capture = PacketCapture(fabric)
+    runtime = AffiliateAppRuntime(spec, client, {"Fyber": wall})
+    report = UiFuzzer().run(runtime)
+    print(f"fuzzer: opened tabs {report.tabs_opened}, "
+          f"{report.scrolls} scrolls")
+
+    # 5. The decrypted offers, read out of the proxy.
+    print(f"\nintercepted {len(mitm.intercepted)} HTTPS exchange(s):")
+    for exchange in mitm.intercepted:
+        payload = exchange.response.json()
+        for offer in payload["offers"]:
+            print(f"  [{payload['iip']}] {offer['app']['title']!r}: "
+                  f"{offer['description']!r} -> "
+                  f"{offer['payout']['points']} {offer['payout']['currency']}")
+
+    # Archive the decrypted flows the way mitmproxy studies do.
+    import tempfile
+    from pathlib import Path
+    from repro.net.har import save_har
+    har_path = Path(tempfile.gettempdir()) / "offerwall_flows.har"
+    entries = save_har(mitm.intercepted, har_path)
+    print(f"\narchived {entries} decrypted flow(s) to {har_path} (HAR 1.2)")
+
+    wall_frames = [f for f in capture.frames
+                   if f.destination_host == wall.hostname]
+    plaintext_hits = sum(b"TREBEL" in f.payload for f in wall_frames)
+    print(f"\non the wire: {len(wall_frames)} frames to the wall, "
+          f"{plaintext_hits} containing plaintext (TLS is real)")
+
+    # 6. Failure mode 1: no CA installed -> handshake fails, nothing seen.
+    stock_phone = DeviceFactory(fabric.asn_db, rng).real_phone("US")
+    stock_phone.trust_store.add_root(root_ca.self_certificate())
+    stock_client = HttpClient(fabric, stock_phone.endpoint,
+                              stock_phone.trust_store, rng,
+                              proxy=(mitm.hostname, mitm.port))
+    stock_runtime = AffiliateAppRuntime(spec, stock_client, {"Fyber": wall})
+    stock_runtime.open()
+    try:
+        stock_runtime.select_tab("Fyber")
+    except CertificateVerificationError as exc:
+        print(f"\nwithout the mitm CA installed: {type(exc).__name__}: {exc}")
+
+    # 7. Failure mode 2: certificate pinning defeats interception.
+    pins = {wall.hostname: wall._server.identity.leaf.fingerprint()}
+    pinned_client = HttpClient(fabric, phone.endpoint, phone.trust_store, rng,
+                               proxy=(mitm.hostname, mitm.port),
+                               pinned_fingerprints=pins)
+    pinned_runtime = AffiliateAppRuntime(spec, pinned_client, {"Fyber": wall})
+    pinned_runtime.open()
+    try:
+        pinned_runtime.select_tab("Fyber")
+    except CertificatePinningError as exc:
+        print(f"with certificate pinning: {type(exc).__name__}: {exc}")
+    print("\n(no offer wall in the paper pinned its keys -- "
+          "which is what made the study possible)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""repro: a full reproduction of "Understanding Incentivized Mobile App
+Installs on Google Play Store" (Farooqi et al., IMC 2020).
+
+The package simulates the entire incentivized-install ecosystem --
+Play Store, IIPs, offer walls, affiliate apps, crowd workers -- and
+runs the paper's actual measurement methodology against it over a real
+in-process HTTPS stack.
+
+Quick start::
+
+    from repro import World, WildScenario, WildScenarioConfig
+    from repro.core import WildMeasurement
+
+    world = World(seed=2019)
+    scenario = WildScenario(world, WildScenarioConfig(scale=0.2))
+    scenario.build()
+    results = WildMeasurement(world, scenario).run()
+    print(len(results.dataset.unique_packages()), "advertised apps found")
+"""
+
+from repro.core.honey_experiment import HoneyAppExperiment, HoneyExperimentResults
+from repro.core.wild_measurement import (
+    WildMeasurement,
+    WildMeasurementConfig,
+    WildResults,
+)
+from repro.simulation.scenarios import WildScenario, WildScenarioConfig
+from repro.simulation.world import World
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "HoneyAppExperiment",
+    "HoneyExperimentResults",
+    "WildMeasurement",
+    "WildMeasurementConfig",
+    "WildResults",
+    "WildScenario",
+    "WildScenarioConfig",
+    "World",
+    "__version__",
+]

@@ -1,0 +1,44 @@
+"""Affiliate apps: the distribution channel of incentivized offers.
+
+An affiliate app integrates one or more IIP offer walls through the
+platforms' SDKs, displays them in tabs, pays users in an app-specific
+point currency, and forwards completions to the IIPs.  The registry
+ships the eight instrumented apps of paper Table 2 plus the extra
+affiliate apps observed on honey-app users' devices.
+"""
+
+from repro.affiliates.app import AffiliateAppRuntime, AffiliateAppSpec
+from repro.affiliates.redemption import (
+    GiftCard,
+    MenuEntry,
+    RedemptionError,
+    RedemptionService,
+    points_per_usd_from_menu,
+)
+from repro.affiliates.registry import (
+    AFFILIATE_SPECS,
+    EXTRA_AFFILIATE_PACKAGES,
+    INSTRUMENTED_AFFILIATES,
+    MONEY_KEYWORDS,
+    has_money_keyword,
+)
+from repro.affiliates.ui import OfferCardView, OfferListView, TabView, View
+
+__all__ = [
+    "AFFILIATE_SPECS",
+    "AffiliateAppRuntime",
+    "AffiliateAppSpec",
+    "EXTRA_AFFILIATE_PACKAGES",
+    "GiftCard",
+    "MenuEntry",
+    "RedemptionError",
+    "RedemptionService",
+    "points_per_usd_from_menu",
+    "INSTRUMENTED_AFFILIATES",
+    "MONEY_KEYWORDS",
+    "OfferCardView",
+    "OfferListView",
+    "TabView",
+    "View",
+    "has_money_keyword",
+]

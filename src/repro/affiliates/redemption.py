@@ -1,0 +1,115 @@
+"""Gift-card redemption: points leave the affiliate app.
+
+Paper footnote 6: "By analyzing affiliate apps, we convert these reward
+points to an equivalent offer payout in USD that can be redeemed
+through gift cards (e.g., PayPal, Amazon) inside the affiliate app."
+The redemption menu is therefore both a user feature and the
+*measurement instrument* that recovers each app's points-per-USD rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.affiliates.app import AffiliateAppSpec
+from repro.users.worker import Worker
+
+#: Card brands and the USD denominations affiliates typically offer.
+GIFT_CARD_DENOMINATIONS: Dict[str, Tuple[float, ...]] = {
+    "PayPal": (1.0, 2.0, 5.0, 10.0, 25.0),
+    "Amazon": (5.0, 10.0, 25.0),
+    "Google Play": (5.0, 10.0),
+}
+
+
+class RedemptionError(Exception):
+    """The redemption request cannot be fulfilled."""
+
+
+@dataclass(frozen=True)
+class MenuEntry:
+    """One redeemable option as shown in the app."""
+
+    card: str
+    amount_usd: float
+    points_required: int
+
+
+@dataclass(frozen=True)
+class GiftCard:
+    """An issued card."""
+
+    card: str
+    amount_usd: float
+    code: str
+    worker_id: str
+
+
+class RedemptionService:
+    """The affiliate app's 'cash out' screen."""
+
+    def __init__(self, spec: AffiliateAppSpec,
+                 minimum_usd: float = 1.0) -> None:
+        self.spec = spec
+        self.minimum_usd = minimum_usd
+        self._issued: List[GiftCard] = []
+        self._next_code = 1
+
+    def menu(self) -> List[MenuEntry]:
+        """Every redeemable option, smallest first."""
+        config = self.spec.wall_config()
+        entries = []
+        for card, denominations in sorted(GIFT_CARD_DENOMINATIONS.items()):
+            for amount in denominations:
+                if amount < self.minimum_usd:
+                    continue
+                entries.append(MenuEntry(
+                    card=card,
+                    amount_usd=amount,
+                    points_required=config.payout_to_points(amount),
+                ))
+        return sorted(entries, key=lambda e: (e.points_required, e.card))
+
+    def redeem(self, worker: Worker, card: str,
+               amount_usd: float) -> GiftCard:
+        """Exchange points for a card; raises on any shortfall."""
+        denominations = GIFT_CARD_DENOMINATIONS.get(card)
+        if denominations is None:
+            raise RedemptionError(f"unknown card brand {card!r}")
+        if amount_usd not in denominations:
+            raise RedemptionError(
+                f"{card} is not offered in ${amount_usd:.2f}")
+        if amount_usd < self.minimum_usd:
+            raise RedemptionError("below the app's minimum cash-out")
+        needed = self.spec.wall_config().payout_to_points(amount_usd)
+        if worker.points_earned < needed:
+            raise RedemptionError(
+                f"needs {needed} points, has {worker.points_earned:.0f}")
+        worker.points_earned -= needed
+        self._next_code += 1
+        gift_card = GiftCard(card=card, amount_usd=amount_usd,
+                             code=f"{card[:2].upper()}-{self._next_code:08d}",
+                             worker_id=worker.worker_id)
+        self._issued.append(gift_card)
+        return gift_card
+
+    def issued(self) -> List[GiftCard]:
+        return list(self._issued)
+
+
+def points_per_usd_from_menu(menu: List[MenuEntry]) -> float:
+    """Recover an app's exchange rate from its redemption menu.
+
+    This is the paper's normalisation procedure: divide the points
+    price of each option by its dollar value and take the (consistent)
+    ratio.  Raises if the menu is inconsistent, which would indicate a
+    tiered/penalising scheme needing manual analysis.
+    """
+    if not menu:
+        raise ValueError("empty redemption menu")
+    rates = [entry.points_required / entry.amount_usd for entry in menu]
+    low, high = min(rates), max(rates)
+    if high - low > 0.02 * high:
+        raise ValueError("inconsistent redemption rates across the menu")
+    return sum(rates) / len(rates)

@@ -1,0 +1,99 @@
+"""The affiliate apps of paper Table 2, plus extras seen on worker phones.
+
+Table 2 lists the eight instrumented apps, their Play install bins, and
+exactly which IIP offer walls each integrates.  The extra packages are
+affiliate apps the paper observed among honey-app users' co-installs
+(e.g. ``eu.gcashapp``, RankApp's most popular affiliate) but did not
+instrument.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.affiliates.app import AffiliateAppSpec
+
+#: Words whose presence in a package/title marks a money-making app
+#: (the paper greps co-installed app names for these).
+MONEY_KEYWORDS = ("money", "cash", "reward", "rich", "earn", "gift", "paid")
+
+
+def has_money_keyword(package: str) -> bool:
+    lowered = package.lower()
+    return any(keyword in lowered for keyword in MONEY_KEYWORDS)
+
+
+#: Table 2 rows: (package, installs bin, integrated IIPs).
+_TABLE2_ROWS: Tuple[Tuple[str, str, Tuple[str, ...]], ...] = (
+    ("com.mobvantage.CashForApps", "10M+",
+     ("Fyber", "AdGem", "HangMyAds", "ayeT-Studios")),
+    ("proxima.makemoney.android", "5M+", ("Fyber", "AdscendMedia")),
+    ("proxima.moneyapp.android", "1M+", ("Fyber",)),
+    ("com.bigcash.app", "1M+", ("AdscendMedia", "OfferToro")),
+    ("com.ayet.cashpirate", "1M+", ("Fyber", "ayeT-Studios")),
+    ("eu.makemoney", "1M+", ("AdscendMedia", "RankApp")),
+    ("com.growrich.makemoney", "1M+", ("AdscendMedia", "RankApp")),
+    ("make.money.easy", "100K+", ("Fyber", "AdscendMedia", "ayeT-Studios")),
+)
+
+_TITLES = {
+    "com.mobvantage.CashForApps": "Cash For Apps",
+    "proxima.makemoney.android": "Make Money - Free Cash App",
+    "proxima.moneyapp.android": "Money App - Cash Rewards",
+    "com.bigcash.app": "BigCash - Earn Money",
+    "com.ayet.cashpirate": "CashPirate - Earn Money",
+    "eu.makemoney": "Make Money & Earn Cash",
+    "com.growrich.makemoney": "Grow Rich - Make Money",
+    "make.money.easy": "Easy Money - Earn Cash",
+}
+
+_CURRENCIES = {
+    "com.mobvantage.CashForApps": ("credits", 1000.0),
+    "proxima.makemoney.android": ("coins", 2000.0),
+    "proxima.moneyapp.android": ("diamonds", 500.0),
+    "com.bigcash.app": ("points", 10000.0),
+    "com.ayet.cashpirate": ("pirate coins", 2500.0),
+    "eu.makemoney": ("coins", 1500.0),
+    "com.growrich.makemoney": ("gems", 800.0),
+    "make.money.easy": ("stars", 100.0),
+}
+
+INSTRUMENTED_AFFILIATES: Tuple[str, ...] = tuple(
+    package for package, _, _ in _TABLE2_ROWS)
+
+AFFILIATE_SPECS: Dict[str, AffiliateAppSpec] = {
+    package: AffiliateAppSpec(
+        package=package,
+        title=_TITLES[package],
+        installs_display=installs,
+        integrated_iips=iips,
+        currency_name=_CURRENCIES[package][0],
+        points_per_usd=_CURRENCIES[package][1],
+    )
+    for package, installs, iips in _TABLE2_ROWS
+}
+
+#: Affiliate apps seen on worker devices but not instrumented.  The
+#: flagship shares come from Section 3: eu.gcashapp on 37% of RankApp
+#: workers' phones, cashpirate on 20% of ayeT's, makemoney on 9% of
+#: Fyber's.
+EXTRA_AFFILIATE_PACKAGES: Tuple[str, ...] = (
+    "eu.gcashapp",
+    "com.rewardzone.app",
+    "com.luckycash.winner",
+    "net.freegifts.cards",
+    "com.dailyearn.paidtasks",
+)
+
+ALL_AFFILIATE_PACKAGES: Tuple[str, ...] = (
+    INSTRUMENTED_AFFILIATES + EXTRA_AFFILIATE_PACKAGES)
+
+
+def iips_integrated_by(package: str) -> Tuple[str, ...]:
+    spec = AFFILIATE_SPECS.get(package)
+    return spec.integrated_iips if spec else ()
+
+
+def affiliates_integrating(iip_name: str) -> List[str]:
+    return [package for package, spec in AFFILIATE_SPECS.items()
+            if iip_name in spec.integrated_iips]

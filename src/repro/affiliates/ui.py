@@ -1,0 +1,75 @@
+"""A minimal Android-flavoured view tree for affiliate apps.
+
+The monitoring infrastructure drives affiliate apps through their UI
+(the paper used Appium), so the apps here expose a real view hierarchy:
+a tab bar with one tab per integrated offer wall, and a lazily loading,
+scrollable offer list inside each tab.  The UI fuzzer walks this tree
+generically -- it discovers tabs and scrollables by view class, not by
+app-specific knowledge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+
+@dataclass
+class View:
+    """One node of the view hierarchy."""
+
+    view_id: str
+    view_class: str
+    text: str = ""
+    children: List["View"] = field(default_factory=list)
+
+    def add(self, child: "View") -> "View":
+        self.children.append(child)
+        return child
+
+    def walk(self) -> Iterator["View"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find_by_class(self, view_class: str) -> List["View"]:
+        return [view for view in self.walk() if view.view_class == view_class]
+
+    def find_by_id(self, view_id: str) -> Optional["View"]:
+        for view in self.walk():
+            if view.view_id == view_id:
+                return view
+        return None
+
+
+class TabView(View):
+    """One offer-wall tab; tapping it loads the wall."""
+
+    def __init__(self, view_id: str, label: str, iip_name: str) -> None:
+        super().__init__(view_id=view_id, view_class="TabView", text=label)
+        self.iip_name = iip_name
+
+
+class OfferCardView(View):
+    """One offer row as rendered to the user."""
+
+    def __init__(self, view_id: str, offer_id: str, title: str,
+                 description: str, points: int, currency: str) -> None:
+        text = f"{title} — {description} — {points} {currency}"
+        super().__init__(view_id=view_id, view_class="OfferCardView", text=text)
+        self.offer_id = offer_id
+        self.points = points
+        self.currency = currency
+
+
+class OfferListView(View):
+    """A scrollable list of offer cards with lazy pagination."""
+
+    def __init__(self, view_id: str) -> None:
+        super().__init__(view_id=view_id, view_class="OfferListView")
+        self.fully_loaded = False
+
+    @property
+    def cards(self) -> List[OfferCardView]:
+        return [child for child in self.children
+                if isinstance(child, OfferCardView)]

@@ -1,0 +1,22 @@
+"""The paper's analysis pipeline: classification, statistics, tables.
+
+Consumes only *measured* artifacts (the offer dataset, the crawl
+archive, APK scans, the Crunchbase snapshot) -- never the simulator's
+ground truth -- and computes every table and figure in the paper's
+evaluation.
+"""
+
+from repro.analysis.classify import ClassifiedOffer, OfferClassifier
+from repro.analysis.stats import (
+    ChiSquaredResult,
+    chi_squared_independence,
+    two_by_two,
+)
+
+__all__ = [
+    "ChiSquaredResult",
+    "ClassifiedOffer",
+    "OfferClassifier",
+    "chi_squared_independence",
+    "two_by_two",
+]

@@ -1,0 +1,90 @@
+"""Offer-description classification.
+
+The authors hand-labelled 1,128 unique offer descriptions into *no
+activity* vs *activity* (subdivided into registration / purchase /
+usage) and flagged arbitrage-style offers.  This module is the codified
+version of that labelling: keyword rules over the free-text
+description, consuming nothing but the text.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.iip.offers import ActivityKind, OfferCategory
+
+_PURCHASE_PATTERNS = (
+    r"\bpurchase\b", r"\bbuy\b", r"\bdeposit\b", r"\bspend\b",
+    r"\$\d", r"\bsubscribe\b", r"\bsubscription\b",
+    # es / de / ru / pt
+    r"\bcompra\b", r"\bkaufe?\b", r"покупк",
+)
+
+_REGISTRATION_PATTERNS = (
+    r"\bregist", r"\bsign\s*up\b", r"\bcreate an account\b", r"\baccount\b",
+    # es / de / ru / pt ("regist" covers registriere / registre-se; the
+    # accented Spanish stem needs its own pattern)
+    r"\bregíst", r"\bcuenta\b", r"\bkonto\b", r"регистр", r"аккаунт",
+    r"\bconta\b",
+)
+
+_USAGE_PATTERNS = (
+    r"\blevel\b", r"\btutorial\b", r"\bvideos?\b", r"\bdays\b",
+    r"\bsong\b", r"\bchapter\b", r"\bplay for\b", r"\bminutes\b",
+    r"\buse it\b", r"\bfinish\b", r"\bcomplete the\b", r"\breach\b",
+    r"\bwatch\b",
+    # es / de / ru / pt
+    r"\bnivel\b", r"\bnível\b", r"уровн", r"видео", r"víde", r"assista",
+    r"\bschau\b", r"alcanza", r"alcance", r"erreiche", r"достигни",
+)
+
+#: Arbitrage: earn in-app currency by doing yet more offers inside the
+#: advertised app (surveys, deals, videos-for-points).
+_ARBITRAGE_PATTERNS = (
+    r"points by completing", r"coins by completing",
+    r"\bsurveys\b", r"\bdeals\b", r"earn \d+ (points|coins)",
+    r"completing offers",
+)
+
+_INSTALL_ONLY_PATTERNS = (
+    r"\binstall\b", r"\blaunch\b", r"\bopen\b", r"\brun\b", r"\bdownload\b",
+)
+
+
+def _matches_any(text: str, patterns: Tuple[str, ...]) -> bool:
+    return any(re.search(pattern, text) for pattern in patterns)
+
+
+@dataclass(frozen=True)
+class ClassifiedOffer:
+    category: OfferCategory
+    activity_kind: Optional[ActivityKind]
+    is_arbitrage: bool
+
+    @property
+    def is_activity(self) -> bool:
+        return self.category is OfferCategory.ACTIVITY
+
+
+class OfferClassifier:
+    """Rule-based classifier over offer-description text."""
+
+    def classify(self, description: str) -> ClassifiedOffer:
+        text = description.lower()
+        if _matches_any(text, _ARBITRAGE_PATTERNS):
+            return ClassifiedOffer(OfferCategory.ACTIVITY,
+                                   ActivityKind.USAGE, is_arbitrage=True)
+        if _matches_any(text, _PURCHASE_PATTERNS):
+            return ClassifiedOffer(OfferCategory.ACTIVITY,
+                                   ActivityKind.PURCHASE, is_arbitrage=False)
+        if _matches_any(text, _USAGE_PATTERNS):
+            return ClassifiedOffer(OfferCategory.ACTIVITY,
+                                   ActivityKind.USAGE, is_arbitrage=False)
+        if _matches_any(text, _REGISTRATION_PATTERNS):
+            return ClassifiedOffer(OfferCategory.ACTIVITY,
+                                   ActivityKind.REGISTRATION,
+                                   is_arbitrage=False)
+        return ClassifiedOffer(OfferCategory.NO_ACTIVITY, None,
+                               is_arbitrage=False)

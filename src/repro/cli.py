@@ -1,0 +1,223 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``honey``    Run the Section-3 honey-app experiment and print its report.
+``wild``     Run the Section-4 wild measurement and print every table;
+             optionally export the dataset/archive JSON (the public
+             data release).
+``report``   Re-run the analyses on previously exported data files.
+``detect``   Run the lockstep detector on a labelled corpus.
+``tables``   Print the static tables (1 and 2).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.core import reports
+
+
+def _add_honey(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "honey", help="run the Section-3 honey-app experiment")
+    parser.add_argument("--seed", type=int, default=2019)
+
+
+def _add_wild(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "wild", help="run the Section-4 wild measurement")
+    parser.add_argument("--seed", type=int, default=2019)
+    parser.add_argument("--scale", type=float, default=0.25,
+                        help="fraction of the paper's 922 advertised apps")
+    parser.add_argument("--days", type=int, default=60)
+    parser.add_argument("--export-offers", metavar="PATH",
+                        help="write the offer corpus JSON here")
+    parser.add_argument("--export-archive", metavar="PATH",
+                        help="write the crawl archive JSON here")
+
+
+def _add_report(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "report", help="analyse previously exported data")
+    parser.add_argument("--offers", required=True,
+                        help="offer corpus JSON (from `wild --export-offers`)")
+    parser.add_argument("--archive",
+                        help="crawl archive JSON (enables Table 4)")
+
+
+def _add_detect(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "detect", help="run the lockstep detector on a labelled corpus")
+    parser.add_argument("--seed", type=int, default=2019)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Understanding Incentivized Mobile "
+                    "App Installs on Google Play Store' (IMC 2020)")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    _add_honey(subparsers)
+    _add_wild(subparsers)
+    _add_report(subparsers)
+    _add_detect(subparsers)
+    subparsers.add_parser("tables", help="print the static tables (1 and 2)")
+    paper = subparsers.add_parser(
+        "paper", help="run the full reproduction and print every table")
+    paper.add_argument("--seed", type=int, default=2019)
+    paper.add_argument("--scale", type=float, default=1.0)
+    paper.add_argument("--days", type=int, default=None)
+    return parser
+
+
+# ---------------------------------------------------------------------------
+# command implementations
+# ---------------------------------------------------------------------------
+
+
+def _cmd_tables() -> int:
+    print(reports.render_table1())
+    print()
+    print(reports.render_table2())
+    return 0
+
+
+def _cmd_honey(args) -> int:
+    from repro import HoneyAppExperiment, World
+    world = World(seed=args.seed)
+    results = HoneyAppExperiment(world).run()
+    print(reports.render_honey_report(results))
+    return 0
+
+
+def _cmd_wild(args) -> int:
+    from repro import (
+        WildMeasurement,
+        WildMeasurementConfig,
+        WildScenario,
+        WildScenarioConfig,
+        World,
+    )
+    from repro.analysis.appstore_impact import (
+        enforcement_decreases,
+        install_increase_comparison,
+        top_chart_comparison,
+    )
+    from repro.analysis.characterize import iip_summary_table, offer_type_table
+    from repro.iip.registry import VETTED_IIPS
+
+    world = World(seed=args.seed)
+    scenario = WildScenario(world, WildScenarioConfig(
+        scale=args.scale, measurement_days=args.days))
+    scenario.build()
+    measurement = WildMeasurement(world, scenario, WildMeasurementConfig(
+        measurement_days=args.days))
+    results = measurement.run()
+    print(f"{results.dataset.offer_count()} offers from "
+          f"{len(results.dataset.unique_packages())} apps "
+          f"({results.milk_runs} milk runs, "
+          f"{results.crawl_requests} crawl requests)\n")
+    print(reports.render_table3(offer_type_table(results.dataset)))
+    print()
+    print(reports.render_table4(iip_summary_table(
+        results.dataset, results.archive, VETTED_IIPS)))
+    print()
+    vetted = results.vetted_packages()
+    unvetted = results.unvetted_packages()
+    print(reports.render_table5(install_increase_comparison(
+        results.archive, results.dataset, vetted, unvetted,
+        results.baseline_packages, results.baseline_window)))
+    print()
+    print(reports.render_table6(top_chart_comparison(
+        results.archive, results.dataset, vetted, unvetted,
+        results.baseline_packages, results.baseline_window)))
+    print()
+    print(reports.render_enforcement(enforcement_decreases(results.archive, {
+        "Baseline": results.baseline_packages,
+        "Vetted": vetted,
+        "Unvetted": unvetted,
+    })))
+    if args.export_offers or args.export_archive:
+        from repro.monitor.storage import save_archive, save_dataset
+        if args.export_offers:
+            count = save_dataset(results.dataset, args.export_offers)
+            print(f"\nexported {count} offers to {args.export_offers}")
+        if args.export_archive:
+            count = save_archive(results.archive, args.export_archive)
+            print(f"exported {count} profile snapshots to "
+                  f"{args.export_archive}")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.analysis.characterize import iip_summary_table, offer_type_table
+    from repro.iip.registry import VETTED_IIPS
+    from repro.monitor.storage import (
+        DatasetFormatError,
+        load_archive,
+        load_offer_records,
+        rehydrate_dataset,
+    )
+    try:
+        dataset = rehydrate_dataset(load_offer_records(args.offers))
+    except (OSError, DatasetFormatError) as exc:
+        print(f"error: cannot load offers: {exc}", file=sys.stderr)
+        return 2
+    print(f"loaded {dataset.offer_count()} offers from "
+          f"{len(dataset.unique_packages())} apps\n")
+    print(reports.render_table3(offer_type_table(dataset)))
+    if args.archive:
+        try:
+            archive = load_archive(args.archive)
+        except (OSError, DatasetFormatError) as exc:
+            print(f"error: cannot load archive: {exc}", file=sys.stderr)
+            return 2
+        print()
+        print(reports.render_table4(iip_summary_table(
+            dataset, archive, VETTED_IIPS)))
+    return 0
+
+
+def _cmd_detect(args) -> int:
+    from repro.detection.bridge import build_training_corpus
+    from repro.detection.evaluation import evaluate_detector
+    from repro.detection.lockstep import LockstepDetector
+    log, incentivized = build_training_corpus(seed=args.seed)
+    detector = LockstepDetector()
+    flagged = detector.flag_devices(log)
+    report = evaluate_detector(flagged, incentivized, log.devices())
+    print(f"corpus: {len(log)} events, {len(log.devices())} devices, "
+          f"{len(incentivized)} incentivized")
+    print(f"flagged {len(flagged)}: precision {report.precision:.2f}, "
+          f"recall {report.recall:.2f}, FPR {report.false_positive_rate:.3f}")
+    for package in detector.flag_apps(log, min_clusters=1):
+        print(f"policy candidate: {package}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "tables":
+        return _cmd_tables()
+    if args.command == "honey":
+        return _cmd_honey(args)
+    if args.command == "wild":
+        return _cmd_wild(args)
+    if args.command == "report":
+        return _cmd_report(args)
+    if args.command == "detect":
+        return _cmd_detect(args)
+    if args.command == "paper":
+        from repro.core.paper_report import run_full_reproduction
+        report = run_full_reproduction(seed=args.seed, scale=args.scale,
+                                       days=args.days)
+        print(report.render())
+        return 0
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,25 @@
+"""Public API: the paper's two measurement pipelines plus reporting.
+
+* :class:`~repro.core.honey_experiment.HoneyAppExperiment` -- Section 3:
+  publish an instrumented honey app, purchase installs from three IIPs,
+  and analyse acquisition, engagement, automation, and co-installs.
+* :class:`~repro.core.wild_measurement.WildMeasurement` -- Section 4:
+  three months of milking + crawling against a populated world, feeding
+  the full Tables 3-8 / Figures 4-6 analysis.
+* :mod:`repro.core.reports` -- renders each paper table as text.
+"""
+
+from repro.core.honey_experiment import HoneyAppExperiment, HoneyExperimentResults
+from repro.core.wild_measurement import (
+    WildMeasurement,
+    WildMeasurementConfig,
+    WildResults,
+)
+
+__all__ = [
+    "HoneyAppExperiment",
+    "HoneyExperimentResults",
+    "WildMeasurement",
+    "WildMeasurementConfig",
+    "WildResults",
+]

@@ -1,0 +1,245 @@
+"""The Section-3 pipeline: purchase installs for the honey app.
+
+Publishes the instrumented voice-memo app on the simulated Play Store,
+registers as a developer with one vetted IIP (Fyber) and two unvetted
+ones (ayeT-Studios, RankApp), purchases 500 no-activity installs from
+each in non-overlapping windows, and lets the sampled crowd-worker
+populations work the offers.  Every open/click travels as real HTTPS
+telemetry to the collection server; the analysis then joins telemetry
+with developer-console analytics exactly as the paper does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.affiliates.registry import ALL_AFFILIATE_PACKAGES
+from repro.honeyapp.analysis import CampaignWindow, HoneyExperimentAnalysis
+from repro.honeyapp.app import HONEY_PACKAGE, HONEY_TITLE, HoneyApp
+from repro.iip.offers import OfferCategory, tasks_for
+from repro.iip.platform import DeveloperCredentials
+from repro.playstore.catalog import AppListing, Developer
+from repro.playstore.ledger import InstallSource
+from repro.playstore.policy import CampaignSignals
+from repro.simulation import paperdata
+from repro.simulation.world import World
+from repro.users.population import IIPUserMix, PopulationBuilder
+from repro.users.worker import WorkerBehavior
+
+HONEY_DEVELOPER_ID = "dev-honey-research"
+
+#: Per-IIP delivery plans: (start day, payout, user mix).
+_CAMPAIGN_ORDER = ("Fyber", "ayeT-Studios", "RankApp")
+_START_DAYS = {"Fyber": 2, "ayeT-Studios": 8, "RankApp": 14}
+_WINDOW_DAYS = {"Fyber": 4, "ayeT-Studios": 4, "RankApp": 5}
+_PAYOUTS = {"Fyber": 0.10, "ayeT-Studios": 0.05, "RankApp": 0.02}
+
+
+def _mix_for(iip_name: str, delivered: int) -> IIPUserMix:
+    """Behaviour/device mixture calibrated from Section 3's findings."""
+    click_rate = paperdata.HONEY_CLICK_RATE[iip_name]
+    open_rate = 1.0 - paperdata.HONEY_MISSING_TELEMETRY[iip_name]
+    behavior = WorkerBehavior(
+        open_probability=open_rate,
+        engage_probability=min(1.0, click_rate / open_rate),
+        next_day_return_probability=(
+            paperdata.HONEY_DAY_AFTER_CLICKS[iip_name] / delivered),
+        abandon_activity_probability=0.05,
+    )
+    flagship, flagship_share = paperdata.HONEY_FLAGSHIP_AFFILIATE[iip_name]
+    emulators = paperdata.HONEY_EMULATORS.get(iip_name, 0)
+    cloud = paperdata.HONEY_CLOUD_ASN.get(iip_name, 0)
+    farm_fraction = (paperdata.HONEY_FARM_SIZE / delivered
+                     if iip_name == "ayeT-Studios" else 0.0)
+    return IIPUserMix(
+        iip_name=iip_name,
+        behavior=behavior,
+        emulator_fraction=emulators / delivered,
+        cloud_phone_fraction=cloud / delivered,
+        farm_fraction=farm_fraction,
+        farm_size=paperdata.HONEY_FARM_SIZE,
+        farm_rooted_fraction=paperdata.HONEY_FARM_ROOTED / paperdata.HONEY_FARM_SIZE,
+        affiliate_app_probability=paperdata.HONEY_AFFILIATE_KEYWORD_RATE[iip_name],
+        flagship_affiliate=flagship,
+        flagship_share=flagship_share,
+    )
+
+
+@dataclass
+class HoneyCampaignRecord:
+    iip_name: str
+    campaign_id: str
+    window: CampaignWindow
+    purchased: int
+    delivered: int
+    completions_paid: int
+    total_cost_usd: float
+
+
+@dataclass
+class HoneyExperimentResults:
+    analysis: HoneyExperimentAnalysis
+    campaigns: List[HoneyCampaignRecord]
+    displayed_installs_before: int
+    displayed_installs_after: int
+    enforcement_actions: int
+    mean_cost_per_install: float
+
+    def total_installs(self) -> int:
+        return self.analysis.total_installs()
+
+
+class HoneyAppExperiment:
+    """Runs the whole Section-3 experiment inside a world."""
+
+    def __init__(self, world: World,
+                 installs_per_iip: int = paperdata.HONEY_INSTALLS_PURCHASED
+                 ) -> None:
+        self.world = world
+        self.installs_per_iip = installs_per_iip
+        self._rng = world.seeds.rng("honey-experiment")
+        self._population = PopulationBuilder(
+            world.fabric.asn_db, world.seeds.rng("honey-population"),
+            affiliate_catalog=ALL_AFFILIATE_PACKAGES)
+        self._publish_listing()
+
+    def _publish_listing(self) -> None:
+        developer = Developer(
+            developer_id=HONEY_DEVELOPER_ID,
+            name="Honey Research Labs",
+            country="US",
+            website="https://research.example",
+        )
+        self.world.store.publish(AppListing(
+            package=HONEY_PACKAGE, title=HONEY_TITLE, genre="Tools",
+            developer=developer, release_day=0))
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> HoneyExperimentResults:
+        store = self.world.store
+        before = store.displayed_installs(HONEY_PACKAGE, 0)
+        records: List[HoneyCampaignRecord] = []
+        windows: List[CampaignWindow] = []
+        console_installs: Dict[str, int] = {}
+        install_days: Dict[str, List[Tuple[int, float]]] = {}
+        for iip_name in _CAMPAIGN_ORDER:
+            record, timestamps = self._run_campaign(iip_name)
+            records.append(record)
+            windows.append(record.window)
+            console_installs[record.campaign_id] = record.delivered
+            install_days[record.campaign_id] = timestamps
+        last_day = max(w.end_day for w in windows) + 1
+        after = store.displayed_installs(HONEY_PACKAGE, last_day + 30)
+        analysis = HoneyExperimentAnalysis(
+            windows, self.world.telemetry, console_installs, install_days)
+        total_cost = sum(record.total_cost_usd for record in records)
+        total_installs = sum(record.delivered for record in records)
+        return HoneyExperimentResults(
+            analysis=analysis,
+            campaigns=records,
+            displayed_installs_before=before,
+            displayed_installs_after=after,
+            enforcement_actions=len(store.enforcement.actions_for(HONEY_PACKAGE)),
+            mean_cost_per_install=(total_cost / total_installs
+                                   if total_installs else 0.0),
+        )
+
+    # ------------------------------------------------------------------
+
+    def _run_campaign(self, iip_name: str
+                      ) -> Tuple[HoneyCampaignRecord, List[Tuple[int, float]]]:
+        world = self.world
+        rng = self._rng
+        platform = world.platforms[iip_name]
+        start_day = _START_DAYS[iip_name]
+        end_day = start_day + _WINDOW_DAYS[iip_name] - 1
+        payout = _PAYOUTS[iip_name]
+        purchased = self.installs_per_iip
+        platform.register_developer(DeveloperCredentials(
+            developer_id=HONEY_DEVELOPER_ID, tax_id="TAX-RESEARCH",
+            bank_account="IBAN-RESEARCH"))
+        cost = (payout * (1 + platform.config.advertiser_markup)
+                + world.mediator.fee_per_user_usd)
+        budget = max(cost * purchased * 1.5, platform.config.min_deposit_usd * 1.2)
+        world.money.mint(HONEY_DEVELOPER_ID, budget, day=start_day,
+                         memo=f"honey campaign on {iip_name}")
+        campaign = platform.create_campaign(
+            developer_id=HONEY_DEVELOPER_ID,
+            package=HONEY_PACKAGE,
+            app_title=HONEY_TITLE,
+            description="Install and Launch",
+            payout_usd=payout,
+            category=OfferCategory.NO_ACTIVITY,
+            activity_kind=None,
+            tasks=tasks_for(OfferCategory.NO_ACTIVITY, None),
+            installs=purchased,
+            start_day=start_day,
+            end_day=end_day,
+        )
+        platform.launch(campaign.campaign_id, start_day)
+
+        delivered = round(purchased
+                          * paperdata.HONEY_DELIVERED[iip_name]
+                          / paperdata.HONEY_INSTALLS_PURCHASED)
+        mix = _mix_for(iip_name, delivered)
+        sample = self._population.build(mix, delivered,
+                                        trust_store=world.device_trust_store())
+        delivery_hours = paperdata.HONEY_DELIVERY_HOURS[iip_name]
+        affiliate = platform.affiliate_ids[0] if platform.affiliate_ids else "direct"
+        timestamps: List[Tuple[int, float]] = []
+        opened = 0
+        paid = 0
+        for worker in sample.workers:
+            offset = rng.uniform(0.0, delivery_hours)
+            day = start_day + int((8.0 + offset) // 24.0)
+            hour = (8.0 + offset) % 24.0
+            result = worker.work_offer(campaign.offer, day, rng)
+            world.store.record_install(HONEY_PACKAGE, day,
+                                       InstallSource.INCENTIVIZED,
+                                       campaign_id=campaign.campaign_id)
+            timestamps.append((day, hour))
+            if result.opened:
+                opened += 1
+                app = HoneyApp(worker.device,
+                               world.client_for(worker.device, rng))
+                app.open(day, hour)
+                if result.engaged_beyond_task:
+                    app.click_record(day, min(23.99, hour + 0.05))
+                if result.returned_next_day:
+                    return_hour = rng.uniform(8.0, 20.0)
+                    app.open(day + 1, return_hour)
+                    app.click_record(day + 1, min(23.99, return_hour + 0.02))
+            if result.completed:
+                disbursement = platform.complete_offer(
+                    campaign.offer.offer_id, worker.device.device_id, day,
+                    affiliate_id=affiliate, user_id=worker.worker_id,
+                    tasks_completed=result.tasks_completed)
+                if disbursement is not None:
+                    paid += 1
+        emulator_count = sum(
+            worker.device.profile.is_emulator for worker in sample.workers)
+        signals = CampaignSignals(
+            campaign_id=campaign.campaign_id,
+            package=HONEY_PACKAGE,
+            installs_delivered=delivered,
+            open_rate=opened / delivered if delivered else 1.0,
+            emulator_rate=emulator_count / delivered if delivered else 0.0,
+            delivery_hours=delivery_hours,
+            end_day=end_day,
+        )
+        world.store.review_campaign(signals, end_day + 3,
+                                    world.seeds.rng(f"honey-enforce:{iip_name}"))
+        total_cost = cost * paid
+        record = HoneyCampaignRecord(
+            iip_name=iip_name,
+            campaign_id=campaign.campaign_id,
+            window=CampaignWindow(iip_name, campaign.campaign_id,
+                                  start_day, end_day),
+            purchased=purchased,
+            delivered=delivered,
+            completions_paid=paid,
+            total_cost_usd=total_cost,
+        )
+        return record, timestamps

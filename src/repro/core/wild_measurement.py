@@ -1,0 +1,150 @@
+"""The Section-4 pipeline: milk the walls, crawl the store, analyse.
+
+Day loop (day 0 = 2019-03-01):
+
+1. the scenario animates the world (organic installs, campaign
+   delivery, enforcement);
+2. on milk days, the milker drives each instrumented affiliate app
+   through the mitm proxy from a rotating subset of VPN exit
+   countries, and new offers land in the dataset;
+3. on crawl days, the crawler scrapes top charts plus the profile of
+   every baseline app and every advertised app *discovered so far*.
+
+After the loop, APKs of all observed + baseline apps are scanned and
+the October Crunchbase snapshot is taken.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.affiliates.registry import AFFILIATE_SPECS
+from repro.crunchbase.database import CrunchbaseSnapshot
+from repro.iip.registry import UNVETTED_IIPS, VETTED_IIPS
+from repro.monitor.crawler import CrawlArchive, PlayStoreCrawler
+from repro.monitor.dataset import OfferDataset
+from repro.monitor.milker import Milker
+from repro.net.ip import MILKER_COUNTRIES
+from repro.net.tls import TrustStore
+from repro.playstore.frontend import PLAY_HOST
+from repro.simulation import paperdata
+from repro.simulation.scenarios import WildScenario
+from repro.simulation.world import World
+from repro.staticanalysis.libradar import LibRadarDetector
+
+
+@dataclass(frozen=True)
+class WildMeasurementConfig:
+    measurement_days: int = paperdata.WILD_MEASUREMENT_DAYS
+    crawl_cadence_days: int = paperdata.CRAWL_CADENCE_DAYS
+    milk_cadence_days: int = 2
+    countries: Tuple[str, ...] = MILKER_COUNTRIES
+    countries_per_milk_day: int = 2
+    baseline_window: Tuple[int, int] = (
+        0, paperdata.AVERAGE_CAMPAIGN_DURATION_DAYS)
+
+
+@dataclass
+class WildResults:
+    """Everything the analysis stage consumes."""
+
+    dataset: OfferDataset
+    observations: List  # every raw ObservedOffer, pre-dedup (ablations)
+    archive: CrawlArchive
+    apk_scan: Dict[str, int]
+    snapshot: CrunchbaseSnapshot
+    baseline_packages: List[str]
+    baseline_window: Tuple[int, int]
+    milk_runs: int = 0
+    milk_errors: List[str] = field(default_factory=list)
+    crawl_requests: int = 0
+
+    def vetted_packages(self) -> List[str]:
+        return sorted({record.package for record in self.dataset.offers()
+                       if record.iip_name in VETTED_IIPS})
+
+    def unvetted_packages(self) -> List[str]:
+        return sorted({record.package for record in self.dataset.offers()
+                       if record.iip_name in UNVETTED_IIPS})
+
+    def advertised_packages(self) -> List[str]:
+        return self.dataset.unique_packages()
+
+
+class WildMeasurement:
+    """Owns the measurement infrastructure and runs the day loop."""
+
+    def __init__(self, world: World, scenario: WildScenario,
+                 config: Optional[WildMeasurementConfig] = None) -> None:
+        self.world = world
+        self.scenario = scenario
+        self.config = config or WildMeasurementConfig()
+        self.mitm = world.build_mitm()
+        phone_trust = world.device_trust_store()
+        phone_trust.add_root(self.mitm.ca_certificate())
+        self.phone = world.device_factory.real_phone(
+            "US", trust_store=phone_trust)
+        self.milker = Milker(world.fabric, self.phone, self.mitm, world.walls,
+                             world.seeds.rng("milker"), vpn=world.vpn)
+        self.dataset = OfferDataset(AFFILIATE_SPECS)
+        self.crawler = PlayStoreCrawler(
+            world.measurement_client(), PLAY_HOST,
+            cadence_days=self.config.crawl_cadence_days)
+        self._milk_errors: List[str] = []
+        self._milk_runs = 0
+        self._observations: List = []
+
+    # -- day loop ------------------------------------------------------------
+
+    def run(self) -> WildResults:
+        config = self.config
+        for day in range(config.measurement_days):
+            self.scenario.run_day(day)
+            if day % config.milk_cadence_days == 0:
+                self._milk(day)
+            if self.crawler.should_crawl(day):
+                tracked = (self.scenario.baseline_packages()
+                           + self.dataset.unique_packages())
+                self.crawler.crawl_everything(tracked)
+            self.world.clock.advance()
+        return self._finalize()
+
+    def _countries_for(self, day: int) -> Sequence[str]:
+        count = min(self.config.countries_per_milk_day,
+                    len(self.config.countries))
+        start = (day // self.config.milk_cadence_days * count)
+        return [self.config.countries[(start + i) % len(self.config.countries)]
+                for i in range(count)]
+
+    def _milk(self, day: int) -> None:
+        for country in self._countries_for(day):
+            for spec in AFFILIATE_SPECS.values():
+                run = self.milker.milk(spec, day, country=country)
+                self._milk_runs += 1
+                self._milk_errors.extend(run.errors)
+                self._observations.extend(run.offers)
+                self.dataset.ingest_all(run.offers)
+
+    def _finalize(self) -> WildResults:
+        detector = LibRadarDetector()
+        scan: Dict[str, int] = {}
+        for package in (self.dataset.unique_packages()
+                        + self.scenario.baseline_packages()):
+            apk = self.world.apks.get(package)
+            if apk is not None:
+                scan[package] = detector.unique_ad_library_count(apk)
+        snapshot = self.world.crunchbase.snapshot(
+            paperdata.CRUNCHBASE_SNAPSHOT_DAY)
+        return WildResults(
+            dataset=self.dataset,
+            observations=self._observations,
+            archive=self.crawler.archive,
+            apk_scan=scan,
+            snapshot=snapshot,
+            baseline_packages=self.scenario.baseline_packages(),
+            baseline_window=self.config.baseline_window,
+            milk_runs=self._milk_runs,
+            milk_errors=self._milk_errors,
+            crawl_requests=self.crawler.requests_made,
+        )

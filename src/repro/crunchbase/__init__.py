@@ -1,0 +1,18 @@
+"""Crunchbase-style funding database and developer matching."""
+
+from repro.crunchbase.database import (
+    CrunchbaseDatabase,
+    CrunchbaseSnapshot,
+    FundingRound,
+    Organization,
+)
+from repro.crunchbase.matcher import DeveloperMatcher, MatchResult
+
+__all__ = [
+    "CrunchbaseDatabase",
+    "CrunchbaseSnapshot",
+    "DeveloperMatcher",
+    "FundingRound",
+    "MatchResult",
+    "Organization",
+]

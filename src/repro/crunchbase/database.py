@@ -1,0 +1,110 @@
+"""The funding database (the repo's Crunchbase snapshot substitute).
+
+The paper downloaded an October-2019 Crunchbase snapshot -- a few
+months *after* the measurement window -- and looked up, per matched
+developer, whether a funding round landed after the app's campaign
+started.  ``CrunchbaseDatabase`` is the living database;
+``snapshot(day)`` freezes it the way a dump would.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+ROUND_TYPES = ("Angel", "Seed", "Series A", "Series B", "Series C",
+               "Series D", "Series E", "Series F", "Venture")
+
+INVESTOR_TYPES = ("angel investor", "VC investor", "corporate investor")
+
+
+@dataclass(frozen=True)
+class Organization:
+    """One company in the database."""
+
+    org_id: str
+    name: str
+    website: Optional[str]
+    country: str
+    is_public_company: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.org_id or not self.name:
+            raise ValueError("organization needs id and name")
+
+
+@dataclass(frozen=True)
+class FundingRound:
+    """One disclosed round."""
+
+    org_id: str
+    day: int                # simulation day the round closed
+    round_type: str
+    amount_usd: float
+    investor_name: str
+    investor_type: str
+
+    def __post_init__(self) -> None:
+        if self.round_type not in ROUND_TYPES:
+            raise ValueError(f"unknown round type {self.round_type!r}")
+        if self.investor_type not in INVESTOR_TYPES:
+            raise ValueError(f"unknown investor type {self.investor_type!r}")
+        if self.amount_usd <= 0:
+            raise ValueError("round amount must be positive")
+
+
+class CrunchbaseSnapshot:
+    """A frozen view of the database as of one day."""
+
+    def __init__(self, organizations: Dict[str, Organization],
+                 rounds: Dict[str, List[FundingRound]],
+                 as_of_day: int) -> None:
+        self._organizations = organizations
+        self._rounds = rounds
+        self.as_of_day = as_of_day
+
+    def organization(self, org_id: str) -> Optional[Organization]:
+        return self._organizations.get(org_id)
+
+    def organizations(self) -> List[Organization]:
+        return [self._organizations[key] for key in sorted(self._organizations)]
+
+    def rounds_for(self, org_id: str) -> List[FundingRound]:
+        return sorted(self._rounds.get(org_id, []), key=lambda r: r.day)
+
+    def raised_after(self, org_id: str, day: int) -> List[FundingRound]:
+        """Rounds that closed strictly after ``day`` (but before the
+        snapshot date) -- the paper's funded-after-campaign test."""
+        return [r for r in self.rounds_for(org_id) if day < r.day <= self.as_of_day]
+
+    def __len__(self) -> int:
+        return len(self._organizations)
+
+
+class CrunchbaseDatabase:
+    """The living database the scenario writes funding events into."""
+
+    def __init__(self) -> None:
+        self._organizations: Dict[str, Organization] = {}
+        self._rounds: Dict[str, List[FundingRound]] = defaultdict(list)
+
+    def add_organization(self, organization: Organization) -> None:
+        if organization.org_id in self._organizations:
+            raise ValueError(f"duplicate org {organization.org_id!r}")
+        self._organizations[organization.org_id] = organization
+
+    def add_round(self, funding_round: FundingRound) -> None:
+        if funding_round.org_id not in self._organizations:
+            raise KeyError(f"round for unknown org {funding_round.org_id!r}")
+        self._rounds[funding_round.org_id].append(funding_round)
+
+    def organization_count(self) -> int:
+        return len(self._organizations)
+
+    def snapshot(self, as_of_day: int) -> CrunchbaseSnapshot:
+        rounds = {
+            org_id: [r for r in org_rounds if r.day <= as_of_day]
+            for org_id, org_rounds in self._rounds.items()
+        }
+        return CrunchbaseSnapshot(dict(self._organizations), rounds, as_of_day)

@@ -1,0 +1,24 @@
+"""Lockstep-behaviour detection (the paper's proposed defense).
+
+Section 5.2: "our proposed measurements can provide a ground truth of
+apps to help train machine learning models in detecting the lockstep
+behavior of users who perform similar in-app activities to complete the
+offer [CopyCatch, CatchSync]".  This package implements that proposal:
+CopyCatch-style co-install/burst clustering over install telemetry,
+network-colocation analysis, and an evaluation harness that scores the
+detector against the simulation's ground truth -- exactly the ground
+truth the paper says its methodology can supply.
+"""
+
+from repro.detection.events import DeviceInstallEvent, InstallLog
+from repro.detection.evaluation import DetectionReport, evaluate_detector
+from repro.detection.lockstep import LockstepCluster, LockstepDetector
+
+__all__ = [
+    "DetectionReport",
+    "DeviceInstallEvent",
+    "InstallLog",
+    "LockstepCluster",
+    "LockstepDetector",
+    "evaluate_detector",
+]

@@ -1,0 +1,66 @@
+"""Detector evaluation against simulation ground truth."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Set, Tuple
+
+
+@dataclass(frozen=True)
+class DetectionReport:
+    """Precision/recall of a flagged-device set vs ground truth."""
+
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+    true_negatives: int
+
+    @property
+    def precision(self) -> float:
+        flagged = self.true_positives + self.false_positives
+        return self.true_positives / flagged if flagged else 0.0
+
+    @property
+    def recall(self) -> float:
+        positives = self.true_positives + self.false_negatives
+        return self.true_positives / positives if positives else 0.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+    @property
+    def false_positive_rate(self) -> float:
+        negatives = self.false_positives + self.true_negatives
+        return self.false_positives / negatives if negatives else 0.0
+
+
+def evaluate_detector(flagged: Set[str], incentivized: Set[str],
+                      all_devices: Iterable[str]) -> DetectionReport:
+    """Score a flagged set against ground-truth incentivized devices."""
+    universe = set(all_devices)
+    if not incentivized <= universe:
+        raise ValueError("ground truth contains unknown devices")
+    if not flagged <= universe:
+        raise ValueError("flagged set contains unknown devices")
+    tp = len(flagged & incentivized)
+    fp = len(flagged - incentivized)
+    fn = len(incentivized - flagged)
+    tn = len(universe - flagged - incentivized)
+    return DetectionReport(true_positives=tp, false_positives=fp,
+                           false_negatives=fn, true_negatives=tn)
+
+
+def sweep_thresholds(scores: Dict[str, float], incentivized: Set[str],
+                     all_devices: Iterable[str],
+                     thresholds: List[float]) -> List[Tuple[float, DetectionReport]]:
+    """Precision/recall at a sweep of score thresholds (a PR curve)."""
+    universe = list(all_devices)
+    results = []
+    for threshold in thresholds:
+        flagged = {device for device, score in scores.items()
+                   if score >= threshold}
+        results.append((threshold,
+                        evaluate_detector(flagged, incentivized, universe)))
+    return results

@@ -1,0 +1,9 @@
+"""Responsible disclosure (paper Section 5.1)."""
+
+from repro.disclosure.campaign import (
+    DeveloperResponse,
+    DisclosureCampaign,
+    DisclosureNotice,
+)
+
+__all__ = ["DeveloperResponse", "DisclosureCampaign", "DisclosureNotice"]

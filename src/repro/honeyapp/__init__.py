@@ -1,0 +1,23 @@
+"""The purpose-built honey app and its telemetry backend.
+
+A "voice memos saving" app instrumented to upload, on every open and
+every record-button click: in-app activity, the device build, the
+(hashed) WiFi SSID, the /24 of the public IPv4 address, root status,
+and the installed package list -- exactly the collection the paper's
+Section 3.1 describes, with the same privacy minimisation applied
+client-side.
+"""
+
+from repro.honeyapp.analysis import HoneyExperimentAnalysis
+from repro.honeyapp.app import HONEY_PACKAGE, HoneyApp
+from repro.honeyapp.server import TelemetryServer
+from repro.honeyapp.telemetry import TelemetryPayload, sanitize_ssid
+
+__all__ = [
+    "HONEY_PACKAGE",
+    "HoneyApp",
+    "HoneyExperimentAnalysis",
+    "TelemetryPayload",
+    "TelemetryServer",
+    "sanitize_ssid",
+]

@@ -1,0 +1,82 @@
+"""The researchers' telemetry collection server."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from repro.honeyapp.telemetry import (
+    EVENT_OPEN,
+    EVENT_RECORD_CLICK,
+    TelemetryPayload,
+)
+from repro.net.http import HttpRequest, HttpResponse
+from repro.net.server import HttpsServer, RequestContext
+from repro.net.tls import CertificateAuthority, issue_server_identity
+
+
+@dataclass(frozen=True)
+class StoredEvent:
+    """A payload plus what the server itself observed about the sender."""
+
+    payload: TelemetryPayload
+    source_asn: Optional[int]
+    source_asn_kind: Optional[str]    # "eyeball" / "datacenter"
+    source_country: Optional[str]
+
+
+class TelemetryServer:
+    """HTTPS collector at ``collect.research.example``.
+
+    Stores every valid payload along with the ASN the connection came
+    from (the payload itself only ever contains the sanitised /24).
+    """
+
+    def __init__(self, fabric, ca: CertificateAuthority, rng: random.Random,
+                 hostname: str = "collect.research.example") -> None:
+        self.hostname = hostname
+        self.events: List[StoredEvent] = []
+        self._asn_db = fabric.asn_db
+        address = fabric.asn_db.allocate(16509, rng)
+        identity = issue_server_identity(ca, hostname, rng)
+        self._server = HttpsServer(fabric, hostname, address, identity, rng)
+        self._server.router.post("/v1/telemetry", self._ingest)
+
+    def _ingest(self, request: HttpRequest, context: RequestContext) -> HttpResponse:
+        try:
+            payload = TelemetryPayload.from_json(request.json())  # type: ignore[arg-type]
+        except (KeyError, TypeError, ValueError) as exc:
+            return HttpResponse.error(400, f"bad telemetry: {exc}")
+        record = self._asn_db.lookup(context.client_address)
+        self.events.append(StoredEvent(
+            payload=payload,
+            source_asn=record.number if record else None,
+            source_asn_kind=record.kind if record else None,
+            source_country=record.country if record else None,
+        ))
+        return HttpResponse.json_response({"status": "ok"}, status=201)
+
+    # -- convenience queries -------------------------------------------------
+
+    def events_of(self, event: str) -> List[StoredEvent]:
+        return [stored for stored in self.events
+                if stored.payload.event == event]
+
+    def devices_seen(self) -> Set[str]:
+        return {stored.payload.device_id for stored in self.events}
+
+    def devices_that_opened(self) -> Set[str]:
+        return {stored.payload.device_id
+                for stored in self.events_of(EVENT_OPEN)}
+
+    def devices_that_clicked(self) -> Set[str]:
+        return {stored.payload.device_id
+                for stored in self.events_of(EVENT_RECORD_CLICK)}
+
+    def events_for_device(self, device_id: str) -> List[StoredEvent]:
+        return [stored for stored in self.events
+                if stored.payload.device_id == device_id]
+
+    def clear(self) -> None:
+        self.events.clear()

@@ -1,0 +1,88 @@
+"""Telemetry payloads and client-side privacy minimisation.
+
+The honey app never uploads identifying data: the SSID is hashed, the
+last IPv4 octet is dropped before upload, and no hardware identifiers
+(IMEI/IMSI) exist in the payload at all.  The tests assert these
+invariants directly on serialised payloads.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.net.ip import IPv4Address
+
+EVENT_OPEN = "open"
+EVENT_RECORD_CLICK = "record_click"
+VALID_EVENTS = (EVENT_OPEN, EVENT_RECORD_CLICK)
+
+
+def sanitize_ssid(ssid: str) -> str:
+    """Hash the SSID; enough to detect co-located devices, nothing more."""
+    return hashlib.sha256(ssid.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class TelemetryPayload:
+    """One event as uploaded by the honey app."""
+
+    event: str
+    device_id: str           # app-scoped random id, not a hardware id
+    day: int
+    hour: float
+    build: str
+    is_rooted: bool
+    ssid_hash: str
+    ip_slash24: str          # "a.b.c.0/24"
+    installed_packages: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if self.event not in VALID_EVENTS:
+            raise ValueError(f"unknown event {self.event!r}")
+        if not 0 <= self.hour < 24:
+            raise ValueError(f"hour out of range: {self.hour}")
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "event": self.event,
+            "device_id": self.device_id,
+            "day": self.day,
+            "hour": round(self.hour, 3),
+            "build": self.build,
+            "is_rooted": self.is_rooted,
+            "ssid_hash": self.ssid_hash,
+            "ip_slash24": self.ip_slash24,
+            "installed_packages": sorted(self.installed_packages),
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, object]) -> "TelemetryPayload":
+        return cls(
+            event=str(data["event"]),
+            device_id=str(data["device_id"]),
+            day=int(data["day"]),            # type: ignore[arg-type]
+            hour=float(data["hour"]),        # type: ignore[arg-type]
+            build=str(data["build"]),
+            is_rooted=bool(data["is_rooted"]),
+            ssid_hash=str(data["ssid_hash"]),
+            ip_slash24=str(data["ip_slash24"]),
+            installed_packages=tuple(data["installed_packages"]),  # type: ignore[arg-type]
+        )
+
+
+def build_payload(event: str, device, day: int, hour: float) -> TelemetryPayload:
+    """Assemble a sanitised payload from a live device."""
+    profile = device.profile
+    return TelemetryPayload(
+        event=event,
+        device_id=profile.device_id,
+        day=day,
+        hour=hour,
+        build=profile.build,
+        is_rooted=profile.is_rooted,
+        ssid_hash=sanitize_ssid(profile.ssid),
+        ip_slash24=f"{device.address.anonymized()}/24",
+        installed_packages=tuple(sorted(device.installed_packages)),
+    )

@@ -1,0 +1,62 @@
+"""Third-party attribution mediators (appsflyer.com and friends).
+
+The mediator is trusted by both the developer and the IIP: the
+advertised app embeds the mediator's SDK, the SDK reports installs and
+task completions, and the IIP only disburses payouts that the mediator
+certifies.  The paper cites appsflyer's 0.03 USD/user pricing, which is
+the default fee here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+DEFAULT_FEE_PER_USER_USD = 0.03
+
+
+@dataclass(frozen=True)
+class Conversion:
+    """One certified offer completion."""
+
+    offer_id: str
+    device_id: str
+    day: int
+    tasks_completed: Tuple[str, ...]
+
+
+class AttributionMediator:
+    """Tracks SDK postbacks and certifies completions."""
+
+    def __init__(self, name: str = "appsflyer.example",
+                 fee_per_user_usd: float = DEFAULT_FEE_PER_USER_USD) -> None:
+        self.name = name
+        self.fee_per_user_usd = fee_per_user_usd
+        self._conversions: List[Conversion] = []
+        self._seen: Set[Tuple[str, str]] = set()  # (offer, device) dedup
+
+    def report_completion(self, offer_id: str, device_id: str, day: int,
+                          tasks_completed: Tuple[str, ...]) -> Optional[Conversion]:
+        """SDK postback.  Duplicate (offer, device) pairs are rejected --
+        attribution services dedup so one device cannot be paid twice."""
+        key = (offer_id, device_id)
+        if key in self._seen:
+            return None
+        self._seen.add(key)
+        conversion = Conversion(offer_id=offer_id, device_id=device_id,
+                                day=day, tasks_completed=tasks_completed)
+        self._conversions.append(conversion)
+        return conversion
+
+    def certify(self, offer_id: str, device_id: str) -> bool:
+        return (offer_id, device_id) in self._seen
+
+    def conversions_for(self, offer_id: str) -> List[Conversion]:
+        return [c for c in self._conversions if c.offer_id == offer_id]
+
+    def conversion_count(self, offer_id: str) -> int:
+        return len(self.conversions_for(offer_id))
+
+    @property
+    def total_conversions(self) -> int:
+        return len(self._conversions)

@@ -1,0 +1,265 @@
+"""Offers: the unit of work an IIP advertises to users.
+
+An offer names an app, carries a payout and a human-readable task
+description, and (internally) a machine-readable list of required
+tasks.  The paper's taxonomy (Section 2.2 and Table 3):
+
+* **no activity** -- install and open, nothing else; manipulates
+  install counts only.
+* **activity** -- additional in-app tasks, subdivided into
+  *registration* (create an account), *purchase* (spend money), and
+  *usage* (anything else: reach a level, watch videos, stay 7 days).
+
+Offer *descriptions* are free text; the analysis pipeline classifies
+them the way the authors hand-labelled their 1,128 unique descriptions.
+The generator below produces realistic varied descriptions so that the
+classifier has real work to do.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+
+class OfferCategory(enum.Enum):
+    NO_ACTIVITY = "no_activity"
+    ACTIVITY = "activity"
+
+
+class ActivityKind(enum.Enum):
+    USAGE = "usage"
+    REGISTRATION = "registration"
+    PURCHASE = "purchase"
+
+
+class TaskKind(enum.Enum):
+    """Machine-readable required actions inside the advertised app."""
+
+    INSTALL = "install"
+    OPEN = "open"
+    REGISTER = "register"
+    REACH_LEVEL = "reach_level"
+    PURCHASE = "purchase"
+    WATCH_VIDEOS = "watch_videos"
+    COMPLETE_SURVEYS = "complete_surveys"
+    USE_DAYS = "use_days"
+    CUSTOM_USAGE = "custom_usage"
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """One required action, with an effort estimate and optional amount."""
+
+    kind: TaskKind
+    effort_minutes: float = 1.0
+    amount: float = 0.0  # level number, video count, or purchase USD
+
+    def __post_init__(self) -> None:
+        if self.effort_minutes < 0:
+            raise ValueError("negative effort")
+
+
+@dataclass(frozen=True)
+class Offer:
+    """An advertised offer as it exists inside an IIP."""
+
+    offer_id: str
+    iip_name: str
+    package: str
+    app_title: str
+    play_store_url: str
+    description: str
+    payout_usd: float
+    category: OfferCategory
+    activity_kind: Optional[ActivityKind]
+    tasks: Tuple[TaskSpec, ...]
+    start_day: int
+    end_day: int
+    target_countries: Optional[Tuple[str, ...]] = None  # None = worldwide
+    is_arbitrage: bool = False
+
+    def __post_init__(self) -> None:
+        if self.payout_usd < 0:
+            raise ValueError("negative payout")
+        if self.end_day < self.start_day:
+            raise ValueError("offer ends before it starts")
+        if (self.category is OfferCategory.ACTIVITY) != (self.activity_kind is not None):
+            raise ValueError("activity_kind must be set iff category is ACTIVITY")
+
+    def live_on(self, day: int) -> bool:
+        return self.start_day <= day <= self.end_day
+
+    def targets(self, country: Optional[str]) -> bool:
+        if self.target_countries is None:
+            return True
+        return country in self.target_countries
+
+    @property
+    def total_effort_minutes(self) -> float:
+        return sum(task.effort_minutes for task in self.tasks)
+
+    @property
+    def duration_days(self) -> int:
+        return self.end_day - self.start_day + 1
+
+
+# ---------------------------------------------------------------------------
+# Description generation
+# ---------------------------------------------------------------------------
+
+_NO_ACTIVITY_TEMPLATES = (
+    "Install and Launch",
+    "Install and open the app",
+    "Install & Run",
+    "Download and open {title}",
+    "Install {title} and launch it once",
+    "Free install - just open the app",
+)
+
+_REGISTRATION_TEMPLATES = (
+    "Install and Register",
+    "Install and create an account",
+    "Install, sign up with your email",
+    "Install {title} and register a new account",
+    "Install and complete registration",
+)
+
+_PURCHASE_TEMPLATES = (
+    "Install & Make any purchase",
+    "Install and make a ${amount} in-app purchase",
+    "Install {title} and buy the starter pack (${amount})",
+    "Install and complete any deposit of ${amount} or more",
+)
+
+_USAGE_TEMPLATES = (
+    "Install and Reach Level {level}",
+    "Install, register, and download a song",
+    "Install and complete the tutorial",
+    "Install and watch {videos} videos",
+    "Install {title} and use it for {days} days",
+    "Install and finish chapter {level}",
+    "Install and play for 10 minutes",
+)
+
+_ARBITRAGE_TEMPLATES = (
+    "Install and reach {points} points by completing surveys and watching videos",
+    "Install {title} and earn {points} coins by completing offers inside the app",
+    "Install and complete 3 deals or surveys in the app",
+)
+
+#: Non-English templates: the walls serve localized offers to viewers in
+#: Spain, Germany, Russia, and Brazil (the paper milked from 8 countries).
+_LOCALIZED_TEMPLATES = {
+    "es": {
+        "no_activity": ("Instala y abre la aplicación",
+                        "Descarga y abre {title}"),
+        "registration": ("Instala y regístrate",
+                         "Instala {title} y crea una cuenta"),
+        "purchase": ("Instala y haz una compra de ${amount}",),
+        "usage": ("Instala y alcanza el nivel {level}",
+                  "Instala y mira {videos} vídeos"),
+    },
+    "de": {
+        "no_activity": ("Installieren und öffnen",
+                        "Lade {title} herunter und öffne die App"),
+        "registration": ("Installiere {title} und registriere dich",
+                         "Installieren und Konto erstellen"),
+        "purchase": ("Installiere und kaufe für ${amount} ein",),
+        "usage": ("Installiere und erreiche Level {level}",
+                  "Installiere und schau {videos} Videos"),
+    },
+    "ru": {
+        "no_activity": ("Установи и открой приложение",
+                        "Скачай {title} и запусти"),
+        "registration": ("Установи и зарегистрируйся",
+                         "Установи {title} и создай аккаунт"),
+        "purchase": ("Установи и соверши покупку на ${amount}",),
+        "usage": ("Установи и достигни уровня {level}",
+                  "Установи и посмотри {videos} видео"),
+    },
+    "pt": {
+        "no_activity": ("Instale e abra o aplicativo",
+                        "Baixe {title} e abra"),
+        "registration": ("Instale e registre-se",
+                         "Instale {title} e crie uma conta"),
+        "purchase": ("Instale e faça uma compra de ${amount}",),
+        "usage": ("Instale e alcance o nível {level}",
+                  "Instale e assista {videos} vídeos"),
+    },
+}
+
+SUPPORTED_LANGUAGES = ("en",) + tuple(sorted(_LOCALIZED_TEMPLATES))
+
+
+class OfferDescriptionGenerator:
+    """Produces varied, realistic offer descriptions from an offer's tasks."""
+
+    def __init__(self, rng: random.Random) -> None:
+        self._rng = rng
+
+    def _template(self, category: OfferCategory,
+                  activity_kind: Optional[ActivityKind],
+                  is_arbitrage: bool, language: str) -> str:
+        if language != "en":
+            try:
+                localized = _LOCALIZED_TEMPLATES[language]
+            except KeyError:
+                raise ValueError(f"unsupported language {language!r}") from None
+            # Arbitrage offers were only ever observed in English.
+            if not is_arbitrage:
+                if category is OfferCategory.NO_ACTIVITY:
+                    return self._rng.choice(localized["no_activity"])
+                assert activity_kind is not None
+                return self._rng.choice(localized[activity_kind.value])
+        if is_arbitrage:
+            return self._rng.choice(_ARBITRAGE_TEMPLATES)
+        if category is OfferCategory.NO_ACTIVITY:
+            return self._rng.choice(_NO_ACTIVITY_TEMPLATES)
+        if activity_kind is ActivityKind.REGISTRATION:
+            return self._rng.choice(_REGISTRATION_TEMPLATES)
+        if activity_kind is ActivityKind.PURCHASE:
+            return self._rng.choice(_PURCHASE_TEMPLATES)
+        return self._rng.choice(_USAGE_TEMPLATES)
+
+    def describe(self, category: OfferCategory,
+                 activity_kind: Optional[ActivityKind],
+                 app_title: str,
+                 is_arbitrage: bool = False,
+                 purchase_usd: float = 4.99,
+                 language: str = "en") -> str:
+        template = self._template(category, activity_kind, is_arbitrage,
+                                  language)
+        return template.format(
+            title=app_title,
+            amount=f"{purchase_usd:.2f}",
+            level=self._rng.choice((3, 5, 10, 15, 20)),
+            videos=self._rng.choice((3, 5, 10)),
+            days=self._rng.choice((3, 7, 14)),
+            points=self._rng.choice((500, 850, 1000, 2500)),
+        )
+
+
+def tasks_for(category: OfferCategory, activity_kind: Optional[ActivityKind],
+              is_arbitrage: bool = False,
+              purchase_usd: float = 4.99) -> Tuple[TaskSpec, ...]:
+    """A canonical machine-readable task list for an offer type."""
+    tasks: List[TaskSpec] = [
+        TaskSpec(TaskKind.INSTALL, effort_minutes=1.0),
+        TaskSpec(TaskKind.OPEN, effort_minutes=0.5),
+    ]
+    if category is OfferCategory.NO_ACTIVITY:
+        return tuple(tasks)
+    if is_arbitrage:
+        tasks.append(TaskSpec(TaskKind.COMPLETE_SURVEYS, effort_minutes=25.0, amount=3))
+        return tuple(tasks)
+    if activity_kind is ActivityKind.REGISTRATION:
+        tasks.append(TaskSpec(TaskKind.REGISTER, effort_minutes=3.0))
+    elif activity_kind is ActivityKind.PURCHASE:
+        tasks.append(TaskSpec(TaskKind.PURCHASE, effort_minutes=5.0,
+                              amount=purchase_usd))
+    else:
+        tasks.append(TaskSpec(TaskKind.CUSTOM_USAGE, effort_minutes=15.0))
+    return tuple(tasks)

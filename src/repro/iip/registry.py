@@ -1,0 +1,83 @@
+"""The seven IIPs of paper Table 1, with calibrated operating parameters.
+
+Vetted platforms (Fyber, OfferToro, AdscendMedia, HangMyAds, AdGem):
+stringent developer review, upfront commitments in the thousands of
+dollars, policy-conscious pacing.  Unvetted platforms (ayeT-Studios,
+RankApp): no review, $20 entry, fast crude delivery.  Delivery speeds
+come from the Section-3 observation that Fyber and ayeT-Studios drained
+a 500-install campaign within two hours while RankApp took over a day.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.iip.accounting import MoneyLedger
+from repro.iip.mediator import AttributionMediator
+from repro.iip.platform import IIPConfig, IncentivizedInstallPlatform
+
+#: (name, vetted, home_url) exactly as characterised in Table 1.
+TABLE1_ROWS: Tuple[Tuple[str, bool, str], ...] = (
+    ("Fyber", True, "fyber.com"),
+    ("OfferToro", True, "offertoro.com"),
+    ("AdscendMedia", True, "adscendmedia.com"),
+    ("HangMyAds", True, "hangmyads.com"),
+    ("AdGem", True, "adgem.com"),
+    ("ayeT-Studios", False, "ayetstudios.com"),
+    ("RankApp", False, "rankapp.org"),
+)
+
+VETTED_IIPS = tuple(name for name, vetted, _ in TABLE1_ROWS if vetted)
+UNVETTED_IIPS = tuple(name for name, vetted, _ in TABLE1_ROWS if not vetted)
+
+
+def _wall_host(name: str) -> str:
+    return f"wall.{name.lower().replace('-', '')}.example"
+
+
+IIP_CONFIGS: Dict[str, IIPConfig] = {
+    "Fyber": IIPConfig(
+        name="Fyber", home_url="fyber.com", vetted=True,
+        min_deposit_usd=2000.0, requires_documentation=True,
+        affiliate_share=0.45, advertiser_markup=0.55,
+        delivery_hours_typical=2.0, wall_host=_wall_host("Fyber")),
+    "OfferToro": IIPConfig(
+        name="OfferToro", home_url="offertoro.com", vetted=True,
+        min_deposit_usd=1000.0, requires_documentation=True,
+        affiliate_share=0.45, advertiser_markup=0.50,
+        delivery_hours_typical=4.0, wall_host=_wall_host("OfferToro")),
+    "AdscendMedia": IIPConfig(
+        name="AdscendMedia", home_url="adscendmedia.com", vetted=True,
+        min_deposit_usd=1500.0, requires_documentation=True,
+        affiliate_share=0.40, advertiser_markup=0.60,
+        delivery_hours_typical=5.0, wall_host=_wall_host("AdscendMedia")),
+    "HangMyAds": IIPConfig(
+        name="HangMyAds", home_url="hangmyads.com", vetted=True,
+        min_deposit_usd=1000.0, requires_documentation=True,
+        affiliate_share=0.40, advertiser_markup=0.50,
+        delivery_hours_typical=6.0, wall_host=_wall_host("HangMyAds")),
+    "AdGem": IIPConfig(
+        name="AdGem", home_url="adgem.com", vetted=True,
+        min_deposit_usd=2500.0, requires_documentation=True,
+        affiliate_share=0.40, advertiser_markup=0.65,
+        delivery_hours_typical=8.0, wall_host=_wall_host("AdGem")),
+    "ayeT-Studios": IIPConfig(
+        name="ayeT-Studios", home_url="ayetstudios.com", vetted=False,
+        min_deposit_usd=20.0, requires_documentation=False,
+        affiliate_share=0.35, advertiser_markup=0.40,
+        delivery_hours_typical=1.5, wall_host=_wall_host("ayeT-Studios")),
+    "RankApp": IIPConfig(
+        name="RankApp", home_url="rankapp.org", vetted=False,
+        min_deposit_usd=20.0, requires_documentation=False,
+        affiliate_share=0.30, advertiser_markup=0.35,
+        delivery_hours_typical=30.0, wall_host=_wall_host("RankApp")),
+}
+
+
+def build_platforms(ledger: MoneyLedger,
+                    mediator: AttributionMediator) -> Dict[str, IncentivizedInstallPlatform]:
+    """All seven Table-1 platforms, sharing a money ledger and mediator."""
+    return {
+        name: IncentivizedInstallPlatform(config, ledger, mediator)
+        for name, config in IIP_CONFIGS.items()
+    }

@@ -1,0 +1,24 @@
+"""The paper's measurement infrastructure (Section 4.1).
+
+A UI fuzzer drives instrumented affiliate apps; a man-in-the-middle
+proxy decrypts the offer-wall traffic those interactions generate; the
+milker parses intercepted JSON into offer observations; a Play Store
+crawler snapshots app profiles and top charts every other day; and the
+dataset store normalises point payouts into USD.
+"""
+
+from repro.monitor.crawler import CrawlArchive, PlayStoreCrawler
+from repro.monitor.dataset import ObservedOffer, OfferDataset
+from repro.monitor.fuzzer import FuzzReport, UiFuzzer
+from repro.monitor.milker import Milker, MilkRun
+
+__all__ = [
+    "CrawlArchive",
+    "FuzzReport",
+    "Milker",
+    "MilkRun",
+    "ObservedOffer",
+    "OfferDataset",
+    "PlayStoreCrawler",
+    "UiFuzzer",
+]

@@ -1,0 +1,204 @@
+"""Play Store crawler: profiles and top charts, every other day.
+
+"We periodically collect this data every other day from March 2019 to
+June 2019" (paper Section 4.3.1).  The crawler can only see the store's
+*current* state on each visit; the archive of those visits is all the
+longitudinal analysis has to work from.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.net.client import HttpClient
+from repro.playstore.charts import ChartKind
+
+DEFAULT_CADENCE_DAYS = 2
+
+
+@dataclass(frozen=True)
+class ProfileSnapshot:
+    package: str
+    day: int
+    installs_floor: int
+    genre: str
+    release_day: int
+    developer_id: str
+    developer_name: str
+    developer_country: str
+    developer_website: Optional[str]
+    is_game: bool
+
+
+@dataclass(frozen=True)
+class ChartAppearance:
+    package: str
+    chart: str
+    day: int
+    rank: int
+    percentile: float
+
+
+class CrawlArchive:
+    """Everything the crawler has collected, indexed for analysis."""
+
+    def __init__(self) -> None:
+        self._profiles: Dict[Tuple[str, int], ProfileSnapshot] = {}
+        self._chart_days: Dict[Tuple[str, int], List[ChartAppearance]] = {}
+        self.crawl_days: List[int] = []
+
+    def add_profile(self, snapshot: ProfileSnapshot) -> None:
+        self._profiles[(snapshot.package, snapshot.day)] = snapshot
+
+    def add_chart(self, chart: str, day: int,
+                  appearances: Sequence[ChartAppearance]) -> None:
+        self._chart_days[(chart, day)] = list(appearances)
+
+    def note_crawl_day(self, day: int) -> None:
+        if day not in self.crawl_days:
+            self.crawl_days.append(day)
+
+    # -- profile queries -------------------------------------------------------
+
+    def profile(self, package: str, day: int) -> Optional[ProfileSnapshot]:
+        return self._profiles.get((package, day))
+
+    def profile_days(self, package: str) -> List[int]:
+        return sorted(day for (pkg, day) in self._profiles if pkg == package)
+
+    def install_series(self, package: str) -> List[Tuple[int, int]]:
+        """[(day, binned installs)] across all crawls of this app."""
+        return [(day, self._profiles[(package, day)].installs_floor)
+                for day in self.profile_days(package)]
+
+    def first_profile(self, package: str) -> Optional[ProfileSnapshot]:
+        days = self.profile_days(package)
+        return self._profiles[(package, days[0])] if days else None
+
+    def last_profile(self, package: str) -> Optional[ProfileSnapshot]:
+        days = self.profile_days(package)
+        return self._profiles[(package, days[-1])] if days else None
+
+    def filtered(self, keep_days) -> "CrawlArchive":
+        """A copy containing only crawls from ``keep_days``.
+
+        Used by the crawl-cadence ablation: what would the analysis have
+        seen with a sparser crawl schedule?
+        """
+        keep = set(keep_days)
+        copy = CrawlArchive()
+        for (package, day), snapshot in self._profiles.items():
+            if day in keep:
+                copy.add_profile(snapshot)
+        for (chart, day), appearances in self._chart_days.items():
+            if day in keep:
+                copy.add_chart(chart, day, appearances)
+        copy.crawl_days = sorted(day for day in self.crawl_days if day in keep)
+        return copy
+
+    # -- chart queries -------------------------------------------------------
+
+    def chart_appearances(self, package: str) -> List[ChartAppearance]:
+        found = []
+        for appearances in self._chart_days.values():
+            found.extend(a for a in appearances if a.package == package)
+        return sorted(found, key=lambda a: (a.day, a.chart))
+
+    def charted_on(self, package: str, day: int) -> bool:
+        return any(a.day == day for a in self.chart_appearances(package))
+
+    def chart_days_observed(self) -> List[int]:
+        return sorted({day for (_, day) in self._chart_days})
+
+    def rank_timeline(self, package: str, chart: str) -> List[Tuple[int, Optional[float]]]:
+        """[(day, percentile-or-None)] -- the Figure 5 series."""
+        timeline = []
+        for day in self.chart_days_observed():
+            entries = self._chart_days.get((chart, day), [])
+            percentile = None
+            for appearance in entries:
+                if appearance.package == package:
+                    percentile = appearance.percentile
+                    break
+            timeline.append((day, percentile))
+        return timeline
+
+
+class PlayStoreCrawler:
+    """Scrapes profiles and charts off the HTTPS front end."""
+
+    def __init__(self, client: HttpClient, play_host: str,
+                 archive: Optional[CrawlArchive] = None,
+                 cadence_days: int = DEFAULT_CADENCE_DAYS) -> None:
+        if cadence_days <= 0:
+            raise ValueError("cadence must be positive")
+        self._client = client
+        self._play_host = play_host
+        self.archive = archive or CrawlArchive()
+        self.cadence_days = cadence_days
+        self.requests_made = 0
+        self.failures = 0
+
+    def should_crawl(self, day: int, start_day: int = 0) -> bool:
+        return day >= start_day and (day - start_day) % self.cadence_days == 0
+
+    def crawl_profile(self, package: str) -> Optional[ProfileSnapshot]:
+        self.requests_made += 1
+        response = self._client.get(self._play_host, "/store/apps/details",
+                                    params={"id": package})
+        if not response.ok:
+            self.failures += 1
+            return None
+        payload = response.json()
+        snapshot = ProfileSnapshot(
+            package=payload["package"],
+            day=int(payload["crawl_day"]),
+            installs_floor=int(payload["installs_floor"]),
+            genre=str(payload["genre"]),
+            release_day=int(payload["release_day"]),
+            developer_id=str(payload["developer"]["id"]),
+            developer_name=str(payload["developer"]["name"]),
+            developer_country=str(payload["developer"]["country"]),
+            developer_website=payload["developer"]["website"],
+            is_game=bool(payload["is_game"]),
+        )
+        self.archive.add_profile(snapshot)
+        return snapshot
+
+    def crawl_charts(self) -> int:
+        """Scrape every chart; returns the day the store reported."""
+        day = -1
+        for kind in ChartKind:
+            self.requests_made += 1
+            response = self._client.get(self._play_host,
+                                        f"/store/charts/{kind.value}")
+            if not response.ok:
+                self.failures += 1
+                continue
+            payload = response.json()
+            day = int(payload["day"])
+            appearances = [
+                ChartAppearance(
+                    package=str(entry["package"]),
+                    chart=kind.value,
+                    day=day,
+                    rank=int(entry["rank"]),
+                    percentile=float(entry["percentile"]),
+                )
+                for entry in payload["entries"]
+            ]
+            self.archive.add_chart(kind.value, day, appearances)
+        return day
+
+    def crawl_everything(self, packages: Sequence[str]) -> int:
+        """One full crawl visit: all charts plus every tracked profile."""
+        day = self.crawl_charts()
+        for package in packages:
+            snapshot = self.crawl_profile(package)
+            if snapshot is not None:
+                day = snapshot.day
+        if day >= 0:
+            self.archive.note_crawl_day(day)
+        return day

@@ -1,0 +1,146 @@
+"""The offer dataset: observations, dedup, payout normalisation.
+
+The paper's headline dataset: 2,126 offers from 922 unique advertised
+apps across 7 IIPs over three months, with payouts normalised from each
+affiliate app's point currency back to USD.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Set, Tuple
+
+from repro.affiliates.app import AffiliateAppSpec
+
+
+@dataclass(frozen=True)
+class ObservedOffer:
+    """One offer as seen on one wall, in one country, on one day."""
+
+    iip_name: str
+    offer_id: str
+    package: str
+    app_title: str
+    play_store_url: str
+    description: str
+    payout_points: int
+    currency: str
+    affiliate_package: str
+    country: Optional[str]
+    day: int
+
+
+@dataclass
+class OfferRecord:
+    """A deduplicated offer with its observation history."""
+
+    iip_name: str
+    offer_id: str
+    package: str
+    app_title: str
+    description: str
+    payout_usd: float
+    first_seen_day: int
+    last_seen_day: int
+    countries: Set[str]
+    affiliates: Set[str]
+
+    @property
+    def observed_duration_days(self) -> int:
+        return self.last_seen_day - self.first_seen_day + 1
+
+
+class OfferDataset:
+    """Accumulates milk runs into the deduplicated offer corpus."""
+
+    def __init__(self, affiliate_specs: Mapping[str, AffiliateAppSpec]) -> None:
+        self._specs = dict(affiliate_specs)
+        self._records: Dict[Tuple[str, str], OfferRecord] = {}
+
+    # -- ingestion ------------------------------------------------------------
+
+    def normalize_payout(self, observation: ObservedOffer) -> float:
+        """Points -> USD using the observing affiliate's exchange rate."""
+        spec = self._specs.get(observation.affiliate_package)
+        if spec is None:
+            raise KeyError(
+                f"no exchange rate known for {observation.affiliate_package!r}")
+        return spec.wall_config().points_to_usd(observation.payout_points)
+
+    def ingest(self, observation: ObservedOffer) -> None:
+        key = (observation.iip_name, observation.offer_id)
+        payout_usd = self.normalize_payout(observation)
+        record = self._records.get(key)
+        if record is None:
+            self._records[key] = OfferRecord(
+                iip_name=observation.iip_name,
+                offer_id=observation.offer_id,
+                package=observation.package,
+                app_title=observation.app_title,
+                description=observation.description,
+                payout_usd=payout_usd,
+                first_seen_day=observation.day,
+                last_seen_day=observation.day,
+                countries=({observation.country}
+                           if observation.country else set()),
+                affiliates={observation.affiliate_package},
+            )
+            return
+        record.first_seen_day = min(record.first_seen_day, observation.day)
+        record.last_seen_day = max(record.last_seen_day, observation.day)
+        if observation.country:
+            record.countries.add(observation.country)
+        record.affiliates.add(observation.affiliate_package)
+
+    def ingest_all(self, observations: List[ObservedOffer]) -> None:
+        for observation in observations:
+            self.ingest(observation)
+
+    # -- queries ------------------------------------------------------------
+
+    def offers(self) -> List[OfferRecord]:
+        return [self._records[key] for key in sorted(self._records)]
+
+    def offers_for_iip(self, iip_name: str) -> List[OfferRecord]:
+        return [record for record in self.offers()
+                if record.iip_name == iip_name]
+
+    def offer_count(self) -> int:
+        return len(self._records)
+
+    def unique_packages(self) -> List[str]:
+        return sorted({record.package for record in self._records.values()})
+
+    def unique_descriptions(self) -> List[str]:
+        return sorted({record.description for record in self._records.values()})
+
+    def packages_for_iip(self, iip_name: str) -> List[str]:
+        return sorted({record.package for record in self.offers_for_iip(iip_name)})
+
+    def iips_observed(self) -> List[str]:
+        return sorted({record.iip_name for record in self._records.values()})
+
+    def campaign_window(self, package: str) -> Tuple[int, int]:
+        """(first day, last day) this app's offers were observed."""
+        records = [r for r in self._records.values() if r.package == package]
+        if not records:
+            raise KeyError(f"package never observed: {package!r}")
+        return (min(r.first_seen_day for r in records),
+                max(r.last_seen_day for r in records))
+
+    def mean_campaign_duration_days(self) -> float:
+        packages = self.unique_packages()
+        if not packages:
+            return 0.0
+        total = 0
+        for package in packages:
+            start, end = self.campaign_window(package)
+            total += end - start + 1
+        return total / len(packages)
+
+    def offers_by_package(self) -> Dict[str, List[OfferRecord]]:
+        grouped: Dict[str, List[OfferRecord]] = defaultdict(list)
+        for record in self.offers():
+            grouped[record.package].append(record)
+        return dict(grouped)

@@ -1,0 +1,75 @@
+"""Appium-style UI fuzzer.
+
+"Our UI fuzzer sequentially opens all of the tabs to load the offer
+walls and then it scrolls through the offer wall to make sure that all
+the offers are loaded" (paper Section 4.1).  The fuzzer below does
+exactly that, and nothing app-specific: it discovers tabs by view
+class, taps each, and scrolls until the list stops growing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.affiliates.app import AffiliateAppRuntime
+from repro.affiliates.ui import TabView
+
+#: Hard cap so a misbehaving app cannot wedge the fuzzer.
+MAX_SCROLLS_PER_TAB = 200
+
+
+@dataclass
+class FuzzReport:
+    """What one fuzzing session did."""
+
+    app_package: str
+    tabs_opened: List[str] = field(default_factory=list)
+    scrolls: int = 0
+    actions: List[str] = field(default_factory=list)
+    errors: List[str] = field(default_factory=list)
+
+    def log(self, action: str) -> None:
+        self.actions.append(action)
+
+
+class UiFuzzer:
+    """Drives any affiliate app to exhaustively load its offer walls."""
+
+    def __init__(self, max_scrolls_per_tab: int = MAX_SCROLLS_PER_TAB) -> None:
+        if max_scrolls_per_tab <= 0:
+            raise ValueError("scroll budget must be positive")
+        self._max_scrolls = max_scrolls_per_tab
+
+    def run(self, runtime: AffiliateAppRuntime) -> FuzzReport:
+        report = FuzzReport(app_package=runtime.spec.package)
+        root = runtime.open()
+        report.log("launch")
+        tabs = [view for view in root.find_by_class("TabView")
+                if isinstance(view, TabView)]
+        for tab in tabs:
+            # A dead wall must not abort the session: record the failure
+            # and keep milking the app's other walls.
+            try:
+                runtime.tap(tab)
+            except Exception as exc:  # noqa: BLE001 - measurement boundary
+                report.errors.append(
+                    f"{tab.iip_name}: {type(exc).__name__}: {exc}")
+                report.log(f"tap {tab.view_id} failed")
+                continue
+            report.tabs_opened.append(tab.iip_name)
+            report.log(f"tap {tab.view_id}")
+            for _ in range(self._max_scrolls):
+                try:
+                    more = runtime.scroll()
+                except Exception as exc:  # noqa: BLE001
+                    report.errors.append(
+                        f"{tab.iip_name} scroll: {type(exc).__name__}: {exc}")
+                    break
+                if not more:
+                    break
+                report.scrolls += 1
+                report.log("scroll")
+            else:
+                report.log("scroll budget exhausted")
+        return report

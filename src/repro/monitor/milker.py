@@ -1,0 +1,124 @@
+"""The milker: fuzzer + TLS interception + offer parsing.
+
+One milk run = instrument an affiliate app on the measurement phone
+(whose trust store contains the mitm proxy's CA), point the phone's
+HTTP stack at the proxy, optionally route the proxy's upstream side
+through a VPN country exit, run the UI fuzzer, and parse every
+intercepted offer-wall response into :class:`ObservedOffer` records.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.affiliates.app import AffiliateAppRuntime, AffiliateAppSpec
+from repro.iip.offerwall import OfferWallServer
+from repro.monitor.dataset import ObservedOffer
+from repro.monitor.fuzzer import FuzzReport, UiFuzzer
+from repro.net.client import HttpClient
+from repro.net.errors import NetError, TlsError
+from repro.net.fabric import NetworkFabric
+from repro.net.proxy import MitmProxy
+from repro.net.tls import TrustStore
+from repro.net.vpn import VpnExitPool
+from repro.users.devices import Device
+
+
+@dataclass
+class MilkRun:
+    """The outcome of milking one affiliate app from one country."""
+
+    app_package: str
+    country: Optional[str]
+    day: int
+    offers: List[ObservedOffer] = field(default_factory=list)
+    fuzz_report: Optional[FuzzReport] = None
+    walls_seen: List[str] = field(default_factory=list)
+    errors: List[str] = field(default_factory=list)
+
+
+class Milker:
+    """Owns the measurement phone, the mitm proxy, and the fuzzer."""
+
+    def __init__(
+        self,
+        fabric: NetworkFabric,
+        phone: Device,
+        mitm: MitmProxy,
+        walls: Mapping[str, OfferWallServer],
+        rng: random.Random,
+        vpn: Optional[VpnExitPool] = None,
+        public_trust: Optional[TrustStore] = None,
+    ) -> None:
+        """``phone.trust_store`` must already contain ``mitm``'s CA
+        certificate (the self-signed cert installed on the device)."""
+        self._fabric = fabric
+        self.phone = phone
+        self.mitm = mitm
+        self._walls = dict(walls)
+        self._rng = rng
+        self._vpn = vpn
+        self._fuzzer = UiFuzzer()
+        if public_trust is not None:
+            self.mitm.upstream_trust = public_trust
+
+    def milk(self, spec: AffiliateAppSpec, day: int,
+             country: Optional[str] = None) -> MilkRun:
+        """Run the full pipeline for one affiliate app."""
+        run = MilkRun(app_package=spec.package, country=country, day=day)
+        if country is not None:
+            if self._vpn is None:
+                raise ValueError("country milking requires a VPN pool")
+            self.mitm.upstream_proxy = self._vpn.proxy_address(country)
+        else:
+            self.mitm.upstream_proxy = None
+        client = HttpClient(
+            self._fabric, self.phone.endpoint, self.phone.trust_store,
+            self._rng, proxy=(self.mitm.hostname, self.mitm.port))
+        self.mitm.clear()
+        try:
+            runtime = AffiliateAppRuntime(spec, client, self._walls)
+        except ValueError as exc:
+            run.errors.append(str(exc))
+            return run
+        try:
+            run.fuzz_report = self._fuzzer.run(runtime)
+            run.errors.extend(run.fuzz_report.errors)
+        except (NetError, TlsError) as exc:
+            run.errors.append(f"{type(exc).__name__}: {exc}")
+        run.offers = self._parse_intercepted(spec, day, country)
+        run.walls_seen = sorted({offer.iip_name for offer in run.offers})
+        return run
+
+    def _parse_intercepted(self, spec: AffiliateAppSpec, day: int,
+                           country: Optional[str]) -> List[ObservedOffer]:
+        observed: List[ObservedOffer] = []
+        for exchange in self.mitm.intercepted:
+            if not exchange.request.path.startswith("/api/"):
+                continue
+            if not exchange.response.ok:
+                continue
+            try:
+                payload = exchange.response.json()
+            except NetError:
+                continue
+            if not isinstance(payload, dict) or "offers" not in payload:
+                continue
+            iip_name = str(payload.get("iip", ""))
+            for entry in payload["offers"]:
+                observed.append(ObservedOffer(
+                    iip_name=iip_name,
+                    offer_id=str(entry["offer_id"]),
+                    package=str(entry["app"]["package"]),
+                    app_title=str(entry["app"]["title"]),
+                    play_store_url=str(entry["app"]["play_store_url"]),
+                    description=str(entry["description"]),
+                    payout_points=int(entry["payout"]["points"]),
+                    currency=str(entry["payout"]["currency"]),
+                    affiliate_package=spec.package,
+                    country=country,
+                    day=day,
+                ))
+        return observed

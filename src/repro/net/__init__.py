@@ -1,0 +1,53 @@
+"""In-process networking substrate.
+
+Everything above this package (offer walls, Play Store servers, telemetry
+collection, crawlers, the mitm proxy) exchanges real HTTP/1.1 byte streams
+over an in-process socket fabric with a simulated TLS layer.  The point of
+doing this at the byte level rather than with direct method calls is that
+the paper's monitoring methodology is itself a piece of network
+engineering (TLS interception of offer-wall traffic); reproducing it
+faithfully requires a stack that can actually be intercepted.
+
+Public surface:
+
+* :mod:`repro.net.http` -- HTTP/1.1 message model and codec.
+* :mod:`repro.net.fabric` -- the in-process network, endpoints, sockets.
+* :mod:`repro.net.tls` -- certificates, trust stores, handshake, records.
+* :mod:`repro.net.server` / :mod:`repro.net.client` -- HTTP endpoints.
+* :mod:`repro.net.proxy` -- forward + man-in-the-middle proxies.
+* :mod:`repro.net.ip` -- IPv4 / ASN / geography model.
+* :mod:`repro.net.vpn` -- country-exit VPN proxy pool.
+"""
+
+from repro.net.errors import (
+    CertificatePinningError,
+    CertificateVerificationError,
+    ConnectionRefusedFabricError,
+    HttpProtocolError,
+    NetError,
+    TlsError,
+)
+from repro.net.fabric import Endpoint, NetworkFabric
+from repro.net.http import HttpRequest, HttpResponse
+from repro.net.ip import AsnDatabase, AsnRecord, IPv4Address, slash24
+from repro.net.tls import Certificate, CertificateAuthority, TrustStore
+
+__all__ = [
+    "AsnDatabase",
+    "AsnRecord",
+    "Certificate",
+    "CertificateAuthority",
+    "CertificatePinningError",
+    "CertificateVerificationError",
+    "ConnectionRefusedFabricError",
+    "Endpoint",
+    "HttpProtocolError",
+    "HttpRequest",
+    "HttpResponse",
+    "IPv4Address",
+    "NetError",
+    "NetworkFabric",
+    "TlsError",
+    "TrustStore",
+    "slash24",
+]

@@ -1,0 +1,121 @@
+"""HTTP(S) client over the fabric, with optional proxy traversal.
+
+``HttpClient`` is what every consumer in the repo uses: affiliate-app
+SDKs fetching offer walls, the honey app posting telemetry, the Play
+Store crawler, and the milker (which points its client at the mitm
+proxy, exactly as the paper configures the measurement phone).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Mapping, Optional, Tuple
+
+from repro.net.errors import HttpProtocolError, TlsError
+from repro.net.fabric import Endpoint, NetworkFabric
+from repro.net.http import HttpRequest, HttpResponse
+from repro.net.server import HTTPS_PORT
+from repro.net.tls import TlsClientSession, TrustStore
+
+
+class HttpClient:
+    """One logical client device/process on the network.
+
+    Parameters
+    ----------
+    fabric:
+        The network to talk over.
+    endpoint:
+        Source endpoint (address) of this client.
+    trust_store:
+        CA roots this client trusts for HTTPS.
+    rng:
+        Randomness source for TLS nonces and keys.
+    proxy:
+        Optional ``(hostname, port)`` of an HTTP proxy.  When set, all
+        HTTPS requests are tunnelled with ``CONNECT`` through the proxy
+        (which may transparently man-in-the-middle them, if this client
+        trusts the proxy's CA).
+    pinned_fingerprints:
+        Hostname -> key fingerprint pins (certificate pinning).
+    """
+
+    def __init__(
+        self,
+        fabric: NetworkFabric,
+        endpoint: Endpoint,
+        trust_store: TrustStore,
+        rng: random.Random,
+        proxy: Optional[Tuple[str, int]] = None,
+        pinned_fingerprints: Optional[Mapping[str, str]] = None,
+        today: int = 0,
+    ) -> None:
+        self.fabric = fabric
+        self.endpoint = endpoint
+        self.trust_store = trust_store
+        self.rng = rng
+        self.proxy = proxy
+        self.pinned_fingerprints = dict(pinned_fingerprints or {})
+        self.today = today
+
+    # -- public API ----------------------------------------------------------
+
+    def get(self, host: str, path: str, params: Optional[Mapping[str, str]] = None,
+            port: int = HTTPS_PORT) -> HttpResponse:
+        request = HttpRequest.get(path, host, params=params)
+        return self.request(host, request, port=port)
+
+    def post_json(self, host: str, path: str, payload: object,
+                  port: int = HTTPS_PORT) -> HttpResponse:
+        request = HttpRequest.post_json(path, host, payload)
+        return self.request(host, request, port=port)
+
+    def request(self, host: str, request: HttpRequest,
+                port: int = HTTPS_PORT) -> HttpResponse:
+        """Send one HTTPS request (possibly through the proxy)."""
+        if self.proxy is not None:
+            return self._request_via_proxy(host, port, request)
+        connection = self.fabric.connect(self.endpoint, host, port)
+        try:
+            session = TlsClientSession(
+                connection, host, self.trust_store, self.rng,
+                today=self.today, pinned_fingerprints=self.pinned_fingerprints)
+            return HttpResponse.from_bytes(session.send(request.to_bytes()))
+        finally:
+            connection.close()
+
+    def request_plain(self, host: str, request: HttpRequest,
+                      port: int = 80) -> HttpResponse:
+        """Send one cleartext HTTP request (no TLS)."""
+        connection = self.fabric.connect(self.endpoint, host, port)
+        try:
+            return HttpResponse.from_bytes(connection.roundtrip(request.to_bytes()))
+        finally:
+            connection.close()
+
+    # -- proxy path ------------------------------------------------------------
+
+    def _request_via_proxy(self, host: str, port: int,
+                           request: HttpRequest) -> HttpResponse:
+        proxy_host, proxy_port = self.proxy  # type: ignore[misc]
+        connection = self.fabric.connect(self.endpoint, proxy_host, proxy_port)
+        try:
+            connect = HttpRequest(
+                method="CONNECT",
+                target=f"{host}:{port}",
+                http_version="HTTP/1.1",
+            )
+            connect.headers.set("Host", f"{host}:{port}")
+            reply = HttpResponse.from_bytes(connection.roundtrip(connect.to_bytes()))
+            if not reply.ok:
+                raise HttpProtocolError(
+                    f"proxy refused CONNECT to {host}:{port}: {reply.status}")
+            session = TlsClientSession(
+                connection, host, self.trust_store, self.rng,
+                today=self.today, pinned_fingerprints=self.pinned_fingerprints)
+            return HttpResponse.from_bytes(session.send(request.to_bytes()))
+        finally:
+            connection.close()
+
+
+__all__ = ["HttpClient", "TlsError"]

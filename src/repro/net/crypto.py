@@ -1,0 +1,187 @@
+"""Toy-but-real cryptographic primitives for the simulated TLS layer.
+
+This is *not* production cryptography -- key sizes are deliberately tiny
+so that handshakes are fast inside tests -- but the algorithms are real:
+Miller-Rabin primality testing, textbook RSA key generation and
+signatures, and a SHA-256-based stream cipher with an HMAC integrity tag.
+Using real asymmetric primitives (instead of pretending) is what lets the
+man-in-the-middle proxy in :mod:`repro.net.proxy` work exactly the way
+mitmproxy does in the paper: it succeeds if and only if the victim trusts
+the proxy's CA and does not pin the upstream key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac as _hmac
+import random
+from dataclasses import dataclass
+from typing import Tuple
+
+_MR_ROUNDS = 24
+
+
+def _miller_rabin_witness(candidate: int, witness: int, d: int, r: int) -> bool:
+    """True if ``witness`` proves ``candidate`` composite."""
+    x = pow(witness, d, candidate)
+    if x in (1, candidate - 1):
+        return False
+    for _ in range(r - 1):
+        x = (x * x) % candidate
+        if x == candidate - 1:
+            return False
+    return True
+
+
+def is_probable_prime(candidate: int, rng: random.Random) -> bool:
+    """Miller-Rabin primality test with ``_MR_ROUNDS`` random witnesses."""
+    if candidate < 2:
+        return False
+    for small in (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37):
+        if candidate % small == 0:
+            return candidate == small
+    d = candidate - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for _ in range(_MR_ROUNDS):
+        witness = rng.randrange(2, candidate - 1)
+        if _miller_rabin_witness(candidate, witness, d, r):
+            return False
+    return True
+
+
+def generate_prime(bits: int, rng: random.Random) -> int:
+    """A random probable prime with exactly ``bits`` bits."""
+    if bits < 8:
+        raise ValueError("prime too small to be useful")
+    while True:
+        candidate = rng.getrandbits(bits) | (1 << (bits - 1)) | 1
+        if is_probable_prime(candidate, rng):
+            return candidate
+
+
+def _egcd(a: int, b: int) -> Tuple[int, int, int]:
+    if a == 0:
+        return b, 0, 1
+    g, x, y = _egcd(b % a, a)
+    return g, y - (b // a) * x, x
+
+
+def modular_inverse(a: int, modulus: int) -> int:
+    g, x, _ = _egcd(a % modulus, modulus)
+    if g != 1:
+        raise ValueError("no modular inverse")
+    return x % modulus
+
+
+@dataclass(frozen=True)
+class RsaPublicKey:
+    modulus: int
+    exponent: int
+
+    def fingerprint(self) -> str:
+        """Hex digest identifying this key; used for certificate pinning."""
+        material = f"{self.modulus:x}:{self.exponent:x}".encode("ascii")
+        return hashlib.sha256(material).hexdigest()
+
+
+@dataclass(frozen=True)
+class RsaPrivateKey:
+    modulus: int
+    exponent: int  # private exponent d
+
+    @property
+    def public(self) -> RsaPublicKey:
+        raise AttributeError("private key does not embed e; keep the pair")
+
+
+@dataclass(frozen=True)
+class RsaKeyPair:
+    public: RsaPublicKey
+    private: RsaPrivateKey
+
+
+_PUBLIC_EXPONENT = 65537
+
+
+def generate_keypair(bits: int, rng: random.Random) -> RsaKeyPair:
+    """Textbook RSA key generation (two primes of ``bits // 2`` bits)."""
+    if bits < 128:
+        raise ValueError("modulus too small")
+    while True:
+        p = generate_prime(bits // 2, rng)
+        q = generate_prime(bits // 2, rng)
+        if p == q:
+            continue
+        n = p * q
+        phi = (p - 1) * (q - 1)
+        if phi % _PUBLIC_EXPONENT == 0:
+            continue
+        d = modular_inverse(_PUBLIC_EXPONENT, phi)
+        return RsaKeyPair(
+            public=RsaPublicKey(modulus=n, exponent=_PUBLIC_EXPONENT),
+            private=RsaPrivateKey(modulus=n, exponent=d),
+        )
+
+
+def _digest_as_int(data: bytes, modulus: int) -> int:
+    return int.from_bytes(hashlib.sha256(data).digest(), "big") % modulus
+
+
+def sign(data: bytes, key: RsaPrivateKey) -> int:
+    """RSA signature over SHA-256(data)."""
+    return pow(_digest_as_int(data, key.modulus), key.exponent, key.modulus)
+
+
+def verify(data: bytes, signature: int, key: RsaPublicKey) -> bool:
+    """Check an RSA signature produced by :func:`sign`."""
+    expected = _digest_as_int(data, key.modulus)
+    return pow(signature, key.exponent, key.modulus) == expected
+
+
+def encrypt(plaintext_int: int, key: RsaPublicKey) -> int:
+    """Raw RSA encryption of a small integer (the pre-master secret)."""
+    if not 0 <= plaintext_int < key.modulus:
+        raise ValueError("plaintext out of range for modulus")
+    return pow(plaintext_int, key.exponent, key.modulus)
+
+
+def decrypt(ciphertext_int: int, key: RsaPrivateKey) -> int:
+    return pow(ciphertext_int, key.exponent, key.modulus)
+
+
+def keystream_xor(key: bytes, nonce: bytes, data: bytes) -> bytes:
+    """Symmetric stream cipher: XOR with a SHA-256 counter keystream.
+
+    Encryption and decryption are the same operation.
+    """
+    out = bytearray(len(data))
+    block_index = 0
+    offset = 0
+    while offset < len(data):
+        counter = block_index.to_bytes(8, "big")
+        block = hashlib.sha256(key + nonce + counter).digest()
+        chunk = data[offset:offset + len(block)]
+        for i, byte in enumerate(chunk):
+            out[offset + i] = byte ^ block[i]
+        offset += len(chunk)
+        block_index += 1
+    return bytes(out)
+
+
+def hmac_sha256(key: bytes, data: bytes) -> bytes:
+    return _hmac.new(key, data, hashlib.sha256).digest()
+
+
+def constant_time_equal(a: bytes, b: bytes) -> bool:
+    return _hmac.compare_digest(a, b)
+
+
+def derive_keys(pre_master: bytes, client_random: bytes, server_random: bytes) -> Tuple[bytes, bytes]:
+    """Derive (encryption key, MAC key) from handshake secrets."""
+    seed = pre_master + client_random + server_random
+    enc_key = hashlib.sha256(b"enc" + seed).digest()
+    mac_key = hashlib.sha256(b"mac" + seed).digest()
+    return enc_key, mac_key

@@ -1,0 +1,32 @@
+"""Exception hierarchy for the networking substrate."""
+
+
+class NetError(Exception):
+    """Base class for all errors raised by :mod:`repro.net`."""
+
+
+class ConnectionRefusedFabricError(NetError):
+    """No endpoint is listening at the requested (host, port)."""
+
+
+class HttpProtocolError(NetError):
+    """Malformed HTTP message (bad start line, headers, or framing)."""
+
+
+class TlsError(NetError):
+    """Base class for TLS handshake and record-layer failures."""
+
+
+class CertificateVerificationError(TlsError):
+    """The presented certificate chain does not verify against the
+    client's trust store (unknown issuer, expired, or name mismatch)."""
+
+
+class CertificatePinningError(TlsError):
+    """The presented leaf certificate does not match the pinned key.
+
+    This is the failure mode that stops man-in-the-middle interception of
+    apps that pin their offer-wall certificates; the paper notes that none
+    of the monitored offer walls used pinning, which is what made the
+    milking infrastructure possible.
+    """

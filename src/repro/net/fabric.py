@@ -1,0 +1,236 @@
+"""In-process network fabric: endpoints, listeners, and connections.
+
+The fabric is a synchronous message-passing network.  A *connection* is a
+sequence of client-driven round trips: the client sends a byte string and
+receives the server's byte string reply.  This is enough to carry both a
+multi-round TLS handshake and one-shot HTTP exchanges, while remaining
+fully deterministic (no threads, no event loop).
+
+The fabric also provides the two cross-cutting facilities the repo's
+tests and experiments need: a *wire tap* that observes every frame (used
+to verify that offer-wall traffic really is encrypted on the wire), and
+*fault injection* per (host, port) (used by failure-injection tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.net.errors import ConnectionRefusedFabricError, NetError
+from repro.net.ip import AsnDatabase, IPv4Address
+
+
+@dataclass(frozen=True)
+class Endpoint:
+    """A host on the fabric: its address and optional DNS name."""
+
+    address: IPv4Address
+    hostname: Optional[str] = None
+
+    def __str__(self) -> str:
+        return self.hostname or str(self.address)
+
+
+@dataclass(frozen=True)
+class ConnectionInfo:
+    """Metadata a server sees about an inbound connection."""
+
+    client_address: IPv4Address
+    server_host: str
+    server_port: int
+
+
+class ConnectionHandler:
+    """Server-side per-connection state machine.
+
+    Subclasses override :meth:`on_data`; each call corresponds to one
+    client round trip and must return the bytes to send back.
+    """
+
+    def __init__(self, info: ConnectionInfo) -> None:
+        self.info = info
+
+    def on_data(self, data: bytes) -> bytes:
+        raise NotImplementedError
+
+    def on_close(self) -> None:
+        """Called once when the client closes the connection."""
+
+
+HandlerFactory = Callable[[ConnectionInfo], ConnectionHandler]
+TapCallback = Callable[["Frame"], None]
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One observed wire frame (for taps / packet capture)."""
+
+    source: IPv4Address
+    destination_host: str
+    destination_port: int
+    direction: str  # "request" or "response"
+    payload: bytes
+
+
+class Connection:
+    """Client handle for an open fabric connection."""
+
+    def __init__(self, fabric: "NetworkFabric", handler: ConnectionHandler,
+                 info: ConnectionInfo) -> None:
+        self._fabric = fabric
+        self._handler = handler
+        self._info = info
+        self._closed = False
+
+    @property
+    def info(self) -> ConnectionInfo:
+        return self._info
+
+    def roundtrip(self, data: bytes) -> bytes:
+        if self._closed:
+            raise NetError("connection is closed")
+        self._fabric._observe(Frame(
+            source=self._info.client_address,
+            destination_host=self._info.server_host,
+            destination_port=self._info.server_port,
+            direction="request",
+            payload=data,
+        ))
+        reply = self._handler.on_data(data)
+        if not isinstance(reply, bytes):
+            raise NetError(f"handler returned non-bytes: {type(reply).__name__}")
+        self._fabric._observe(Frame(
+            source=self._info.client_address,
+            destination_host=self._info.server_host,
+            destination_port=self._info.server_port,
+            direction="response",
+            payload=reply,
+        ))
+        return reply
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._handler.on_close()
+
+    def __enter__(self) -> "Connection":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+@dataclass
+class _Listener:
+    factory: HandlerFactory
+    connections_accepted: int = 0
+
+
+class NetworkFabric:
+    """The in-process network: DNS, listeners, taps, and fault injection."""
+
+    def __init__(self, asn_db: Optional[AsnDatabase] = None) -> None:
+        self.asn_db = asn_db or AsnDatabase()
+        self._dns: Dict[str, IPv4Address] = {}
+        self._listeners: Dict[Tuple[str, int], _Listener] = {}
+        self._taps: List[TapCallback] = []
+        self._faults: Dict[Tuple[str, int], Exception] = {}
+
+    # -- DNS ---------------------------------------------------------------
+
+    def register_host(self, hostname: str, address: IPv4Address) -> None:
+        if hostname in self._dns:
+            raise ValueError(f"hostname already registered: {hostname!r}")
+        self._dns[hostname] = address
+
+    def resolve(self, hostname: str) -> IPv4Address:
+        try:
+            return self._dns[hostname]
+        except KeyError:
+            raise ConnectionRefusedFabricError(f"unknown host {hostname!r}") from None
+
+    def known_hosts(self) -> List[str]:
+        return sorted(self._dns)
+
+    # -- listeners ---------------------------------------------------------
+
+    def listen(self, hostname: str, port: int, factory: HandlerFactory) -> None:
+        """Register a server at (hostname, port).
+
+        The hostname must already be in DNS (call :meth:`register_host`),
+        mirroring the fact that a real service needs both a record and a
+        bound socket.
+        """
+        if hostname not in self._dns:
+            raise ValueError(f"listen before DNS registration: {hostname!r}")
+        key = (hostname, port)
+        if key in self._listeners:
+            raise ValueError(f"already listening on {hostname}:{port}")
+        self._listeners[key] = _Listener(factory=factory)
+
+    def unlisten(self, hostname: str, port: int) -> None:
+        self._listeners.pop((hostname, port), None)
+
+    def is_listening(self, hostname: str, port: int) -> bool:
+        return (hostname, port) in self._listeners
+
+    def connections_accepted(self, hostname: str, port: int) -> int:
+        listener = self._listeners.get((hostname, port))
+        return listener.connections_accepted if listener else 0
+
+    # -- connections ---------------------------------------------------------
+
+    def connect(self, source: Endpoint, hostname: str, port: int) -> Connection:
+        fault = self._faults.get((hostname, port))
+        if fault is not None:
+            raise fault
+        self.resolve(hostname)  # raises for unknown hosts
+        listener = self._listeners.get((hostname, port))
+        if listener is None:
+            raise ConnectionRefusedFabricError(f"connection refused: {hostname}:{port}")
+        info = ConnectionInfo(
+            client_address=source.address,
+            server_host=hostname,
+            server_port=port,
+        )
+        listener.connections_accepted += 1
+        handler = listener.factory(info)
+        return Connection(self, handler, info)
+
+    # -- observability -------------------------------------------------------
+
+    def add_tap(self, callback: TapCallback) -> None:
+        self._taps.append(callback)
+
+    def remove_tap(self, callback: TapCallback) -> None:
+        self._taps = [tap for tap in self._taps if tap is not callback]
+
+    def _observe(self, frame: Frame) -> None:
+        for tap in self._taps:
+            tap(frame)
+
+    # -- fault injection -------------------------------------------------------
+
+    def inject_fault(self, hostname: str, port: int, error: Exception) -> None:
+        """Make every future connect() to (hostname, port) raise ``error``."""
+        self._faults[(hostname, port)] = error
+
+    def clear_fault(self, hostname: str, port: int) -> None:
+        self._faults.pop((hostname, port), None)
+
+
+class PacketCapture:
+    """Convenience tap that records frames, like a tiny pcap."""
+
+    def __init__(self, fabric: NetworkFabric) -> None:
+        self.frames: List[Frame] = []
+        self._fabric = fabric
+        self._callback = self.frames.append
+        fabric.add_tap(self._callback)
+
+    def detach(self) -> None:
+        self._fabric.remove_tap(self._callback)
+
+    def payloads_to(self, hostname: str) -> List[bytes]:
+        return [f.payload for f in self.frames if f.destination_host == hostname]

@@ -1,0 +1,94 @@
+"""HAR (HTTP Archive) export of intercepted traffic.
+
+Measurement studies built on mitmproxy archive their decrypted flows;
+HAR is the interchange format HTTP tooling understands.  This module
+renders the mitm proxy's intercepted exchanges as HAR 1.2, so the
+offer-wall traffic behind the paper's dataset can be inspected with any
+HAR viewer (and re-parsed by tests).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence, Union
+
+from repro.net.http import HttpRequest, HttpResponse
+from repro.net.proxy import InterceptedExchange
+
+HAR_VERSION = "1.2"
+CREATOR = {"name": "repro-milker", "version": "1.0.0"}
+
+
+def _request_entry(host: str, port: int, request: HttpRequest) -> Dict[str, object]:
+    return {
+        "method": request.method,
+        "url": f"https://{host}:{port}{request.target}",
+        "httpVersion": request.http_version,
+        "headers": [{"name": name, "value": value}
+                    for name, value in request.headers.items()],
+        "queryString": [{"name": name, "value": value}
+                        for name, value in sorted(request.query.items())],
+        "headersSize": -1,
+        "bodySize": len(request.body),
+    }
+
+
+def _response_entry(response: HttpResponse) -> Dict[str, object]:
+    content_type = response.headers.get("content-type", "")
+    return {
+        "status": response.status,
+        "statusText": response.reason or "",
+        "httpVersion": response.http_version,
+        "headers": [{"name": name, "value": value}
+                    for name, value in response.headers.items()],
+        "content": {
+            "size": len(response.body),
+            "mimeType": content_type,
+            "text": response.body.decode("utf-8", errors="replace"),
+        },
+        "headersSize": -1,
+        "bodySize": len(response.body),
+    }
+
+
+def exchanges_to_har(exchanges: Sequence[InterceptedExchange],
+                     day: int = 0) -> Dict[str, object]:
+    """A HAR 1.2 document for a set of intercepted exchanges.
+
+    The simulation has no wall clock; entries carry the simulation day
+    in a ``_simulationDay`` custom field (HAR permits ``_``-prefixed
+    extensions) and a constant placeholder timestamp.
+    """
+    entries: List[Dict[str, object]] = []
+    for exchange in exchanges:
+        entries.append({
+            "startedDateTime": "2019-03-01T00:00:00.000Z",
+            "_simulationDay": day,
+            "_clientAddress": str(exchange.client_address),
+            "time": 0,
+            "request": _request_entry(exchange.host, exchange.port,
+                                      exchange.request),
+            "response": _response_entry(exchange.response),
+            "cache": {},
+            "timings": {"send": 0, "wait": 0, "receive": 0},
+        })
+    return {"log": {"version": HAR_VERSION, "creator": dict(CREATOR),
+                    "entries": entries}}
+
+
+def save_har(exchanges: Sequence[InterceptedExchange],
+             path: Union[str, Path], day: int = 0) -> int:
+    """Write exchanges to a ``.har`` file; returns the entry count."""
+    document = exchanges_to_har(exchanges, day=day)
+    Path(path).write_text(json.dumps(document, indent=1, sort_keys=True))
+    return len(document["log"]["entries"])  # type: ignore[index]
+
+
+def load_har(path: Union[str, Path]) -> Dict[str, object]:
+    """Parse a HAR file back (validation helper for tests/tooling)."""
+    document = json.loads(Path(path).read_text())
+    log = document.get("log") if isinstance(document, dict) else None
+    if not isinstance(log, dict) or "entries" not in log:
+        raise ValueError("not a HAR document")
+    return document

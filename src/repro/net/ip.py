@@ -1,0 +1,235 @@
+"""IPv4 addresses, /24 blocks, ASN records, and geography.
+
+The honey-app analysis (paper Section 3) relies on three network-layer
+signals: the /24 block of the public IPv4 address (device farms share a
+block), the autonomous system a device connects from (crowd workers come
+from "eyeball" ASNs; bots frequently come from datacenter ASNs such as
+Digital Ocean), and coarse geolocation (offer walls target offers by
+country).  This module provides those primitives.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+
+class IPv4Address:
+    """A concrete IPv4 address with octet access and privacy helpers."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self, value: int) -> None:
+        if not 0 <= value <= 0xFFFFFFFF:
+            raise ValueError(f"IPv4 value out of range: {value!r}")
+        self._value = value
+
+    @classmethod
+    def from_string(cls, text: str) -> "IPv4Address":
+        parts = text.split(".")
+        if len(parts) != 4:
+            raise ValueError(f"not a dotted quad: {text!r}")
+        octets = []
+        for part in parts:
+            if not part.isdigit():
+                raise ValueError(f"non-numeric octet in {text!r}")
+            octet = int(part)
+            if octet > 255:
+                raise ValueError(f"octet out of range in {text!r}")
+            octets.append(octet)
+        value = (octets[0] << 24) | (octets[1] << 16) | (octets[2] << 8) | octets[3]
+        return cls(value)
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    @property
+    def octets(self) -> Tuple[int, int, int, int]:
+        v = self._value
+        return ((v >> 24) & 0xFF, (v >> 16) & 0xFF, (v >> 8) & 0xFF, v & 0xFF)
+
+    def anonymized(self) -> str:
+        """Dotted quad with the last octet dropped, as the paper's honey
+        app stores it (``"1.2.3.0/24"`` style prefix without suffix)."""
+        a, b, c, _ = self.octets
+        return f"{a}.{b}.{c}.0"
+
+    def __str__(self) -> str:
+        return ".".join(str(o) for o in self.octets)
+
+    def __repr__(self) -> str:
+        return f"IPv4Address({str(self)!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, IPv4Address) and other._value == self._value
+
+    def __hash__(self) -> int:
+        return hash(("IPv4Address", self._value))
+
+    def __lt__(self, other: "IPv4Address") -> bool:
+        return self._value < other._value
+
+
+def slash24(address: IPv4Address) -> str:
+    """The /24 block of an address, e.g. ``"203.0.113.0/24"``."""
+    return f"{address.anonymized()}/24"
+
+
+@dataclass(frozen=True)
+class AsnRecord:
+    """One autonomous system: number, name, kind, and country."""
+
+    number: int
+    name: str
+    kind: str  # "eyeball" or "datacenter"
+    country: str
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("eyeball", "datacenter"):
+            raise ValueError(f"unknown ASN kind {self.kind!r}")
+
+    @property
+    def is_datacenter(self) -> bool:
+        return self.kind == "datacenter"
+
+
+#: The eight countries the paper's milkers ran from, via luminati.io exits.
+MILKER_COUNTRIES = ("US", "GB", "ES", "IL", "CA", "DE", "IN", "RU")
+
+#: Countries used when generating worker / developer populations.
+WORLD_COUNTRIES = MILKER_COUNTRIES + (
+    "FR", "IT", "NL", "PL", "TR", "UA", "BR", "MX", "AR", "CO",
+    "PH", "ID", "VN", "TH", "MY", "PK", "BD", "NG", "EG", "KE",
+    "ZA", "SA", "AE", "JP", "KR", "CN", "HK", "TW", "SG", "AU",
+    "NZ", "SE", "NO", "FI", "DK", "PT", "GR", "RO", "CZ", "HU",
+    "AT", "CH", "BE", "IE", "CL", "PE",
+)
+
+_EYEBALL_ASNS = [
+    (7922, "Comcast Cable", "US"),
+    (701, "Verizon", "US"),
+    (7018, "AT&T", "US"),
+    (5089, "Virgin Media", "GB"),
+    (2856, "BT", "GB"),
+    (3352, "Telefonica de Espana", "ES"),
+    (12479, "Orange Espagne", "ES"),
+    (8551, "Bezeq International", "IL"),
+    (812, "Rogers Cable", "CA"),
+    (3320, "Deutsche Telekom", "DE"),
+    (24560, "Bharti Airtel", "IN"),
+    (45609, "Bharti Airtel Mobility", "IN"),
+    (8359, "MTS", "RU"),
+    (12389, "Rostelecom", "RU"),
+    (45899, "VNPT", "VN"),
+    (9299, "PLDT", "PH"),
+    (4775, "Globe Telecom", "PH"),
+    (17974, "Telkomnet", "ID"),
+    (23693, "Telekomunikasi Selular", "ID"),
+    (45595, "Pakistan Telecom Mobile", "PK"),
+    (24389, "Grameenphone", "BD"),
+    (36873, "Celtel Nigeria", "NG"),
+    (8452, "TE Data", "EG"),
+    (28573, "Claro S.A.", "BR"),
+    (8151, "Uninet", "MX"),
+    (3462, "HiNet", "TW"),
+    (4766, "Korea Telecom", "KR"),
+    (2516, "KDDI", "JP"),
+    (9808, "China Mobile", "CN"),
+    (1221, "Telstra", "AU"),
+]
+
+_DATACENTER_ASNS = [
+    (14061, "DigitalOcean", "US"),
+    (16509, "Amazon AWS", "US"),
+    (15169, "Google Cloud", "US"),
+    (8075, "Microsoft Azure", "US"),
+    (16276, "OVH", "FR"),
+    (24940, "Hetzner", "DE"),
+    (63949, "Linode", "US"),
+    (20473, "Vultr/Choopa", "US"),
+    (9009, "M247", "GB"),
+    (198605, "AVAST Software", "CZ"),
+]
+
+
+class AsnDatabase:
+    """Registry mapping IP space to ASN records.
+
+    Address space is carved deterministically: each ASN owns a set of /16
+    prefixes.  ``allocate`` hands out addresses inside an ASN; ``lookup``
+    inverts the mapping, which is what the honey-app backend does with
+    the telemetry it receives.
+    """
+
+    def __init__(self) -> None:
+        self._records: Dict[int, AsnRecord] = {}
+        self._prefix_to_asn: Dict[int, int] = {}  # /16 prefix -> ASN number
+        self._asn_prefixes: Dict[int, List[int]] = {}
+        self._next_prefix = 1 << 8  # start at 1.0.0.0/16, avoid 0.x
+        for number, name, country in _EYEBALL_ASNS:
+            self._register(AsnRecord(number, name, "eyeball", country), prefixes=4)
+        for number, name, country in _DATACENTER_ASNS:
+            self._register(AsnRecord(number, name, "datacenter", country), prefixes=2)
+
+    def _register(self, record: AsnRecord, prefixes: int) -> None:
+        if record.number in self._records:
+            raise ValueError(f"duplicate ASN {record.number}")
+        self._records[record.number] = record
+        owned = []
+        for _ in range(prefixes):
+            prefix = self._next_prefix
+            self._next_prefix += 1
+            self._prefix_to_asn[prefix] = record.number
+            owned.append(prefix)
+        self._asn_prefixes[record.number] = owned
+
+    def record(self, number: int) -> AsnRecord:
+        return self._records[number]
+
+    def lookup(self, address: IPv4Address) -> Optional[AsnRecord]:
+        """ASN owning an address, or ``None`` for unallocated space."""
+        number = self._prefix_to_asn.get(address.value >> 16)
+        if number is None:
+            return None
+        return self._records[number]
+
+    def asns_in_country(self, country: str, kind: Optional[str] = None) -> List[AsnRecord]:
+        found = [
+            record for record in self._records.values()
+            if record.country == country and (kind is None or record.kind == kind)
+        ]
+        return sorted(found, key=lambda record: record.number)
+
+    def eyeball_asns(self) -> List[AsnRecord]:
+        return sorted(
+            (r for r in self._records.values() if r.kind == "eyeball"),
+            key=lambda record: record.number,
+        )
+
+    def datacenter_asns(self) -> List[AsnRecord]:
+        return sorted(
+            (r for r in self._records.values() if r.kind == "datacenter"),
+            key=lambda record: record.number,
+        )
+
+    def allocate(self, asn_number: int, rng: random.Random) -> IPv4Address:
+        """A fresh address inside one of the ASN's prefixes."""
+        prefixes = self._asn_prefixes[asn_number]
+        prefix = rng.choice(prefixes)
+        suffix = rng.randrange(1, 1 << 16)
+        return IPv4Address((prefix << 16) | suffix)
+
+    def allocate_in_block(self, block_address: IPv4Address, rng: random.Random) -> IPv4Address:
+        """A fresh address inside the same /24 as ``block_address``.
+
+        Used to model device farms, where many phones NAT out of a single
+        household or office block.
+        """
+        base = block_address.value & 0xFFFFFF00
+        return IPv4Address(base | rng.randrange(1, 255))
+
+    def country_of(self, address: IPv4Address) -> Optional[str]:
+        record = self.lookup(address)
+        return record.country if record else None

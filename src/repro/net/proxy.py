@@ -1,0 +1,225 @@
+"""Forward and man-in-the-middle HTTP proxies.
+
+``ForwardProxy`` blindly relays tunnelled bytes (this is what a VPN/geo
+exit does: the upstream server sees the proxy's source address, which is
+how the paper's milkers appeared to be in eight different countries).
+
+``MitmProxy`` terminates the client's TLS with a certificate it mints on
+the fly (signed by its own CA), opens its own TLS session to the real
+server, and records every decrypted request/response pair.  This is the
+in-repo equivalent of the paper's mitmproxy deployment: it only works
+against clients that installed the proxy's CA root and do not pin.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.net.errors import HttpProtocolError, NetError
+from repro.net.fabric import (
+    Connection,
+    ConnectionHandler,
+    ConnectionInfo,
+    Endpoint,
+    NetworkFabric,
+)
+from repro.net.http import HttpRequest, HttpResponse
+from repro.net.ip import IPv4Address
+from repro.net.tls import (
+    CertificateAuthority,
+    ServerIdentity,
+    TlsClientSession,
+    TlsServerHandler,
+    TrustStore,
+    issue_server_identity,
+)
+
+
+def _parse_connect_target(request: HttpRequest) -> Tuple[str, int]:
+    if request.method != "CONNECT":
+        raise HttpProtocolError("proxy expected CONNECT")
+    host, _, port_text = request.target.partition(":")
+    if not host or not port_text.isdigit():
+        raise HttpProtocolError(f"bad CONNECT target {request.target!r}")
+    return host, int(port_text)
+
+
+class _TunnelHandler(ConnectionHandler):
+    """After CONNECT, relay every round trip verbatim to the upstream."""
+
+    def __init__(self, info: ConnectionInfo, fabric: NetworkFabric,
+                 proxy_endpoint: Endpoint) -> None:
+        super().__init__(info)
+        self._fabric = fabric
+        self._proxy_endpoint = proxy_endpoint
+        self._upstream: Optional[Connection] = None
+
+    def on_data(self, data: bytes) -> bytes:
+        if self._upstream is None:
+            request = HttpRequest.from_bytes(data)
+            host, port = _parse_connect_target(request)
+            self._upstream = self._fabric.connect(self._proxy_endpoint, host, port)
+            return HttpResponse(status=200, reason="Connection Established").to_bytes()
+        return self._upstream.roundtrip(data)
+
+    def on_close(self) -> None:
+        if self._upstream is not None:
+            self._upstream.close()
+
+
+class ForwardProxy:
+    """A relay-only CONNECT proxy bound on the fabric."""
+
+    def __init__(self, fabric: NetworkFabric, hostname: str,
+                 address: IPv4Address, port: int = 8080) -> None:
+        self.fabric = fabric
+        self.hostname = hostname
+        self.port = port
+        self.endpoint = Endpoint(address=address, hostname=hostname)
+        fabric.register_host(hostname, address)
+        fabric.listen(hostname, port,
+                      lambda info: _TunnelHandler(info, fabric, self.endpoint))
+
+
+@dataclass(frozen=True)
+class InterceptedExchange:
+    """One decrypted request/response pair recorded by the mitm proxy."""
+
+    host: str
+    port: int
+    client_address: IPv4Address
+    request: HttpRequest
+    response: HttpResponse
+
+
+class _MitmInnerHandler(ConnectionHandler):
+    """Plaintext side of the mitm: log and forward each HTTP exchange."""
+
+    def __init__(self, info: ConnectionInfo, upstream: TlsClientSession,
+                 host: str, port: int,
+                 log: Callable[[InterceptedExchange], None]) -> None:
+        super().__init__(info)
+        self._upstream = upstream
+        self._host = host
+        self._port = port
+        self._log = log
+
+    def on_data(self, data: bytes) -> bytes:
+        request = HttpRequest.from_bytes(data)
+        response_bytes = self._upstream.send(data)
+        response = HttpResponse.from_bytes(response_bytes)
+        self._log(InterceptedExchange(
+            host=self._host,
+            port=self._port,
+            client_address=self.info.client_address,
+            request=request,
+            response=response,
+        ))
+        return response_bytes
+
+    def on_close(self) -> None:
+        self._upstream.close()
+
+
+class _MitmHandler(ConnectionHandler):
+    """Per-connection state machine: CONNECT, then impersonate via TLS."""
+
+    def __init__(self, info: ConnectionInfo, proxy: "MitmProxy") -> None:
+        super().__init__(info)
+        self._proxy = proxy
+        self._tls: Optional[TlsServerHandler] = None
+
+    def on_data(self, data: bytes) -> bytes:
+        if self._tls is None:
+            request = HttpRequest.from_bytes(data)
+            host, port = _parse_connect_target(request)
+            self._tls = self._proxy._build_impersonator(self.info, host, port)
+            return HttpResponse(status=200, reason="Connection Established").to_bytes()
+        return self._tls.on_data(data)
+
+    def on_close(self) -> None:
+        if self._tls is not None:
+            self._tls.on_close()
+
+
+class MitmProxy:
+    """TLS-interception proxy with its own CA, as in the paper's setup.
+
+    Install :meth:`ca_certificate` into a client's trust store to let the
+    proxy decrypt that client's traffic; read :attr:`intercepted` to see
+    the decrypted offer-wall exchanges.
+    """
+
+    def __init__(
+        self,
+        fabric: NetworkFabric,
+        hostname: str,
+        address: IPv4Address,
+        rng: random.Random,
+        port: int = 8080,
+        upstream_trust: Optional[TrustStore] = None,
+        upstream_proxy: Optional[Tuple[str, int]] = None,
+    ) -> None:
+        self.fabric = fabric
+        self.hostname = hostname
+        self.port = port
+        self.endpoint = Endpoint(address=address, hostname=hostname)
+        self._rng = rng
+        self.ca = CertificateAuthority(f"{hostname} mitm CA", rng)
+        self._identity_cache: Dict[str, ServerIdentity] = {}
+        self.upstream_trust = upstream_trust or TrustStore()
+        #: When set, outbound connections tunnel through this forward
+        #: proxy (e.g. a VPN country exit), so origin servers see the
+        #: exit's address -- how the paper milked from eight countries.
+        self.upstream_proxy = upstream_proxy
+        self.intercepted: List[InterceptedExchange] = []
+        fabric.register_host(hostname, address)
+        fabric.listen(hostname, port, lambda info: _MitmHandler(info, self))
+
+    def ca_certificate(self):
+        """The self-signed root to install on instrumented devices."""
+        return self.ca.self_certificate()
+
+    def clear(self) -> None:
+        self.intercepted.clear()
+
+    def exchanges_for_host(self, host: str) -> List[InterceptedExchange]:
+        return [e for e in self.intercepted if e.host == host]
+
+    # -- internals ----------------------------------------------------------
+
+    def _connect_upstream(self, host: str, port: int) -> Connection:
+        if self.upstream_proxy is None:
+            return self.fabric.connect(self.endpoint, host, port)
+        proxy_host, proxy_port = self.upstream_proxy
+        connection = self.fabric.connect(self.endpoint, proxy_host, proxy_port)
+        connect = HttpRequest(method="CONNECT", target=f"{host}:{port}")
+        connect.headers.set("Host", f"{host}:{port}")
+        reply = HttpResponse.from_bytes(connection.roundtrip(connect.to_bytes()))
+        if not reply.ok:
+            connection.close()
+            raise HttpProtocolError(
+                f"upstream proxy refused CONNECT to {host}:{port}")
+        return connection
+
+    def _build_impersonator(self, info: ConnectionInfo, host: str,
+                            port: int) -> TlsServerHandler:
+        upstream_connection = self._connect_upstream(host, port)
+        upstream_session = TlsClientSession(
+            upstream_connection, host, self.upstream_trust, self._rng)
+        identity = self._identity_cache.get(host)
+        if identity is None:
+            identity = issue_server_identity(self.ca, host, self._rng)
+            self._identity_cache[host] = identity
+        return TlsServerHandler(
+            info,
+            identity,
+            lambda inner_info: _MitmInnerHandler(
+                inner_info, upstream_session, host, port, self.intercepted.append),
+            self._rng,
+        )
+
+
+__all__ = ["ForwardProxy", "InterceptedExchange", "MitmProxy", "NetError"]

@@ -1,0 +1,147 @@
+"""HTTP servers over the fabric, with routing and optional TLS.
+
+Route handlers receive the parsed :class:`HttpRequest` plus a
+:class:`RequestContext` carrying the client's network address (servers in
+this repo geo-target and fingerprint clients, as the real platforms do)
+and return an :class:`HttpResponse`.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Pattern, Tuple
+
+from repro.net.errors import HttpProtocolError
+from repro.net.fabric import ConnectionHandler, ConnectionInfo, NetworkFabric
+from repro.net.http import HttpRequest, HttpResponse
+from repro.net.ip import IPv4Address
+from repro.net.tls import ServerIdentity, TlsServerHandler
+
+HTTPS_PORT = 443
+HTTP_PORT = 80
+
+
+@dataclass(frozen=True)
+class RequestContext:
+    """Network-layer facts a route handler may use."""
+
+    client_address: IPv4Address
+    server_host: str
+    server_port: int
+    path_params: Dict[str, str]
+
+
+RouteHandler = Callable[[HttpRequest, RequestContext], HttpResponse]
+
+
+class Router:
+    """Method + path-pattern dispatch.
+
+    Patterns may contain ``{name}`` segments which are captured into
+    ``context.path_params``.
+    """
+
+    def __init__(self) -> None:
+        self._routes: List[Tuple[str, Pattern[str], RouteHandler]] = []
+
+    def add(self, method: str, pattern: str, handler: RouteHandler) -> None:
+        regex = re.compile(
+            "^" + re.sub(r"\{(\w+)\}", r"(?P<\1>[^/]+)", pattern) + "$")
+        self._routes.append((method, regex, handler))
+
+    def get(self, pattern: str, handler: RouteHandler) -> None:
+        self.add("GET", pattern, handler)
+
+    def post(self, pattern: str, handler: RouteHandler) -> None:
+        self.add("POST", pattern, handler)
+
+    def dispatch(self, request: HttpRequest, info: ConnectionInfo) -> HttpResponse:
+        path = request.path
+        seen_path = False
+        for method, regex, handler in self._routes:
+            match = regex.match(path)
+            if not match:
+                continue
+            seen_path = True
+            if method != request.method:
+                continue
+            context = RequestContext(
+                client_address=info.client_address,
+                server_host=info.server_host,
+                server_port=info.server_port,
+                path_params=match.groupdict(),
+            )
+            return handler(request, context)
+        if seen_path:
+            return HttpResponse.error(405)
+        return HttpResponse.error(404)
+
+
+class HttpConnectionHandler(ConnectionHandler):
+    """Parses request bytes, dispatches, serialises the response."""
+
+    def __init__(self, info: ConnectionInfo, router: Router) -> None:
+        super().__init__(info)
+        self._router = router
+
+    def on_data(self, data: bytes) -> bytes:
+        try:
+            request = HttpRequest.from_bytes(data)
+        except HttpProtocolError as exc:
+            return HttpResponse.error(400, str(exc)).to_bytes()
+        try:
+            response = self._router.dispatch(request, self.info)
+        except Exception as exc:  # noqa: BLE001 - server boundary
+            response = HttpResponse.error(500, f"{type(exc).__name__}: {exc}")
+        return response.to_bytes()
+
+
+class HttpServer:
+    """A plain-HTTP service bound to (hostname, port) on the fabric."""
+
+    def __init__(
+        self,
+        fabric: NetworkFabric,
+        hostname: str,
+        address: IPv4Address,
+        port: int = HTTP_PORT,
+    ) -> None:
+        self.fabric = fabric
+        self.hostname = hostname
+        self.port = port
+        self.router = Router()
+        fabric.register_host(hostname, address)
+        fabric.listen(hostname, port,
+                      lambda info: HttpConnectionHandler(info, self.router))
+
+
+class HttpsServer:
+    """An HTTPS service: HTTP routing behind a TLS server handler."""
+
+    def __init__(
+        self,
+        fabric: NetworkFabric,
+        hostname: str,
+        address: IPv4Address,
+        identity: ServerIdentity,
+        rng: random.Random,
+        port: int = HTTPS_PORT,
+    ) -> None:
+        self.fabric = fabric
+        self.hostname = hostname
+        self.port = port
+        self.identity = identity
+        self.router = Router()
+        fabric.register_host(hostname, address)
+        fabric.listen(
+            hostname,
+            port,
+            lambda info: TlsServerHandler(
+                info,
+                identity,
+                lambda inner_info: HttpConnectionHandler(inner_info, self.router),
+                rng,
+            ),
+        )

@@ -1,0 +1,452 @@
+"""Simulated TLS: certificates, trust stores, handshake, record layer.
+
+The protocol is a compressed TLS-RSA: the client validates the server's
+certificate chain against its trust store, encrypts a pre-master secret
+under the leaf's RSA key, and both sides derive symmetric record keys.
+Handshake messages travel as JSON with a ``TLSH`` magic; application data
+travels in binary ``TLSR`` records (stream-cipher ciphertext plus an
+HMAC-SHA256 tag), so a wire tap sees no plaintext after the hello.
+
+What matters for the reproduction is that interception semantics are
+real: a man-in-the-middle succeeds exactly when the victim's trust store
+contains the attacker's CA (the paper installed a self-signed certificate
+on the measurement phone) and the victim does not pin the upstream key
+(the paper notes no offer wall used pinning).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.net import crypto
+from repro.net.errors import (
+    CertificatePinningError,
+    CertificateVerificationError,
+    TlsError,
+)
+from repro.net.fabric import Connection, ConnectionHandler, ConnectionInfo
+
+_HANDSHAKE_MAGIC = b"TLSH"
+_RECORD_MAGIC = b"TLSR"
+_MAC_LEN = 32
+_KEY_BITS = 256  # tiny keys: handshakes must be fast inside tests
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """An X.509-shaped certificate binding a subject name to an RSA key."""
+
+    subject: str
+    public_key: crypto.RsaPublicKey
+    issuer: str
+    serial: int
+    not_before: int  # inclusive, in simulation days
+    not_after: int   # inclusive
+    signature: int
+
+    def tbs_bytes(self) -> bytes:
+        """The to-be-signed encoding (everything except the signature)."""
+        material = "|".join([
+            self.subject,
+            f"{self.public_key.modulus:x}",
+            f"{self.public_key.exponent:x}",
+            self.issuer,
+            str(self.serial),
+            str(self.not_before),
+            str(self.not_after),
+        ])
+        return material.encode("utf-8")
+
+    def fingerprint(self) -> str:
+        return self.public_key.fingerprint()
+
+    @property
+    def is_self_signed(self) -> bool:
+        return self.subject == self.issuer
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "subject": self.subject,
+            "modulus": f"{self.public_key.modulus:x}",
+            "exponent": self.public_key.exponent,
+            "issuer": self.issuer,
+            "serial": self.serial,
+            "not_before": self.not_before,
+            "not_after": self.not_after,
+            "signature": f"{self.signature:x}",
+        }
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, object]) -> "Certificate":
+        try:
+            return cls(
+                subject=str(data["subject"]),
+                public_key=crypto.RsaPublicKey(
+                    modulus=int(str(data["modulus"]), 16),
+                    exponent=int(data["exponent"]),  # type: ignore[arg-type]
+                ),
+                issuer=str(data["issuer"]),
+                serial=int(data["serial"]),  # type: ignore[arg-type]
+                not_before=int(data["not_before"]),  # type: ignore[arg-type]
+                not_after=int(data["not_after"]),  # type: ignore[arg-type]
+                signature=int(str(data["signature"]), 16),
+            )
+        except (KeyError, ValueError, TypeError) as exc:
+            raise TlsError(f"malformed certificate: {exc}") from exc
+
+
+class CertificateAuthority:
+    """Issues certificates; may be a root (self-signed) or an attacker CA."""
+
+    def __init__(self, name: str, rng: random.Random, key_bits: int = _KEY_BITS) -> None:
+        self.name = name
+        self._keypair = crypto.generate_keypair(key_bits, rng)
+        self._next_serial = 1
+
+    @property
+    def public_key(self) -> crypto.RsaPublicKey:
+        return self._keypair.public
+
+    def self_certificate(self, not_before: int = 0, not_after: int = 10_000) -> Certificate:
+        return self._issue(self.name, self._keypair.public, not_before, not_after)
+
+    def issue(
+        self,
+        subject: str,
+        public_key: crypto.RsaPublicKey,
+        not_before: int = 0,
+        not_after: int = 10_000,
+    ) -> Certificate:
+        return self._issue(subject, public_key, not_before, not_after)
+
+    def _issue(
+        self,
+        subject: str,
+        public_key: crypto.RsaPublicKey,
+        not_before: int,
+        not_after: int,
+    ) -> Certificate:
+        serial = self._next_serial
+        self._next_serial += 1
+        unsigned = Certificate(
+            subject=subject,
+            public_key=public_key,
+            issuer=self.name,
+            serial=serial,
+            not_before=not_before,
+            not_after=not_after,
+            signature=0,
+        )
+        signature = crypto.sign(unsigned.tbs_bytes(), self._keypair.private)
+        return Certificate(
+            subject=subject,
+            public_key=public_key,
+            issuer=self.name,
+            serial=serial,
+            not_before=not_before,
+            not_after=not_after,
+            signature=signature,
+        )
+
+
+class TrustStore:
+    """The set of root CAs a client trusts.
+
+    Installing a self-signed certificate on an Android phone (as the
+    paper's measurement setup does for mitmproxy) corresponds to calling
+    :meth:`add_root` with the proxy CA's self-certificate.
+    """
+
+    def __init__(self) -> None:
+        self._roots: Dict[str, crypto.RsaPublicKey] = {}
+
+    def add_root(self, certificate: Certificate) -> None:
+        if not certificate.is_self_signed:
+            raise ValueError("only self-signed certificates can be roots")
+        if not crypto.verify(certificate.tbs_bytes(), certificate.signature,
+                             certificate.public_key):
+            raise CertificateVerificationError("root certificate signature invalid")
+        self._roots[certificate.subject] = certificate.public_key
+
+    def remove_root(self, name: str) -> None:
+        self._roots.pop(name, None)
+
+    def trusts(self, name: str) -> bool:
+        return name in self._roots
+
+    def root_names(self) -> List[str]:
+        return sorted(self._roots)
+
+    def verify_chain(self, chain: Sequence[Certificate], hostname: str,
+                     today: int) -> Certificate:
+        """Validate a leaf-first chain; return the leaf on success."""
+        if not chain:
+            raise CertificateVerificationError("empty certificate chain")
+        leaf = chain[0]
+        if leaf.subject != hostname:
+            raise CertificateVerificationError(
+                f"name mismatch: certificate for {leaf.subject!r}, wanted {hostname!r}")
+        for index, certificate in enumerate(chain):
+            if not certificate.not_before <= today <= certificate.not_after:
+                raise CertificateVerificationError(
+                    f"certificate for {certificate.subject!r} not valid on day {today}")
+            issuer_key = self._issuer_key(chain, index)
+            if issuer_key is None:
+                raise CertificateVerificationError(
+                    f"untrusted issuer {certificate.issuer!r} "
+                    f"for {certificate.subject!r}")
+            if not crypto.verify(certificate.tbs_bytes(), certificate.signature, issuer_key):
+                raise CertificateVerificationError(
+                    f"bad signature on certificate for {certificate.subject!r}")
+            if certificate.issuer in self._roots:
+                return leaf
+        raise CertificateVerificationError("chain does not terminate at a trusted root")
+
+    def _issuer_key(self, chain: Sequence[Certificate], index: int) -> Optional[crypto.RsaPublicKey]:
+        certificate = chain[index]
+        if certificate.issuer in self._roots:
+            return self._roots[certificate.issuer]
+        if index + 1 < len(chain) and chain[index + 1].subject == certificate.issuer:
+            return chain[index + 1].public_key
+        return None
+
+
+# ---------------------------------------------------------------------------
+# Record layer
+# ---------------------------------------------------------------------------
+
+
+class _RecordCodec:
+    """Encrypt/decrypt TLSR records with derived keys."""
+
+    def __init__(self, enc_key: bytes, mac_key: bytes) -> None:
+        self._enc_key = enc_key
+        self._mac_key = mac_key
+        self._send_seq = 0
+        self._recv_seq = 0
+
+    def seal(self, plaintext: bytes) -> bytes:
+        seq = self._send_seq
+        self._send_seq += 1
+        nonce = seq.to_bytes(8, "big")
+        ciphertext = crypto.keystream_xor(self._enc_key, nonce, plaintext)
+        mac = crypto.hmac_sha256(self._mac_key, nonce + ciphertext)
+        return (_RECORD_MAGIC + nonce
+                + len(ciphertext).to_bytes(4, "big") + ciphertext + mac)
+
+    def open(self, record: bytes) -> bytes:
+        if record[:4] != _RECORD_MAGIC:
+            raise TlsError("not a TLS record")
+        nonce = record[4:12]
+        length = int.from_bytes(record[12:16], "big")
+        ciphertext = record[16:16 + length]
+        mac = record[16 + length:16 + length + _MAC_LEN]
+        if len(ciphertext) != length or len(mac) != _MAC_LEN:
+            raise TlsError("truncated TLS record")
+        expected = crypto.hmac_sha256(self._mac_key, nonce + ciphertext)
+        if not crypto.constant_time_equal(mac, expected):
+            raise TlsError("record MAC failure")
+        seq = int.from_bytes(nonce, "big")
+        if seq != self._recv_seq:
+            raise TlsError(f"record replay/reorder: got seq {seq}, "
+                           f"expected {self._recv_seq}")
+        self._recv_seq += 1
+        return crypto.keystream_xor(self._enc_key, nonce, ciphertext)
+
+
+def _handshake_message(payload: Mapping[str, object]) -> bytes:
+    return _HANDSHAKE_MAGIC + json.dumps(payload, sort_keys=True).encode("utf-8")
+
+
+def _parse_handshake(data: bytes, expected_type: str) -> Dict[str, object]:
+    if data[:4] != _HANDSHAKE_MAGIC:
+        raise TlsError("expected handshake message")
+    try:
+        message = json.loads(data[4:].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise TlsError("undecodable handshake message") from exc
+    if not isinstance(message, dict) or message.get("type") != expected_type:
+        raise TlsError(f"expected {expected_type!r} handshake message")
+    return message
+
+
+def is_handshake_bytes(data: bytes) -> bool:
+    return data[:4] == _HANDSHAKE_MAGIC
+
+
+def is_record_bytes(data: bytes) -> bool:
+    return data[:4] == _RECORD_MAGIC
+
+
+# ---------------------------------------------------------------------------
+# Client session
+# ---------------------------------------------------------------------------
+
+
+class TlsClientSession:
+    """Client side of the handshake, layered over a fabric connection."""
+
+    def __init__(
+        self,
+        connection: Connection,
+        hostname: str,
+        trust_store: TrustStore,
+        rng: random.Random,
+        today: int = 0,
+        pinned_fingerprints: Optional[Mapping[str, str]] = None,
+    ) -> None:
+        self._connection = connection
+        self._hostname = hostname
+        self._codec: Optional[_RecordCodec] = None
+        self.server_certificate: Optional[Certificate] = None
+        self._handshake(trust_store, rng, today, pinned_fingerprints or {})
+
+    def _handshake(
+        self,
+        trust_store: TrustStore,
+        rng: random.Random,
+        today: int,
+        pins: Mapping[str, str],
+    ) -> None:
+        client_random = rng.getrandbits(128).to_bytes(16, "big")
+        hello = _handshake_message({
+            "type": "client_hello",
+            "client_random": client_random.hex(),
+            "sni": self._hostname,
+        })
+        server_hello = _parse_handshake(self._connection.roundtrip(hello), "server_hello")
+        chain_json = server_hello.get("chain")
+        if not isinstance(chain_json, list):
+            raise TlsError("server hello missing certificate chain")
+        chain = [Certificate.from_json(entry) for entry in chain_json]
+        leaf = trust_store.verify_chain(chain, self._hostname, today)
+        pinned = pins.get(self._hostname)
+        if pinned is not None and leaf.fingerprint() != pinned:
+            raise CertificatePinningError(
+                f"pinned key mismatch for {self._hostname!r}")
+        self.server_certificate = leaf
+        server_random = bytes.fromhex(str(server_hello["server_random"]))
+        pre_master = rng.getrandbits(192).to_bytes(24, "big")
+        encrypted = crypto.encrypt(
+            int.from_bytes(pre_master, "big"), leaf.public_key)
+        key_exchange = _handshake_message({
+            "type": "client_key_exchange",
+            "encrypted_pre_master": f"{encrypted:x}",
+        })
+        finished = _parse_handshake(
+            self._connection.roundtrip(key_exchange), "server_finished")
+        enc_key, mac_key = crypto.derive_keys(pre_master, client_random, server_random)
+        verify_data = crypto.hmac_sha256(
+            mac_key, b"finished" + client_random + server_random)
+        if str(finished.get("verify_data")) != verify_data.hex():
+            raise TlsError("server finished verification failed")
+        self._codec = _RecordCodec(enc_key, mac_key)
+
+    def send(self, plaintext: bytes) -> bytes:
+        """One encrypted application-data round trip."""
+        if self._codec is None:
+            raise TlsError("handshake not complete")
+        sealed = self._codec.seal(plaintext)
+        return self._codec.open(self._connection.roundtrip(sealed))
+
+    def close(self) -> None:
+        self._connection.close()
+
+
+# ---------------------------------------------------------------------------
+# Server handler
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ServerIdentity:
+    """A server's certificate chain and matching private key."""
+
+    chain: List[Certificate]
+    private_key: crypto.RsaPrivateKey
+
+    @property
+    def leaf(self) -> Certificate:
+        return self.chain[0]
+
+
+def issue_server_identity(
+    ca: CertificateAuthority,
+    hostname: str,
+    rng: random.Random,
+    key_bits: int = _KEY_BITS,
+    not_before: int = 0,
+    not_after: int = 10_000,
+) -> ServerIdentity:
+    """Generate a fresh keypair for ``hostname`` and certify it via ``ca``."""
+    keypair = crypto.generate_keypair(key_bits, rng)
+    leaf = ca.issue(hostname, keypair.public, not_before, not_after)
+    return ServerIdentity(chain=[leaf], private_key=keypair.private)
+
+
+class TlsServerHandler(ConnectionHandler):
+    """Server side of the handshake, wrapping a plaintext inner handler."""
+
+    def __init__(
+        self,
+        info: ConnectionInfo,
+        identity: ServerIdentity,
+        inner_factory,
+        rng: random.Random,
+    ) -> None:
+        super().__init__(info)
+        self._identity = identity
+        self._inner = inner_factory(info)
+        self._rng = rng
+        self._state = "expect_hello"
+        self._client_random = b""
+        self._server_random = b""
+        self._codec: Optional[_RecordCodec] = None
+
+    def on_data(self, data: bytes) -> bytes:
+        if self._state == "expect_hello":
+            return self._handle_hello(data)
+        if self._state == "expect_key_exchange":
+            return self._handle_key_exchange(data)
+        if self._state == "established":
+            return self._handle_record(data)
+        raise TlsError(f"unexpected state {self._state!r}")
+
+    def _handle_hello(self, data: bytes) -> bytes:
+        message = _parse_handshake(data, "client_hello")
+        self._client_random = bytes.fromhex(str(message["client_random"]))
+        self._server_random = self._rng.getrandbits(128).to_bytes(16, "big")
+        self._state = "expect_key_exchange"
+        return _handshake_message({
+            "type": "server_hello",
+            "server_random": self._server_random.hex(),
+            "chain": [certificate.to_json() for certificate in self._identity.chain],
+        })
+
+    def _handle_key_exchange(self, data: bytes) -> bytes:
+        message = _parse_handshake(data, "client_key_exchange")
+        encrypted = int(str(message["encrypted_pre_master"]), 16)
+        pre_master_int = crypto.decrypt(encrypted, self._identity.private_key)
+        pre_master = pre_master_int.to_bytes(24, "big")
+        enc_key, mac_key = crypto.derive_keys(
+            pre_master, self._client_random, self._server_random)
+        self._codec = _RecordCodec(enc_key, mac_key)
+        verify_data = crypto.hmac_sha256(
+            mac_key, b"finished" + self._client_random + self._server_random)
+        self._state = "established"
+        return _handshake_message({
+            "type": "server_finished",
+            "verify_data": verify_data.hex(),
+        })
+
+    def _handle_record(self, data: bytes) -> bytes:
+        assert self._codec is not None
+        plaintext = self._codec.open(data)
+        reply = self._inner.on_data(plaintext)
+        return self._codec.seal(reply)
+
+    def on_close(self) -> None:
+        self._inner.on_close()

@@ -1,0 +1,38 @@
+"""Google Play Store simulator.
+
+Models the store observables the paper's measurements consume: public
+app profiles with *binned* install counts, top charts ranked by user
+engagement, the developer console's installs-by-source analytics, and
+the (weak) enforcement pipeline that occasionally filters incentivized
+installs.  The :class:`~repro.playstore.frontend.PlayStoreFrontend`
+exposes profiles and charts over HTTPS for the crawler.
+"""
+
+from repro.playstore.bins import INSTALL_BINS, bin_floor, bin_label
+from repro.playstore.catalog import AppListing, Catalog, Developer
+from repro.playstore.charts import ChartKind, ChartsEngine, ChartSnapshot
+from repro.playstore.console import DeveloperConsole
+from repro.playstore.engagement import DailyEngagement, EngagementBook
+from repro.playstore.ledger import InstallLedger, InstallSource
+from repro.playstore.policy import EnforcementAction, EnforcementEngine
+from repro.playstore.store import PlayStore
+
+__all__ = [
+    "AppListing",
+    "Catalog",
+    "ChartKind",
+    "ChartSnapshot",
+    "ChartsEngine",
+    "DailyEngagement",
+    "Developer",
+    "DeveloperConsole",
+    "EnforcementAction",
+    "EnforcementEngine",
+    "EngagementBook",
+    "INSTALL_BINS",
+    "InstallLedger",
+    "InstallSource",
+    "PlayStore",
+    "bin_floor",
+    "bin_label",
+]

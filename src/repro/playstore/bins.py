@@ -1,0 +1,44 @@
+"""Google Play's lower-bound install-count bins.
+
+The store never shows exact install counts; it shows the floor of a
+fixed bin ladder ("100+", "1,000+", ...).  The paper's Table 5 analysis
+(and its enforcement observations, e.g. an app dropping from 1,000 to
+500) operates entirely on these binned values, so the binning is a
+first-class citizen here.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+#: Google Play's displayed install-count floors.
+INSTALL_BINS: List[int] = [
+    0, 1, 5, 10, 50, 100, 500,
+    1_000, 5_000, 10_000, 50_000, 100_000, 500_000,
+    1_000_000, 5_000_000, 10_000_000, 50_000_000, 100_000_000,
+    500_000_000, 1_000_000_000, 5_000_000_000,
+]
+
+
+def bin_floor(count: int) -> int:
+    """The displayed lower-bound for a true install count."""
+    if count < 0:
+        raise ValueError(f"negative install count: {count}")
+    floor = 0
+    for edge in INSTALL_BINS:
+        if count >= edge:
+            floor = edge
+        else:
+            break
+    return floor
+
+
+def bin_label(count: int) -> str:
+    """The display string for a true install count, e.g. ``"1,000+"``."""
+    floor = bin_floor(count)
+    return f"{floor:,}+"
+
+
+def bin_index(count: int) -> int:
+    """Index of the displayed bin in :data:`INSTALL_BINS`."""
+    return INSTALL_BINS.index(bin_floor(count))

@@ -1,0 +1,114 @@
+"""App listings, developers, and the store catalog."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+#: Google Play genres (the paper observes apps from ~51 genres).
+GENRES = (
+    "Action", "Adventure", "Arcade", "Art & Design", "Auto & Vehicles",
+    "Beauty", "Board", "Books & Reference", "Business", "Card",
+    "Casino", "Casual", "Comics", "Communication", "Dating",
+    "Education", "Educational", "Entertainment", "Events", "Finance",
+    "Food & Drink", "Health & Fitness", "House & Home", "Libraries & Demo",
+    "Lifestyle", "Maps & Navigation", "Medical", "Music", "Music & Audio",
+    "News & Magazines", "Parenting", "Personalization", "Photography",
+    "Productivity", "Puzzle", "Racing", "Role Playing", "Shopping",
+    "Simulation", "Social", "Sports", "Strategy", "Tools",
+    "Travel & Local", "Trivia", "Video Players & Editors", "Weather",
+    "Word", "Real Estate", "Wallpaper", "Widgets",
+)
+
+GAME_GENRES = frozenset({
+    "Action", "Adventure", "Arcade", "Board", "Card", "Casino", "Casual",
+    "Educational", "Puzzle", "Racing", "Role Playing", "Simulation",
+    "Sports", "Strategy", "Trivia", "Word",
+})
+
+
+@dataclass(frozen=True)
+class Developer:
+    """A Play Store developer account.
+
+    ``developer_id`` uniquely identifies the account (the paper keys
+    developers this way); the mailing-address country and the optional
+    website are what the Crunchbase matcher works from.
+    """
+
+    developer_id: str
+    name: str
+    country: str
+    website: Optional[str] = None
+    email: Optional[str] = None
+    is_public_company: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.developer_id:
+            raise ValueError("developer_id must be non-empty")
+
+
+@dataclass
+class AppListing:
+    """One published app's store-facing metadata."""
+
+    package: str
+    title: str
+    genre: str
+    developer: Developer
+    release_day: int
+    price_usd: float = 0.0
+    has_in_app_purchases: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.package or "." not in self.package:
+            raise ValueError(f"implausible package name: {self.package!r}")
+        if self.genre not in GENRES:
+            raise ValueError(f"unknown genre: {self.genre!r}")
+        if self.price_usd < 0:
+            raise ValueError("negative price")
+
+    @property
+    def is_game(self) -> bool:
+        return self.genre in GAME_GENRES
+
+    @property
+    def is_free(self) -> bool:
+        return self.price_usd == 0.0
+
+
+class Catalog:
+    """All apps published on the store, keyed by package name."""
+
+    def __init__(self) -> None:
+        self._listings: Dict[str, AppListing] = {}
+
+    def publish(self, listing: AppListing) -> None:
+        if listing.package in self._listings:
+            raise ValueError(f"package already published: {listing.package!r}")
+        self._listings[listing.package] = listing
+
+    def unpublish(self, package: str) -> None:
+        self._listings.pop(package, None)
+
+    def get(self, package: str) -> AppListing:
+        try:
+            return self._listings[package]
+        except KeyError:
+            raise KeyError(f"app not on store: {package!r}") from None
+
+    def __contains__(self, package: str) -> bool:
+        return package in self._listings
+
+    def __len__(self) -> int:
+        return len(self._listings)
+
+    def packages(self) -> List[str]:
+        return sorted(self._listings)
+
+    def by_developer(self, developer_id: str) -> List[AppListing]:
+        return sorted(
+            (listing for listing in self._listings.values()
+             if listing.developer.developer_id == developer_id),
+            key=lambda listing: listing.package,
+        )

@@ -1,0 +1,102 @@
+"""The Play Store facade: catalog + ledgers + charts + console + policy."""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional
+
+from repro.playstore.bins import bin_floor, bin_label
+from repro.playstore.catalog import AppListing, Catalog
+from repro.playstore.charts import ChartKind, ChartsEngine, ChartSnapshot
+from repro.playstore.console import DeveloperConsole
+from repro.playstore.engagement import DailyEngagement, EngagementBook
+from repro.playstore.ledger import InstallBatch, InstallLedger, InstallSource
+from repro.playstore.policy import CampaignSignals, EnforcementEngine
+
+
+class PlayStore:
+    """One coherent store instance.
+
+    This object is the single source of truth the simulated world writes
+    into (installs, sessions) and the frontend/crawlers read out of
+    (public profiles, top charts).
+    """
+
+    def __init__(self, chart_size: int = 200) -> None:
+        self.catalog = Catalog()
+        self.ledger = InstallLedger()
+        self.engagement = EngagementBook()
+        self.charts = ChartsEngine(self.catalog, self.engagement,
+                                   chart_size=chart_size, ledger=self.ledger)
+        self.console = DeveloperConsole(self.catalog, self.ledger)
+        self.enforcement = EnforcementEngine(self.ledger)
+
+    # -- write path ------------------------------------------------------------
+
+    def publish(self, listing: AppListing) -> None:
+        self.catalog.publish(listing)
+
+    def record_install(self, package: str, day: int, source: InstallSource,
+                       campaign_id: Optional[str] = None) -> None:
+        if package not in self.catalog:
+            raise KeyError(f"install for unpublished app {package!r}")
+        self.ledger.record_install(package, day, source, campaign_id)
+
+    def record_install_batch(self, package: str, day: int,
+                             source: InstallSource, count: int,
+                             campaign_id: Optional[str] = None) -> None:
+        if package not in self.catalog:
+            raise KeyError(f"install for unpublished app {package!r}")
+        if count == 0:
+            return
+        self.ledger.record(InstallBatch(package=package, day=day,
+                                        source=source, count=count,
+                                        campaign_id=campaign_id))
+
+    def record_session(self, package: str, day: int, seconds: float,
+                       registered: bool = False, purchase_usd: float = 0.0,
+                       ad_impressions: int = 0) -> None:
+        self.engagement.record_session(package, day, seconds,
+                                       registered=registered,
+                                       purchase_usd=purchase_usd,
+                                       ad_impressions=ad_impressions)
+
+    def record_engagement(self, package: str, day: int,
+                          engagement: DailyEngagement) -> None:
+        self.engagement.record(package, day, engagement)
+
+    def review_campaign(self, signals: CampaignSignals, day: int,
+                        rng: random.Random) -> None:
+        self.enforcement.review(signals, day, rng)
+
+    # -- read path (public observables) ---------------------------------------
+
+    def displayed_installs(self, package: str, day: int) -> int:
+        """The lower-bound binned install count shown on the profile."""
+        return bin_floor(self.ledger.total_installs(package, day))
+
+    def public_profile(self, package: str, day: int) -> Dict[str, object]:
+        """The profile page payload, as the crawler scrapes it."""
+        listing = self.catalog.get(package)
+        developer = listing.developer
+        return {
+            "package": listing.package,
+            "title": listing.title,
+            "genre": listing.genre,
+            "is_game": listing.is_game,
+            "price_usd": listing.price_usd,
+            "has_in_app_purchases": listing.has_in_app_purchases,
+            "release_day": listing.release_day,
+            "installs_floor": self.displayed_installs(package, day),
+            "installs_label": bin_label(self.ledger.total_installs(package, day)),
+            "developer": {
+                "id": developer.developer_id,
+                "name": developer.name,
+                "country": developer.country,
+                "website": developer.website,
+                "email": developer.email,
+            },
+        }
+
+    def chart_snapshot(self, kind: ChartKind, day: int) -> ChartSnapshot:
+        return self.charts.snapshot(kind, day)

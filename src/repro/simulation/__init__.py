@@ -1,0 +1,14 @@
+"""Scenario assembly: the simulated world the measurements run against."""
+
+from repro.simulation.clock import SimulationClock
+from repro.simulation.seeds import SeedSequence
+from repro.simulation.world import World
+from repro.simulation.scenarios import WildScenario, WildScenarioConfig
+
+__all__ = [
+    "SeedSequence",
+    "SimulationClock",
+    "WildScenario",
+    "WildScenarioConfig",
+    "World",
+]

@@ -1,0 +1,31 @@
+"""The simulation clock.
+
+Day 0 corresponds to 2019-03-01, the start of the paper's measurement
+window; the wild measurement runs through day ~110 (June 2019) and the
+Crunchbase snapshot is taken around day 210 (October 2019).
+"""
+
+from __future__ import annotations
+
+
+class SimulationClock:
+    """A monotonically advancing day counter."""
+
+    def __init__(self, start_day: int = 0) -> None:
+        if start_day < 0:
+            raise ValueError("clock cannot start before day 0")
+        self._day = start_day
+
+    @property
+    def day(self) -> int:
+        return self._day
+
+    def advance(self, days: int = 1) -> int:
+        if days < 0:
+            raise ValueError("the clock does not run backwards")
+        self._day += days
+        return self._day
+
+    def now(self) -> int:
+        """Callable-friendly accessor (servers take ``clock.now``)."""
+        return self._day

@@ -1,0 +1,708 @@
+"""The wild-measurement scenario: 900+ advertised apps, 7 IIPs, 300
+baseline apps, three months of store dynamics.
+
+Generation is calibrated to the paper's own measurements (Table 4 app
+counts, payout medians, install/age medians; Table 3 offer mixes;
+Figure 4 baseline popularity; Crunchbase match/funded rates).  The
+analysis pipeline never sees these parameters -- it re-measures
+everything through the milking + crawling infrastructure.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.crunchbase.database import FundingRound, Organization
+from repro.iip.campaigns import Campaign
+from repro.iip.offers import (
+    ActivityKind,
+    OfferCategory,
+    OfferDescriptionGenerator,
+    tasks_for,
+)
+from repro.iip.platform import DeveloperCredentials
+from repro.iip.registry import UNVETTED_IIPS, VETTED_IIPS
+from repro.net.ip import MILKER_COUNTRIES, WORLD_COUNTRIES
+from repro.playstore.catalog import GENRES, AppListing, Developer
+from repro.playstore.engagement import DailyEngagement
+from repro.playstore.ledger import InstallSource
+from repro.playstore.policy import CampaignSignals
+from repro.simulation import paperdata
+from repro.simulation.world import World
+from repro.staticanalysis.apk import ApkBuilder
+
+_TITLE_WORDS = ("Super", "Magic", "Epic", "Happy", "Turbo", "Mega", "Pixel",
+                "Crazy", "Royal", "Lucky", "Star", "Prime", "Swift", "Neon")
+_TITLE_NOUNS = ("Saga", "Quest", "Runner", "Manager", "Wallet", "Scanner",
+                "Diary", "Market", "Tycoon", "Legends", "Puzzle", "Chat",
+                "Radio", "Fitness")
+
+#: Figure 4: baseline install-count histogram (counts per popularity bin).
+BASELINE_HISTOGRAM = (
+    ("0-1k", 15, 10, 1_000),
+    ("1k-10k", 25, 1_000, 10_000),
+    ("10k-100k", 45, 10_000, 100_000),
+    ("100k-1M", 60, 100_000, 1_000_000),
+    ("1M-10M", 75, 1_000_000, 10_000_000),
+    ("10M-100M", 50, 10_000_000, 100_000_000),
+    ("100M-1000M", 25, 100_000_000, 1_000_000_000),
+    ("1000M+", 5, 1_000_000_000, 5_000_000_000),
+)
+
+#: Per-IIP price level relative to the global type-mean payouts
+#: (calibrated so per-IIP median payouts land near Table 4).
+IIP_PRICE_FACTOR = {
+    "RankApp": 0.33, "ayeT-Studios": 0.75, "Fyber": 0.55,
+    "AdscendMedia": 0.32, "AdGem": 3.6, "HangMyAds": 1.05,
+    "OfferToro": 0.55,
+}
+
+#: Campaign volume (installs purchased), log-uniform ranges.
+VETTED_VOLUME_RANGE = (2_000, 60_000)
+UNVETTED_VOLUME_RANGE = (5, 400)
+
+#: Some mainstream apps appear on IIPs (the paper saw TikTok and Fiverr
+#: on unvetted platforms, Apple Music and LinkedIn on vetted ones) --
+#: likely placed by third-party marketers, not the brands themselves.
+MAINSTREAM_FRACTION = {"vetted": 0.03, "unvetted": 0.15}
+MAINSTREAM_MEDIAN_INSTALLS = {"vetted": 50_000_000, "unvetted": 6_000_000}
+
+#: Developer-website prevalence per group (drives Crunchbase matching).
+WEBSITE_RATE = {"vetted": 0.55, "unvetted": 0.22, "baseline": 0.42}
+#: P(org exists in Crunchbase | developer has a website) and (| not).
+CRUNCHBASE_PRESENCE = {"with_site": 0.72, "without_site": 0.03}
+#: P(round after campaign start | org matched), per group (Table 7).
+FUNDED_AFTER_RATE = {"vetted": 0.156, "unvetted": 0.11, "baseline": 0.06}
+#: Fraction of Crunchbase orgs that are publicly traded companies.
+PUBLIC_COMPANY_RATE = 0.10
+#: Funding-seeking developers pay more per install (Table 8: the
+#: campaigns of funded apps carry ~2x the average payout).
+FUNDED_PAYOUT_MULTIPLIER = 1.6
+
+#: Figure 6 ad-library load, Poisson lambda by
+#: (uses activity offers, advertised on a vetted IIP).
+AD_LIB_LAMBDA = {
+    ("activity", "vetted"): 5.7,
+    ("activity", "unvetted"): 4.2,
+    ("no_activity", "vetted"): 3.5,
+    ("no_activity", "unvetted"): 2.9,
+    ("baseline", "baseline"): 4.2,
+}
+
+#: Organic dynamics.
+ORGANIC_GROWTH_MEDIAN = 0.0003       # daily fractional install growth
+FAST_GROWER_FRACTION = 0.015          # apps growing ~2%/day
+FAST_GROWER_RATE = 0.02
+DAU_RATE_RANGE = (0.01, 0.06)        # daily active users / installs
+ENGAGEMENT_NOISE_SIGMA = 0.12        # day-to-day lognormal chart churn
+
+
+@dataclass
+class AdvertisedApp:
+    """One advertised app and its simulation-side ground truth."""
+
+    listing: AppListing
+    iips: List[str]
+    initial_installs: int
+    organic_growth: float
+    dau_rate: float
+    planned_start: int = 0
+    campaigns: List[Campaign] = field(default_factory=list)
+    uses_activity: bool = False
+
+    @property
+    def package(self) -> str:
+        return self.listing.package
+
+    @property
+    def vetted_advertised(self) -> bool:
+        return any(name in VETTED_IIPS for name in self.iips)
+
+
+@dataclass
+class BaselineApp:
+    listing: AppListing
+    initial_installs: int
+    organic_growth: float
+    dau_rate: float
+
+    @property
+    def package(self) -> str:
+        return self.listing.package
+
+
+@dataclass(frozen=True)
+class WildScenarioConfig:
+    """Scenario knobs; ``scale`` shrinks the world for fast tests."""
+
+    seed: int = 2019
+    scale: float = 1.0
+    measurement_days: int = paperdata.WILD_MEASUREMENT_DAYS
+    offers_per_membership_mean: float = 1.74
+    geo_targeted_fraction: float = 0.18
+    overlap_fraction: float = 0.245   # memberships reusing an existing app
+    #: Visibility feedback: extra daily organic installs for apps in the
+    #: top-free chart, scaled by percentile.  Off by default (the paper
+    #: measures correlation, not this mechanism); the chart-feedback
+    #: ablation bench turns it on to show why developers want charts.
+    chart_feedback_installs: float = 0.0
+
+    def scaled(self, count: int, minimum: int = 1) -> int:
+        return max(minimum, int(round(count * self.scale)))
+
+
+class WildScenario:
+    """Builds and animates the in-the-wild world."""
+
+    def __init__(self, world: World, config: WildScenarioConfig) -> None:
+        self.world = world
+        self.config = config
+        self._rng = world.seeds.rng("wild-scenario")
+        self._describe = OfferDescriptionGenerator(
+            world.seeds.rng("offer-descriptions"))
+        self.advertised: List[AdvertisedApp] = []
+        self.baseline: List[BaselineApp] = []
+        self._by_package: Dict[str, AdvertisedApp] = {}
+        self._campaign_app: Dict[str, AdvertisedApp] = {}
+        self._developers: Dict[str, Developer] = {}
+        self._next_app = 0
+        self._next_dev = 0
+        self._reviewed_campaigns: Set[str] = set()
+        self._funded_developers: Set[str] = set()
+
+    # ------------------------------------------------------------------
+    # generation
+    # ------------------------------------------------------------------
+
+    def build(self) -> None:
+        # Chart capacity scales with the population so the fraction of
+        # apps that chart (and hence Table 6 exclusion rates) is
+        # scale-invariant.
+        self.world.store.charts.chart_size = max(
+            20, self.config.scaled(200))
+        self._generate_advertised_apps()
+        self._generate_baseline_apps()
+        self._create_campaigns()
+        self._populate_crunchbase()
+        self._build_apks()
+
+    def _new_package(self, prefix: str) -> str:
+        self._next_app += 1
+        word = self._rng.choice(_TITLE_WORDS).lower()
+        return f"{prefix}.{word}{self._next_app:04d}.app"
+
+    def _new_title(self) -> str:
+        rng = self._rng
+        return f"{rng.choice(_TITLE_WORDS)} {rng.choice(_TITLE_NOUNS)}"
+
+    def _zipf_genre(self) -> str:
+        """Zipf-weighted genre choice (games and casual apps dominate)."""
+        rng = self._rng
+        ranks = list(range(1, len(GENRES) + 1))
+        weights = [1.0 / rank for rank in ranks]
+        return rng.choices(list(GENRES), weights=weights, k=1)[0]
+
+    def _new_developer(self, group: str) -> Developer:
+        self._next_dev += 1
+        rng = self._rng
+        name = f"{rng.choice(_TITLE_WORDS)}{rng.choice(_TITLE_NOUNS)} {self._next_dev:04d}"
+        website = None
+        if rng.random() < WEBSITE_RATE[group]:
+            website = f"https://{name.split()[0].lower()}{self._next_dev}.example"
+        developer = Developer(
+            developer_id=f"dev-{group}-{self._next_dev:05d}",
+            name=name,
+            country=rng.choice(WORLD_COUNTRIES),
+            website=website,
+            email=f"contact{self._next_dev}@mail.example",
+        )
+        self._developers[developer.developer_id] = developer
+        return developer
+
+    def _lognormal_installs(self, median: int) -> int:
+        """Install counts around a median, log10 sigma ~ 1.05."""
+        import math
+        draw = self._rng.lognormvariate(math.log(median), 1.05 * math.log(10) / 1.17)
+        return max(10, int(draw))
+
+    def _generate_advertised_apps(self) -> None:
+        rng = self._rng
+        pools: Dict[str, List[AdvertisedApp]] = {"vetted": [], "unvetted": []}
+        for iip_name, calibration in paperdata.TABLE4.items():
+            count = self.config.scaled(calibration.app_count, minimum=3)
+            dev_reuse = 1.0 - calibration.developer_count / calibration.app_count
+            group = "vetted" if iip_name in VETTED_IIPS else "unvetted"
+            iip_developers: List[Developer] = []
+            for _ in range(count):
+                if (pools[group] and
+                        rng.random() < self.config.overlap_fraction):
+                    # Reuse an existing advertised app of the same tier:
+                    # it runs campaigns on one more platform.  (Cross-tier
+                    # reuse would drag unvetted-sized apps into vetted
+                    # medians, which Table 4 shows does not happen.)
+                    app = rng.choice(pools[group])
+                    if iip_name not in app.iips:
+                        app.iips.append(iip_name)
+                    continue
+                if iip_developers and rng.random() < dev_reuse:
+                    developer = rng.choice(iip_developers)
+                else:
+                    developer = self._new_developer(group)
+                    iip_developers.append(developer)
+                # Age is measured the way the paper measures it: days
+                # between the Play release and the campaign start.
+                planned_start = rng.randrange(
+                    0, max(1, self.config.measurement_days - 12))
+                age = max(3, int(rng.lognormvariate(
+                    _ln(calibration.median_age_days), 0.9)))
+                listing = AppListing(
+                    package=self._new_package("com.adv"),
+                    title=self._new_title(),
+                    genre=self._zipf_genre(),
+                    developer=developer,
+                    release_day=planned_start - age,
+                    has_in_app_purchases=rng.random() < 0.6,
+                )
+                median_installs = calibration.median_installs
+                if rng.random() < MAINSTREAM_FRACTION[group]:
+                    median_installs = MAINSTREAM_MEDIAN_INSTALLS[group]
+                app = AdvertisedApp(
+                    listing=listing,
+                    iips=[iip_name],
+                    initial_installs=self._lognormal_installs(median_installs),
+                    organic_growth=self._draw_growth(),
+                    dau_rate=rng.uniform(*DAU_RATE_RANGE),
+                    planned_start=planned_start,
+                )
+                self.world.store.publish(listing)
+                self.world.store.record_install_batch(
+                    listing.package, 0, InstallSource.ORGANIC,
+                    app.initial_installs)
+                self.advertised.append(app)
+                pools[group].append(app)
+                self._by_package[listing.package] = app
+
+    def _draw_growth(self) -> float:
+        rng = self._rng
+        if rng.random() < FAST_GROWER_FRACTION:
+            return FAST_GROWER_RATE * rng.uniform(0.5, 2.0)
+        return rng.lognormvariate(_ln(ORGANIC_GROWTH_MEDIAN), 0.8)
+
+    def _generate_baseline_apps(self) -> None:
+        rng = self._rng
+        for label, count, low, high in BASELINE_HISTOGRAM:
+            for _ in range(self.config.scaled(count)):
+                developer = self._new_developer("baseline")
+                listing = AppListing(
+                    package=self._new_package("com.base"),
+                    title=self._new_title(),
+                    genre=self._zipf_genre(),
+                    developer=developer,
+                    release_day=-rng.randrange(100, 2000),
+                    has_in_app_purchases=rng.random() < 0.5,
+                )
+                installs = int(rng.uniform(low, high) ** 0.5
+                               * rng.uniform(low, high) ** 0.5)
+                app = BaselineApp(
+                    listing=listing,
+                    initial_installs=max(10, installs),
+                    organic_growth=self._draw_growth(),
+                    dau_rate=rng.uniform(*DAU_RATE_RANGE),
+                )
+                self.world.store.publish(listing)
+                self.world.store.record_install_batch(
+                    listing.package, 0, InstallSource.ORGANIC,
+                    app.initial_installs)
+                self.baseline.append(app)
+
+    # -- campaigns ------------------------------------------------------
+
+    def _offer_type(self, iip_name: str) -> Tuple[OfferCategory,
+                                                  Optional[ActivityKind]]:
+        rng = self._rng
+        calibration = paperdata.TABLE4[iip_name]
+        if rng.random() < calibration.no_activity_fraction:
+            return OfferCategory.NO_ACTIVITY, None
+        draw = rng.random()
+        cumulative = 0.0
+        for kind_name, weight in paperdata.ACTIVITY_KIND_WEIGHTS.items():
+            cumulative += weight
+            if draw < cumulative:
+                return OfferCategory.ACTIVITY, ActivityKind(kind_name)
+        return OfferCategory.ACTIVITY, ActivityKind.USAGE
+
+    def _payout(self, iip_name: str, category: OfferCategory,
+                kind: Optional[ActivityKind]) -> float:
+        key = "no_activity" if category is OfferCategory.NO_ACTIVITY else kind.value
+        factor = IIP_PRICE_FACTOR[iip_name]
+        if kind is ActivityKind.PURCHASE:
+            # Purchase payouts track the purchase amount, not the
+            # platform's price level (Table 3: $2.98 average everywhere).
+            factor = factor ** 0.4
+        base = paperdata.MEAN_PAYOUTS[key] * factor
+        return round(max(0.01, self._rng.lognormvariate(_ln(base), 0.45)), 2)
+
+    def _decide_funding_intent(self, app: AdvertisedApp) -> bool:
+        """Funding-seeking developers run different campaigns (Table 8)."""
+        developer_id = app.listing.developer.developer_id
+        if developer_id in self._funded_developers:
+            return True
+        group = "vetted" if app.vetted_advertised else "unvetted"
+        if self._rng.random() < FUNDED_AFTER_RATE[group]:
+            self._funded_developers.add(developer_id)
+            return True
+        return False
+
+    def _create_campaigns(self) -> None:
+        rng = self._rng
+        describe = self._describe
+        horizon = self.config.measurement_days
+        for app in self.advertised:
+            arbitrage_rate = (paperdata.ARBITRAGE_VETTED_FRACTION
+                              if app.vetted_advertised
+                              else paperdata.ARBITRAGE_UNVETTED_FRACTION)
+            app_is_arbitrage = rng.random() < arbitrage_rate
+            arbitrage_pending = app_is_arbitrage
+            seeking_funding = self._decide_funding_intent(app)
+            start = app.planned_start
+            for iip_name in app.iips:
+                platform = self.world.platforms[iip_name]
+                developer_id = app.listing.developer.developer_id
+                if not platform.is_registered(developer_id):
+                    platform.register_developer(DeveloperCredentials(
+                        developer_id=developer_id, tax_id=f"TAX-{developer_id}",
+                        bank_account=f"IBAN-{developer_id}"))
+                offer_count = max(1, int(rng.expovariate(
+                    1.0 / self.config.offers_per_membership_mean)))
+                offer_count = min(offer_count, 5)
+                forced_types: List[Tuple[OfferCategory, Optional[ActivityKind]]] = []
+                if seeking_funding:
+                    # Funded apps tend to run both offer types (Table 8:
+                    # 67% use no-activity and 63% use activity offers).
+                    _, activity_kind = self._offer_type(iip_name)
+                    if rng.random() < 0.67:
+                        forced_types.append((OfferCategory.NO_ACTIVITY, None))
+                    if rng.random() < 0.63 or not forced_types:
+                        forced_types.append((OfferCategory.ACTIVITY,
+                                             activity_kind or ActivityKind.USAGE))
+                    offer_count = max(offer_count, len(forced_types))
+                for index in range(offer_count):
+                    if index < len(forced_types):
+                        category, kind = forced_types[index]
+                    else:
+                        category, kind = self._offer_type(iip_name)
+                    if arbitrage_pending:
+                        category, kind = (OfferCategory.ACTIVITY,
+                                          ActivityKind.USAGE)
+                        arbitrage_pending = False
+                        is_arbitrage = True
+                    else:
+                        is_arbitrage = False
+                    if category is OfferCategory.ACTIVITY:
+                        app.uses_activity = True
+                    payout = self._payout(iip_name, category, kind)
+                    if seeking_funding:
+                        payout = round(payout * FUNDED_PAYOUT_MULTIPLIER, 2)
+                    purchase_usd = round(rng.choice((0.99, 1.99, 4.99, 9.99)), 2)
+                    # Mainstream brands (or their marketers) buy real
+                    # volume wherever they advertise; small unvetted
+                    # advertisers buy handfuls of installs.
+                    big_budget = (iip_name in VETTED_IIPS
+                                  or app.initial_installs > 500_000)
+                    volume_hint = (VETTED_VOLUME_RANGE if big_budget
+                                   else UNVETTED_VOLUME_RANGE)
+                    volume = int(_log_uniform(rng, *volume_hint))
+                    duration = max(4, int(rng.gauss(20, 7) + volume / 1500))
+                    offer_start = min(start + rng.randrange(0, 6), horizon - 3)
+                    offer_end = min(offer_start + duration, horizon - 1)
+                    target = None
+                    language = "en"
+                    if rng.random() < self.config.geo_targeted_fraction:
+                        target = tuple(rng.sample(
+                            MILKER_COUNTRIES, rng.randrange(1, 4)))
+                        # Single-country offers are often localized.
+                        local = {"ES": "es", "DE": "de", "RU": "ru"}
+                        if (len(target) == 1 and target[0] in local
+                                and rng.random() < 0.6):
+                            language = local[target[0]]
+                    cost = (payout * (1 + platform.config.advertiser_markup)
+                            + self.world.mediator.fee_per_user_usd)
+                    budget = max(cost * volume * 1.1,
+                                 platform.config.min_deposit_usd * 1.1)
+                    self.world.money.mint(developer_id, budget, day=0,
+                                          memo="campaign funding")
+                    campaign = platform.create_campaign(
+                        developer_id=developer_id,
+                        package=app.package,
+                        app_title=app.listing.title,
+                        description=describe.describe(
+                            category, kind, app.listing.title,
+                            is_arbitrage=is_arbitrage,
+                            purchase_usd=purchase_usd,
+                            language=language),
+                        payout_usd=payout,
+                        category=category,
+                        activity_kind=kind,
+                        tasks=tasks_for(category, kind,
+                                        is_arbitrage=is_arbitrage,
+                                        purchase_usd=purchase_usd),
+                        installs=volume,
+                        start_day=offer_start,
+                        end_day=offer_end,
+                        target_countries=target,
+                        is_arbitrage=is_arbitrage,
+                    )
+                    platform.launch(campaign.campaign_id, offer_start)
+                    app.campaigns.append(campaign)
+                    self._campaign_app[campaign.campaign_id] = app
+
+    # -- crunchbase ------------------------------------------------------
+
+    def _populate_crunchbase(self) -> None:
+        rng = self._rng
+        snapshot_day = paperdata.CRUNCHBASE_SNAPSHOT_DAY
+
+        def maybe_add(developer: Developer, funded: bool,
+                      campaign_start: Optional[int]) -> None:
+            presence = (CRUNCHBASE_PRESENCE["with_site"] if developer.website
+                        else CRUNCHBASE_PRESENCE["without_site"])
+            if rng.random() >= presence:
+                return
+            org = Organization(
+                org_id=f"org-{developer.developer_id}",
+                name=developer.name,
+                website=developer.website,
+                country=developer.country,
+                is_public_company=rng.random() < PUBLIC_COMPANY_RATE,
+            )
+            try:
+                self.world.crunchbase.add_organization(org)
+            except ValueError:
+                return  # developer with several apps: org already added
+            if rng.random() < 0.25:  # historical round before our window
+                self.world.crunchbase.add_round(FundingRound(
+                    org_id=org.org_id, day=-rng.randrange(30, 700),
+                    round_type=rng.choice(("Angel", "Seed", "Series A")),
+                    amount_usd=rng.uniform(0.5e6, 20e6),
+                    investor_name="EarlyBird Capital",
+                    investor_type="VC investor"))
+            if funded:
+                anchor = campaign_start if campaign_start is not None else 0
+                round_day = anchor + rng.randrange(7, 60)
+                if round_day <= snapshot_day:
+                    self.world.crunchbase.add_round(FundingRound(
+                        org_id=org.org_id, day=round_day,
+                        round_type=rng.choice(("Seed", "Series A", "Series B",
+                                               "Series D", "Series F")),
+                        amount_usd=rng.uniform(1e6, 120e6),
+                        investor_name=rng.choice(
+                            ("Sequoia Example", "Accel Example",
+                             "Lightspeed Example")),
+                        investor_type="VC investor"))
+
+        seen: Set[str] = set()
+        for app in self.advertised:
+            developer = app.listing.developer
+            if developer.developer_id in seen:
+                continue
+            seen.add(developer.developer_id)
+            starts = [c.offer.start_day for c in app.campaigns]
+            maybe_add(developer,
+                      developer.developer_id in self._funded_developers,
+                      min(starts) if starts else None)
+        for app in self.baseline:
+            developer = app.listing.developer
+            if developer.developer_id in seen:
+                continue
+            seen.add(developer.developer_id)
+            maybe_add(developer,
+                      rng.random() < FUNDED_AFTER_RATE["baseline"], 0)
+
+    # -- APKs ------------------------------------------------------
+
+    def _build_apks(self) -> None:
+        builder = ApkBuilder(self.world.seeds.rng("apks"))
+        rng = self._rng
+        for app in self.advertised:
+            key = ("activity" if app.uses_activity else "no_activity",
+                   "vetted" if app.vetted_advertised else "unvetted")
+            count = _poisson(rng, AD_LIB_LAMBDA[key])
+            self.world.apks.add(builder.build(app.package, count,
+                                              obfuscate_fraction=0.05))
+        for app in self.baseline:
+            count = _poisson(rng, AD_LIB_LAMBDA[("baseline", "baseline")])
+            self.world.apks.add(builder.build(app.package, count,
+                                              obfuscate_fraction=0.05))
+
+    # ------------------------------------------------------------------
+    # daily dynamics
+    # ------------------------------------------------------------------
+
+    def run_day(self, day: int) -> None:
+        self._organic_dynamics(day)
+        self._campaign_delivery(day)
+        self._chart_feedback(day)
+        self._enforcement_sweep(day)
+
+    def _chart_feedback(self, day: int) -> None:
+        """Chart visibility converts into organic installs (why
+        developers pay to manipulate charts in the first place)."""
+        bonus = self.config.chart_feedback_installs
+        if bonus <= 0:
+            return
+        from repro.playstore.charts import ChartKind
+        snapshot = self.world.store.chart_snapshot(ChartKind.TOP_FREE, day)
+        for entry in snapshot.entries:
+            extra = _stochastic_round(self._rng, bonus * entry.percentile)
+            if extra:
+                self.world.store.record_install_batch(
+                    entry.package, day, InstallSource.ORGANIC, extra)
+
+    def _organic_dynamics(self, day: int) -> None:
+        rng = self._rng
+        store = self.world.store
+        for app in self._all_apps():
+            installs = app.initial_installs  # growth relative to launch size
+            # Organic acquisition is bursty (press, featuring, seasonal
+            # spikes): daily velocity carries heavy multiplicative noise.
+            velocity_noise = rng.lognormvariate(0.0, 0.6)
+            new_installs = _stochastic_round(
+                rng, installs * app.organic_growth * velocity_noise)
+            if new_installs:
+                store.record_install_batch(app.package, day,
+                                           InstallSource.ORGANIC, new_installs)
+            noise = rng.lognormvariate(0.0, ENGAGEMENT_NOISE_SIGMA)
+            dau = int(installs * app.dau_rate * noise)
+            if dau <= 0:
+                continue
+            revenue = 0.0
+            if app.listing.has_in_app_purchases:
+                revenue = dau * 0.01 * rng.uniform(0.5, 1.5)
+            store.record_engagement(app.package, day, DailyEngagement(
+                active_users=dau,
+                sessions=int(dau * 1.4),
+                session_seconds=dau * rng.uniform(180, 420),
+                registrations=int(dau * 0.002),
+                purchase_revenue_usd=revenue,
+                ad_impressions=int(dau * 3),
+            ))
+
+    def _all_apps(self):
+        for app in self.advertised:
+            yield app
+        for app in self.baseline:
+            yield app
+
+    def _campaign_delivery(self, day: int) -> None:
+        rng = self._rng
+        store = self.world.store
+        for app in self.advertised:
+            for campaign in app.campaigns:
+                offer = campaign.offer
+                if not campaign.is_live_on(day) or not offer.live_on(day):
+                    continue
+                days_left = max(1, offer.end_day - day + 1)
+                quota = _stochastic_round(
+                    rng, campaign.remaining / days_left * rng.uniform(0.7, 1.3))
+                quota = min(quota, campaign.remaining)
+                if quota <= 0:
+                    continue
+                campaign.record_delivery(quota)
+                store.record_install_batch(
+                    app.package, day, InstallSource.INCENTIVIZED, quota,
+                    campaign_id=campaign.campaign_id)
+                self._incentivized_engagement(app, campaign, day, quota)
+
+    def _incentivized_engagement(self, app: AdvertisedApp, campaign,
+                                 day: int, completions: int) -> None:
+        offer = campaign.offer
+        rng = self._rng
+        session_seconds = completions * (30.0 + offer.total_effort_minutes * 60.0)
+        registrations = 0
+        revenue = 0.0
+        if offer.activity_kind is ActivityKind.REGISTRATION:
+            registrations = completions
+        if offer.activity_kind is ActivityKind.PURCHASE:
+            purchase_tasks = [t for t in offer.tasks if t.amount > 0]
+            amount = purchase_tasks[0].amount if purchase_tasks else 4.99
+            revenue = completions * amount
+        if offer.category is OfferCategory.NO_ACTIVITY:
+            session_seconds = completions * rng.uniform(20, 60)
+        self.world.store.record_engagement(app.package, day, DailyEngagement(
+            active_users=completions,
+            sessions=completions,
+            session_seconds=session_seconds,
+            registrations=registrations,
+            purchase_revenue_usd=revenue,
+            ad_impressions=completions * (4 if app.uses_activity else 1),
+        ))
+
+    def _enforcement_sweep(self, day: int) -> None:
+        """Review campaigns that finished yesterday."""
+        rng = self._rng
+        for app in self.advertised:
+            for campaign in app.campaigns:
+                if campaign.campaign_id in self._reviewed_campaigns:
+                    continue
+                finished = (campaign.remaining == 0
+                            or day > campaign.offer.end_day)
+                if not finished:
+                    continue
+                self._reviewed_campaigns.add(campaign.campaign_id)
+                vetted = campaign.offer.iip_name in VETTED_IIPS
+                open_rate = 0.98 if vetted else rng.uniform(0.45, 0.7)
+                signals = CampaignSignals(
+                    campaign_id=campaign.campaign_id,
+                    package=app.package,
+                    installs_delivered=campaign.delivered,
+                    open_rate=open_rate,
+                    emulator_rate=0.002 if vetted else 0.006,
+                    delivery_hours=(self.world.platforms[campaign.offer.iip_name]
+                                    .config.delivery_hours_typical),
+                    end_day=day,
+                )
+                self.world.store.review_campaign(signals, day,
+                                                 self.world.seeds.rng(
+                                                     f"enforce:{campaign.campaign_id}"))
+
+    # -- convenience ------------------------------------------------------
+
+    def advertised_packages(self) -> List[str]:
+        return sorted(app.package for app in self.advertised)
+
+    def baseline_packages(self) -> List[str]:
+        return sorted(app.package for app in self.baseline)
+
+    def app_for_campaign(self, campaign_id: str) -> AdvertisedApp:
+        return self._campaign_app[campaign_id]
+
+
+def _ln(value: float) -> float:
+    import math
+    return math.log(value)
+
+
+def _log_uniform(rng: random.Random, low: float, high: float) -> float:
+    import math
+    return math.exp(rng.uniform(math.log(low), math.log(high)))
+
+
+def _stochastic_round(rng: random.Random, value: float) -> int:
+    base = int(value)
+    if rng.random() < value - base:
+        base += 1
+    return base
+
+
+def _poisson(rng: random.Random, lam: float) -> int:
+    """Knuth's algorithm; lambda is small here."""
+    import math
+    threshold = math.exp(-lam)
+    count = 0
+    product = rng.random()
+    while product > threshold:
+        count += 1
+        product *= rng.random()
+    return count

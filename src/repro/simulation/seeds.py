@@ -1,0 +1,29 @@
+"""Deterministic named randomness streams.
+
+Every subsystem draws from its own stream derived from the scenario
+seed, so adding randomness consumption to one subsystem never perturbs
+another (a classic reproducibility failure in simulators that share one
+RNG).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+
+class SeedSequence:
+    """Derives independent ``random.Random`` streams by name."""
+
+    def __init__(self, root_seed: int) -> None:
+        self.root_seed = root_seed
+
+    def seed_for(self, name: str) -> int:
+        material = f"{self.root_seed}:{name}".encode("utf-8")
+        return int.from_bytes(hashlib.sha256(material).digest()[:8], "big")
+
+    def rng(self, name: str) -> random.Random:
+        return random.Random(self.seed_for(name))
+
+    def child(self, name: str) -> "SeedSequence":
+        return SeedSequence(self.seed_for(name))

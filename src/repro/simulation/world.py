@@ -1,0 +1,103 @@
+"""World assembly: every subsystem wired onto one fabric.
+
+A ``World`` owns the network, the Play Store and its HTTPS front end,
+the seven IIPs and their offer-wall servers, the affiliate-app specs
+registered with those walls, the telemetry collector, the VPN exit
+pool, the Crunchbase database, and the APK corpus.  Scenarios populate
+it; measurement pipelines observe it.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional
+
+from repro.affiliates.registry import AFFILIATE_SPECS
+from repro.crunchbase.database import CrunchbaseDatabase
+from repro.honeyapp.server import TelemetryServer
+from repro.iip.accounting import MoneyLedger
+from repro.iip.mediator import AttributionMediator
+from repro.iip.offerwall import OfferWallServer
+from repro.iip.registry import build_platforms
+from repro.net.client import HttpClient
+from repro.net.fabric import Endpoint, NetworkFabric
+from repro.net.ip import MILKER_COUNTRIES
+from repro.net.proxy import MitmProxy
+from repro.net.tls import CertificateAuthority, TrustStore
+from repro.net.vpn import VpnExitPool
+from repro.playstore.frontend import PlayStoreFrontend
+from repro.playstore.store import PlayStore
+from repro.simulation.clock import SimulationClock
+from repro.simulation.seeds import SeedSequence
+from repro.staticanalysis.apk import ApkRepository
+from repro.users.devices import Device, DeviceFactory
+
+
+class World:
+    """The full simulated ecosystem."""
+
+    def __init__(self, seed: int = 2019,
+                 vpn_countries=MILKER_COUNTRIES) -> None:
+        self.seeds = SeedSequence(seed)
+        self.clock = SimulationClock()
+        self.fabric = NetworkFabric()
+        ca_rng = self.seeds.rng("ca")
+        self.root_ca = CertificateAuthority("GlobalTrust Root CA", ca_rng)
+        self.public_trust = TrustStore()
+        self.public_trust.add_root(self.root_ca.self_certificate())
+
+        self.store = PlayStore()
+        self.frontend = PlayStoreFrontend(
+            self.fabric, self.store, self.root_ca,
+            self.seeds.rng("frontend"), current_day=self.clock.now)
+
+        self.money = MoneyLedger()
+        self.mediator = AttributionMediator()
+        self.platforms = build_platforms(self.money, self.mediator)
+        wall_rng = self.seeds.rng("walls")
+        self.walls: Dict[str, OfferWallServer] = {
+            name: OfferWallServer(self.fabric, platform, self.root_ca,
+                                  wall_rng, current_day=self.clock.now)
+            for name, platform in self.platforms.items()
+        }
+        for spec in AFFILIATE_SPECS.values():
+            for iip_name in spec.integrated_iips:
+                self.walls[iip_name].register_affiliate(spec.wall_config())
+
+        self.telemetry = TelemetryServer(self.fabric, self.root_ca,
+                                         self.seeds.rng("telemetry"))
+        self.vpn = VpnExitPool(self.fabric, self.seeds.rng("vpn"),
+                               countries=tuple(vpn_countries))
+        self.crunchbase = CrunchbaseDatabase()
+        self.apks = ApkRepository()
+        self.device_factory = DeviceFactory(self.fabric.asn_db,
+                                            self.seeds.rng("devices"))
+
+    # -- helpers ------------------------------------------------------------
+
+    def device_trust_store(self) -> TrustStore:
+        """A fresh trust store containing the public root (what a stock
+        Android device ships with)."""
+        store = TrustStore()
+        store.add_root(self.root_ca.self_certificate())
+        return store
+
+    def client_for(self, device: Device,
+                   rng: Optional[random.Random] = None) -> HttpClient:
+        return HttpClient(self.fabric, device.endpoint, device.trust_store,
+                          rng or self.seeds.rng(f"client:{device.device_id}"),
+                          today=self.clock.day)
+
+    def measurement_client(self, rng: Optional[random.Random] = None) -> HttpClient:
+        """A well-connected client for crawlers (university network)."""
+        crawler_rng = rng or self.seeds.rng("crawler-client")
+        asn = self.fabric.asn_db.asns_in_country("US", kind="eyeball")[0]
+        address = self.fabric.asn_db.allocate(asn.number, crawler_rng)
+        return HttpClient(self.fabric, Endpoint(address=address),
+                          self.public_trust, crawler_rng)
+
+    def build_mitm(self, hostname: str = "mitm.lab.example") -> MitmProxy:
+        rng = self.seeds.rng("mitm")
+        address = self.fabric.asn_db.allocate(14061, rng)
+        return MitmProxy(self.fabric, hostname, address, rng,
+                         upstream_trust=self.public_trust)

@@ -1,0 +1,19 @@
+"""Static APK analysis (the repo's LibRadar substitute).
+
+Models APKs as trees of dex package prefixes and detects embedded
+third-party advertising libraries by signature-prefix matching, with
+the same blind spot the paper footnotes: obfuscated or dynamically
+loaded libraries are missed.
+"""
+
+from repro.staticanalysis.apk import Apk, ApkBuilder, ApkRepository
+from repro.staticanalysis.libradar import LibRadarDetector
+from repro.staticanalysis.signatures import AD_LIBRARY_SIGNATURES
+
+__all__ = [
+    "AD_LIBRARY_SIGNATURES",
+    "Apk",
+    "ApkBuilder",
+    "ApkRepository",
+    "LibRadarDetector",
+]

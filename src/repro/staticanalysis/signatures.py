@@ -1,0 +1,59 @@
+"""Ad-library signature database: library name -> dex package prefix.
+
+Includes the vendors the paper names (Google AdMob, AppLovin,
+ChartBoost) and the IIP-as-advertiser SDKs it observed (e.g. Fyber).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+AD_LIBRARY_SIGNATURES: Dict[str, str] = {
+    "Google AdMob": "com.google.android.gms.ads",
+    "AppLovin": "com.applovin",
+    "ChartBoost": "com.chartboost.sdk",
+    "Unity Ads": "com.unity3d.ads",
+    "Vungle": "com.vungle.warren",
+    "IronSource": "com.ironsource.sdk",
+    "AdColony": "com.adcolony.sdk",
+    "Tapjoy": "com.tapjoy",
+    "StartApp": "com.startapp.sdk",
+    "InMobi": "com.inmobi.ads",
+    "Facebook Audience Network": "com.facebook.ads",
+    "MoPub": "com.mopub.mobileads",
+    "Fyber": "com.fyber.ads",
+    "OfferToro": "com.offertoro.sdk",
+    "AdscendMedia": "com.adscendmedia.sdk",
+    "ayeT-Studios": "com.ayetstudios.publishersdk",
+    "AdGem": "com.adgem.android",
+    "Pollfish": "com.pollfish",
+    "Appodeal": "com.appodeal.ads",
+    "Smaato": "com.smaato.sdk",
+    "MyTarget": "com.my.target.ads",
+    "Yandex Ads": "com.yandex.mobile.ads",
+    "Amazon Ads": "com.amazon.device.ads",
+    "HyprMX": "com.hyprmx.android",
+    "Mintegral": "com.mbridge.msdk",
+    "PubNative": "net.pubnative.lite",
+    "Ogury": "io.presage",
+    "Kidoz": "com.kidoz.sdk",
+    "Leadbolt": "com.apptracker.android",
+    "AirPush": "com.airpush.android",
+}
+
+#: Non-advertising libraries commonly present in APKs; noise for the
+#: detector to ignore.
+COMMON_NON_AD_LIBRARIES: Dict[str, str] = {
+    "OkHttp": "okhttp3",
+    "Retrofit": "retrofit2",
+    "Glide": "com.bumptech.glide",
+    "Gson": "com.google.gson",
+    "Firebase Analytics": "com.google.firebase.analytics",
+    "AndroidX Core": "androidx.core",
+    "Kotlin Stdlib": "kotlin",
+    "RxJava": "io.reactivex",
+    "Crashlytics": "com.crashlytics.sdk",
+    "AppsFlyer": "com.appsflyer",
+    "Adjust": "com.adjust.sdk",
+    "Kochava": "com.kochava.base",
+}

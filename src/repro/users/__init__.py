@@ -1,0 +1,21 @@
+"""Users of the incentivized-install ecosystem.
+
+Device models (real phones, rooted phones, emulators, device farms),
+their network attachment (SSID, /24 block, eyeball vs datacenter ASN),
+and the behaviour of the crowd workers who browse offer walls to earn
+rewards (paper Section 3's "incentivized users").
+"""
+
+from repro.users.devices import Device, DeviceFarm, DeviceProfile
+from repro.users.population import IIPUserMix, PopulationBuilder
+from repro.users.worker import Worker, WorkerBehavior
+
+__all__ = [
+    "Device",
+    "DeviceFarm",
+    "DeviceProfile",
+    "IIPUserMix",
+    "PopulationBuilder",
+    "Worker",
+    "WorkerBehavior",
+]

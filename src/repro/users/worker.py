@@ -1,0 +1,121 @@
+"""Crowd-worker behaviour.
+
+The paper's central behavioural finding (Section 3): incentivized users
+do "the bare minimum effort to complete the offer" -- fewer than half
+touch the app's one feature, engagement collapses within a day, and a
+visible minority never even open the app.  ``Worker.work_offer``
+produces exactly these observable traces.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.iip.offers import Offer, OfferCategory, TaskKind
+from repro.users.devices import Device
+
+
+@dataclass(frozen=True)
+class WorkerBehavior:
+    """Behavioural parameters of one worker archetype."""
+
+    open_probability: float = 1.0       # opens the app at all
+    engage_probability: float = 0.44    # touches features beyond the task
+    next_day_return_probability: float = 0.005
+    abandon_activity_probability: float = 0.05  # gives up on hard tasks
+
+    def __post_init__(self) -> None:
+        for name in ("open_probability", "engage_probability",
+                     "next_day_return_probability",
+                     "abandon_activity_probability"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} out of [0, 1]: {value}")
+
+
+@dataclass(frozen=True)
+class OfferWorkResult:
+    """Everything observable about one worker's pass at one offer."""
+
+    offer_id: str
+    package: str
+    device_id: str
+    day: int
+    installed: bool
+    opened: bool
+    completed: bool
+    tasks_completed: Tuple[str, ...]
+    registered: bool
+    purchase_usd: float
+    session_seconds: float
+    engaged_beyond_task: bool    # e.g. clicked the honey app's record button
+    returned_next_day: bool
+
+
+class Worker:
+    """One crowd worker and their phone."""
+
+    def __init__(self, worker_id: str, device: Device,
+                 behavior: WorkerBehavior) -> None:
+        self.worker_id = worker_id
+        self.device = device
+        self.behavior = behavior
+        self.points_earned: float = 0.0
+        self.offers_completed: List[str] = []
+
+    def work_offer(self, offer: Offer, day: int,
+                   rng: random.Random) -> OfferWorkResult:
+        """Install the advertised app and attempt the offer's tasks."""
+        self.device.install(offer.package)
+        opened = rng.random() < self.behavior.open_probability
+        tasks_completed: List[str] = [TaskKind.INSTALL.value]
+        registered = False
+        purchase_usd = 0.0
+        session_seconds = 0.0
+        engaged = False
+        completed = False
+        if opened:
+            tasks_completed.append(TaskKind.OPEN.value)
+            session_seconds = 20.0 + rng.uniform(0.0, 40.0)
+            abandoned = (offer.category is OfferCategory.ACTIVITY
+                         and rng.random() < self.behavior.abandon_activity_probability)
+            if not abandoned:
+                for task in offer.tasks:
+                    if task.kind in (TaskKind.INSTALL, TaskKind.OPEN):
+                        continue
+                    tasks_completed.append(task.kind.value)
+                    session_seconds += task.effort_minutes * 60.0
+                    if task.kind is TaskKind.REGISTER:
+                        registered = True
+                    elif task.kind is TaskKind.PURCHASE:
+                        purchase_usd += task.amount
+                completed = True
+            engaged = rng.random() < self.behavior.engage_probability
+        elif offer.category is OfferCategory.NO_ACTIVITY:
+            # Some sloppy platforms (RankApp-style) count bare installs.
+            completed = True
+        returned = opened and rng.random() < self.behavior.next_day_return_probability
+        if completed:
+            self.offers_completed.append(offer.offer_id)
+        return OfferWorkResult(
+            offer_id=offer.offer_id,
+            package=offer.package,
+            device_id=self.device.device_id,
+            day=day,
+            installed=True,
+            opened=opened,
+            completed=completed,
+            tasks_completed=tuple(tasks_completed),
+            registered=registered,
+            purchase_usd=purchase_usd,
+            session_seconds=session_seconds,
+            engaged_beyond_task=engaged,
+            returned_next_day=returned,
+        )
+
+    def credit_points(self, points: float) -> None:
+        if points < 0:
+            raise ValueError("negative points")
+        self.points_earned += points

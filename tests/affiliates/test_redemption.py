@@ -1,0 +1,113 @@
+"""Gift-card redemption tests (paper footnote 6)."""
+
+import random
+
+import pytest
+
+from repro.affiliates.app import AffiliateAppSpec
+from repro.affiliates.redemption import (
+    GIFT_CARD_DENOMINATIONS,
+    RedemptionError,
+    RedemptionService,
+    points_per_usd_from_menu,
+)
+from repro.affiliates.registry import AFFILIATE_SPECS
+from repro.net.ip import AsnDatabase
+from repro.users.devices import DeviceFactory
+from repro.users.worker import Worker, WorkerBehavior
+
+SPEC = AffiliateAppSpec(
+    package="com.bigcash.app", title="BigCash", installs_display="1M+",
+    integrated_iips=("OfferToro",), currency_name="points",
+    points_per_usd=10_000.0)
+
+
+def make_worker(points=0.0):
+    factory = DeviceFactory(AsnDatabase(), random.Random(3))
+    worker = Worker("w1", factory.real_phone("PH"), WorkerBehavior())
+    worker.points_earned = points
+    return worker
+
+
+class TestMenu:
+    def test_menu_lists_all_brands(self):
+        service = RedemptionService(SPEC)
+        cards = {entry.card for entry in service.menu()}
+        assert cards == set(GIFT_CARD_DENOMINATIONS)
+
+    def test_menu_sorted_by_price(self):
+        prices = [entry.points_required
+                  for entry in RedemptionService(SPEC).menu()]
+        assert prices == sorted(prices)
+
+    def test_minimum_filters_small_cards(self):
+        service = RedemptionService(SPEC, minimum_usd=5.0)
+        assert all(entry.amount_usd >= 5.0 for entry in service.menu())
+
+    def test_points_prices_follow_exchange_rate(self):
+        for entry in RedemptionService(SPEC).menu():
+            assert entry.points_required == pytest.approx(
+                entry.amount_usd * 10_000, rel=0.01)
+
+
+class TestRedeem:
+    def test_successful_redemption_deducts_points(self):
+        service = RedemptionService(SPEC)
+        worker = make_worker(points=60_000)
+        card = service.redeem(worker, "PayPal", 5.0)
+        assert card.amount_usd == 5.0
+        assert card.worker_id == "w1"
+        assert worker.points_earned == pytest.approx(10_000)
+        assert service.issued() == [card]
+
+    def test_insufficient_points_rejected(self):
+        service = RedemptionService(SPEC)
+        worker = make_worker(points=100)
+        with pytest.raises(RedemptionError, match="needs"):
+            service.redeem(worker, "PayPal", 5.0)
+
+    def test_unknown_card_rejected(self):
+        with pytest.raises(RedemptionError, match="unknown card"):
+            RedemptionService(SPEC).redeem(make_worker(1e6), "Steam", 5.0)
+
+    def test_unoffered_denomination_rejected(self):
+        with pytest.raises(RedemptionError, match="not offered"):
+            RedemptionService(SPEC).redeem(make_worker(1e6), "Amazon", 3.0)
+
+    def test_below_minimum_rejected(self):
+        service = RedemptionService(SPEC, minimum_usd=5.0)
+        with pytest.raises(RedemptionError, match="minimum"):
+            service.redeem(make_worker(1e6), "PayPal", 1.0)
+
+    def test_card_codes_unique(self):
+        service = RedemptionService(SPEC)
+        worker = make_worker(points=1e6)
+        codes = {service.redeem(worker, "PayPal", 1.0).code
+                 for _ in range(10)}
+        assert len(codes) == 10
+
+
+class TestRateRecovery:
+    """The paper's normalisation: read the exchange rate off the menu."""
+
+    def test_recovers_spec_rate(self):
+        menu = RedemptionService(SPEC).menu()
+        rate = points_per_usd_from_menu(menu)
+        assert rate == pytest.approx(10_000, rel=0.01)
+
+    def test_recovers_rate_for_every_registry_app(self):
+        for spec in AFFILIATE_SPECS.values():
+            menu = RedemptionService(spec).menu()
+            rate = points_per_usd_from_menu(menu)
+            assert rate == pytest.approx(spec.points_per_usd, rel=0.02)
+
+    def test_empty_menu_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            points_per_usd_from_menu([])
+
+    def test_inconsistent_menu_detected(self):
+        from repro.affiliates.redemption import MenuEntry
+        menu = [MenuEntry("PayPal", 1.0, 1000),
+                MenuEntry("PayPal", 5.0, 9000)]  # punitive small cards
+        with pytest.raises(ValueError, match="inconsistent"):
+            points_per_usd_from_menu(menu)

@@ -1,0 +1,156 @@
+"""Offer-description classifier tests."""
+
+import random
+
+import pytest
+
+from repro.analysis.classify import OfferClassifier
+from repro.iip.offers import (
+    ActivityKind,
+    OfferCategory,
+    OfferDescriptionGenerator,
+)
+
+
+@pytest.fixture()
+def classifier():
+    return OfferClassifier()
+
+
+class TestPaperExamples:
+    """Every literal offer description quoted in the paper."""
+
+    @pytest.mark.parametrize("text", [
+        "Install and Launch",
+        "Install and run the application.",
+    ])
+    def test_no_activity(self, classifier, text):
+        result = classifier.classify(text)
+        assert result.category is OfferCategory.NO_ACTIVITY
+
+    @pytest.mark.parametrize("text", [
+        "Install and Register",
+        "Install and register",
+    ])
+    def test_registration(self, classifier, text):
+        result = classifier.classify(text)
+        assert result.activity_kind is ActivityKind.REGISTRATION
+
+    @pytest.mark.parametrize("text", [
+        "Install and Reach level 10",
+        "Install, register, and download a song",
+    ])
+    def test_usage(self, classifier, text):
+        result = classifier.classify(text)
+        assert result.activity_kind is ActivityKind.USAGE
+
+    @pytest.mark.parametrize("text", [
+        "Install and make a $4.99 in-app purchase",
+        "Install & Make any purchase",
+    ])
+    def test_purchase(self, classifier, text):
+        result = classifier.classify(text)
+        assert result.activity_kind is ActivityKind.PURCHASE
+
+    def test_cash_time_arbitrage_offer(self, classifier):
+        text = ("Install and reach 850 points by completing surveys, "
+                "watching videos and shopping for deals in the app")
+        result = classifier.classify(text)
+        assert result.is_arbitrage
+        assert result.activity_kind is ActivityKind.USAGE
+
+    def test_dashlane_offer(self, classifier):
+        text = "Install the app, create an account, and save two passwords"
+        result = classifier.classify(text)
+        assert result.is_activity
+        assert result.activity_kind is ActivityKind.REGISTRATION
+
+
+class TestGeneratorAgreement:
+    """The classifier must recover the generator's ground truth."""
+
+    def _cases(self, count=300):
+        rng = random.Random(13)
+        generator = OfferDescriptionGenerator(rng)
+        cases = []
+        for _ in range(count):
+            draw = rng.random()
+            if draw < 0.4:
+                truth = (OfferCategory.NO_ACTIVITY, None, False)
+            elif draw < 0.6:
+                truth = (OfferCategory.ACTIVITY, ActivityKind.USAGE, False)
+            elif draw < 0.75:
+                truth = (OfferCategory.ACTIVITY, ActivityKind.REGISTRATION, False)
+            elif draw < 0.9:
+                truth = (OfferCategory.ACTIVITY, ActivityKind.PURCHASE, False)
+            else:
+                truth = (OfferCategory.ACTIVITY, ActivityKind.USAGE, True)
+            text = generator.describe(truth[0], truth[1], "PlainApp",
+                                      is_arbitrage=truth[2])
+            cases.append((text, truth))
+        return cases
+
+    def test_category_accuracy(self, classifier):
+        cases = self._cases()
+        correct = sum(
+            classifier.classify(text).category is truth[0]
+            for text, truth in cases)
+        assert correct / len(cases) > 0.97
+
+    def test_kind_accuracy(self, classifier):
+        cases = [(t, truth) for t, truth in self._cases()
+                 if truth[0] is OfferCategory.ACTIVITY and not truth[2]]
+        correct = sum(
+            classifier.classify(text).activity_kind is truth[1]
+            for text, truth in cases)
+        assert correct / len(cases) > 0.9
+
+    def test_arbitrage_recall(self, classifier):
+        cases = [(t, truth) for t, truth in self._cases() if truth[2]]
+        assert cases
+        assert all(classifier.classify(text).is_arbitrage
+                   for text, _ in cases)
+
+    def test_no_activity_never_marked_arbitrage(self, classifier):
+        cases = [(t, truth) for t, truth in self._cases()
+                 if truth[0] is OfferCategory.NO_ACTIVITY]
+        assert not any(classifier.classify(text).is_arbitrage
+                       for text, _ in cases)
+
+
+class TestLocalizedClassification:
+    """The classifier must recover ground truth in every wall language."""
+
+    def _cases(self, language, count=120):
+        rng = random.Random(17)
+        generator = OfferDescriptionGenerator(rng)
+        cases = []
+        for _ in range(count):
+            draw = rng.random()
+            if draw < 0.4:
+                truth = (OfferCategory.NO_ACTIVITY, None)
+            elif draw < 0.65:
+                truth = (OfferCategory.ACTIVITY, ActivityKind.USAGE)
+            elif draw < 0.85:
+                truth = (OfferCategory.ACTIVITY, ActivityKind.REGISTRATION)
+            else:
+                truth = (OfferCategory.ACTIVITY, ActivityKind.PURCHASE)
+            text = generator.describe(truth[0], truth[1], "PlainApp",
+                                      language=language)
+            cases.append((text, truth))
+        return cases
+
+    @pytest.mark.parametrize("language", ["es", "de", "ru", "pt"])
+    def test_category_accuracy(self, classifier, language):
+        cases = self._cases(language)
+        correct = sum(classifier.classify(text).category is truth[0]
+                      for text, truth in cases)
+        assert correct / len(cases) > 0.95
+
+    @pytest.mark.parametrize("language", ["es", "de", "ru", "pt"])
+    def test_kind_accuracy(self, classifier, language):
+        cases = [(t, truth) for t, truth in self._cases(language)
+                 if truth[0] is OfferCategory.ACTIVITY]
+        correct = sum(classifier.classify(text).activity_kind is truth[1]
+                      for text, truth in cases)
+        assert correct / len(cases) > 0.9

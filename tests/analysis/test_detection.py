@@ -1,0 +1,202 @@
+"""Lockstep-detection tests (the paper's Section-5.2 proposal)."""
+
+import pytest
+
+from repro.detection.bridge import TrainingCorpusConfig, build_training_corpus
+from repro.detection.evaluation import (
+    DetectionReport,
+    evaluate_detector,
+    sweep_thresholds,
+)
+from repro.detection.events import DeviceInstallEvent, InstallLog
+from repro.detection.lockstep import DetectorConfig, LockstepDetector
+
+
+def event(device, package, day=0, hour=10.0, block="10.0.0.0/24",
+          ssid="aaaa", opened=True, engagement=30.0):
+    return DeviceInstallEvent(
+        device_id=device, package=package, day=day, hour=hour,
+        ip_slash24=block, ssid_hash=ssid, opened=opened,
+        engagement_seconds=engagement)
+
+
+class TestInstallLog:
+    def test_indexing(self):
+        log = InstallLog([event("d1", "com.a"), event("d1", "com.b"),
+                          event("d2", "com.a")])
+        assert len(log) == 3
+        assert log.packages() == ["com.a", "com.b"]
+        assert log.devices() == ["d1", "d2"]
+        assert log.packages_of("d1") == {"com.a", "com.b"}
+        assert len(log.events_for_package("com.a")) == 2
+
+    def test_events_sorted_by_time(self):
+        log = InstallLog([event("d1", "com.a", day=1),
+                          event("d2", "com.a", day=0)])
+        times = [e.day for e in log.events_for_package("com.a")]
+        assert times == [0, 1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            event("d1", "com.a", hour=25.0)
+        with pytest.raises(ValueError):
+            event("d1", "com.a", engagement=-1.0)
+
+
+class TestBurstDiscovery:
+    def _burst_log(self, size=15, opened=False):
+        events = [event(f"d{i}", "com.target", day=2,
+                        hour=10.0 + i * 0.1, opened=opened)
+                  for i in range(size)]
+        return InstallLog(events)
+
+    def test_low_engagement_burst_detected(self):
+        detector = LockstepDetector()
+        clusters = detector.find_bursts(self._burst_log())
+        assert len(clusters) == 1
+        assert clusters[0].size == 15
+        assert clusters[0].low_engagement_fraction == 1.0
+
+    def test_small_burst_ignored(self):
+        detector = LockstepDetector()
+        assert detector.find_bursts(self._burst_log(size=8)) == []
+
+    def test_engaged_burst_ignored(self):
+        # A genuine launch spike: everyone opens and uses the app.
+        events = [event(f"d{i}", "com.viral", hour=10.0 + i * 0.1,
+                        opened=True, engagement=900.0)
+                  for i in range(30)]
+        detector = LockstepDetector()
+        assert detector.find_bursts(InstallLog(events)) == []
+
+    def test_spread_out_installs_ignored(self):
+        events = [event(f"d{i}", "com.slow", day=i // 2, hour=(i * 7) % 24,
+                        opened=False)
+                  for i in range(30)]
+        detector = LockstepDetector()
+        assert detector.find_bursts(InstallLog(events)) == []
+
+    def test_colocated_burst_marked(self):
+        events = [event(f"d{i}", "com.farmapp", hour=10.0 + i * 0.05,
+                        block="203.0.113.0/24", ssid="farm", opened=False)
+                  for i in range(15)]
+        detector = LockstepDetector()
+        cluster = detector.find_bursts(InstallLog(events))[0]
+        assert cluster.dominant_slash24 == "203.0.113.0/24"
+        assert cluster.dominant_ssid_fraction == 1.0
+
+    def test_distributed_burst_not_marked_colocated(self):
+        events = [event(f"d{i}", "com.app", hour=10.0 + i * 0.05,
+                        block=f"10.{i}.0.0/24", ssid=f"s{i}", opened=False)
+                  for i in range(15)]
+        detector = LockstepDetector()
+        cluster = detector.find_bursts(InstallLog(events))[0]
+        assert cluster.dominant_slash24 is None
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            DetectorConfig(burst_window_hours=0)
+        with pytest.raises(ValueError):
+            DetectorConfig(min_burst_size=1)
+
+
+class TestDeviceFlagging:
+    def test_repeat_participants_flagged(self):
+        events = []
+        for package in ("com.offer.a", "com.offer.b"):
+            day = 1 if package.endswith("a") else 3
+            for i in range(15):
+                events.append(event(f"worker{i}", package, day=day,
+                                    hour=9.0 + i * 0.1, opened=False,
+                                    block=f"10.{i}.0.0/24", ssid=f"s{i}"))
+        events.append(event("bystander", "com.offer.a", day=1, hour=9.5,
+                            opened=True, engagement=700.0,
+                            block="10.99.0.0/24", ssid="home"))
+        detector = LockstepDetector()
+        flagged = detector.flag_devices(InstallLog(events))
+        assert {f"worker{i}" for i in range(15)} <= flagged
+        assert "bystander" not in flagged
+
+    def test_one_time_participants_not_flagged_without_colocation(self):
+        events = [event(f"d{i}", "com.once", hour=9.0 + i * 0.1,
+                        opened=False, block=f"10.{i}.0.0/24", ssid=f"s{i}")
+                  for i in range(15)]
+        detector = LockstepDetector()
+        assert detector.flag_devices(InstallLog(events)) == set()
+
+    def test_farm_members_flagged_from_single_burst(self):
+        # Colocation doubles the participation weight.
+        events = [event(f"farm{i}", "com.once", hour=9.0 + i * 0.1,
+                        opened=False, block="203.0.113.0/24", ssid="farm")
+                  for i in range(15)]
+        detector = LockstepDetector()
+        assert len(detector.flag_devices(InstallLog(events))) == 15
+
+    def test_flag_apps(self):
+        events = []
+        for day in (1, 5):
+            for i in range(15):
+                events.append(event(f"w{day}{i}", "com.repeat", day=day,
+                                    hour=9.0 + i * 0.1, opened=False))
+        detector = LockstepDetector()
+        assert detector.flag_apps(InstallLog(events)) == ["com.repeat"]
+        assert detector.flag_apps(InstallLog(events), min_clusters=3) == []
+
+
+class TestEvaluation:
+    def test_report_metrics(self):
+        report = evaluate_detector({"a", "b", "c"}, {"a", "b", "d"},
+                                   ["a", "b", "c", "d", "e"])
+        assert report.true_positives == 2
+        assert report.false_positives == 1
+        assert report.false_negatives == 1
+        assert report.true_negatives == 1
+        assert report.precision == pytest.approx(2 / 3)
+        assert report.recall == pytest.approx(2 / 3)
+        assert 0 < report.f1 < 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            evaluate_detector({"x"}, set(), ["a"])
+        with pytest.raises(ValueError):
+            evaluate_detector(set(), {"x"}, ["a"])
+
+    def test_empty_edge_cases(self):
+        report = evaluate_detector(set(), set(), ["a", "b"])
+        assert report.precision == 0.0
+        assert report.recall == 0.0
+        assert report.f1 == 0.0
+
+
+class TestEndToEnd:
+    def test_detector_separates_workers_from_organic(self):
+        log, incentivized = build_training_corpus(seed=5)
+        detector = LockstepDetector()
+        flagged = detector.flag_devices(log)
+        report = evaluate_detector(flagged, incentivized, log.devices())
+        assert report.precision > 0.9
+        assert report.recall > 0.5
+        assert report.false_positive_rate < 0.02
+
+    def test_threshold_sweep_is_monotone_in_flagged_count(self):
+        log, incentivized = build_training_corpus(seed=5)
+        detector = LockstepDetector()
+        scores = detector.suspicion_scores(log)
+        sweep = sweep_thresholds(scores, incentivized, log.devices(),
+                                 thresholds=[0.5, 1.0, 2.0, 4.0])
+        flagged_counts = [r.true_positives + r.false_positives
+                          for _, r in sweep]
+        assert flagged_counts == sorted(flagged_counts, reverse=True)
+
+    def test_corpus_is_deterministic(self):
+        log_a, truth_a = build_training_corpus(seed=9)
+        log_b, truth_b = build_training_corpus(seed=9)
+        assert truth_a == truth_b
+        assert len(log_a) == len(log_b)
+
+    def test_advertised_apps_surface_as_policy_candidates(self):
+        log, _ = build_training_corpus(seed=5)
+        detector = LockstepDetector()
+        flagged_apps = detector.flag_apps(log, min_clusters=1)
+        assert any(p.startswith("com.advertised.") for p in flagged_apps)
+        assert not any(p.startswith("com.popular.") for p in flagged_apps)

@@ -1,0 +1,157 @@
+"""Chi-squared implementation tests, cross-checked against scipy."""
+
+import math
+
+import pytest
+import scipy.stats
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.stats import (
+    chi2_sf,
+    chi_squared_independence,
+    empirical_cdf,
+    mean,
+    median,
+    two_by_two,
+)
+
+
+class TestChi2Sf:
+    @pytest.mark.parametrize("x", [0.1, 0.5, 1.0, 3.84, 10.0, 26.0, 39.9, 80.0])
+    @pytest.mark.parametrize("dof", [1, 2, 5, 10])
+    def test_matches_scipy(self, x, dof):
+        assert chi2_sf(x, dof) == pytest.approx(
+            scipy.stats.chi2.sf(x, dof), rel=1e-9, abs=1e-12)
+
+    def test_boundaries(self):
+        assert chi2_sf(0.0, 1) == 1.0
+        assert chi2_sf(1000.0, 1) < 1e-100
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            chi2_sf(-1.0, 1)
+        with pytest.raises(ValueError):
+            chi2_sf(1.0, 0)
+
+    @settings(max_examples=50)
+    @given(st.floats(min_value=0.01, max_value=200.0),
+           st.integers(min_value=1, max_value=30))
+    def test_matches_scipy_property(self, x, dof):
+        assert chi2_sf(x, dof) == pytest.approx(
+            scipy.stats.chi2.sf(x, dof), rel=1e-8, abs=1e-12)
+
+
+class TestIndependence:
+    def test_paper_table5_vetted_case(self):
+        # Table 5: vetted 61/431 vs baseline 6/294 -> chi2 = 26.0.
+        result = two_by_two(61, 431, 6, 294)
+        assert result.chi2 == pytest.approx(26.0, abs=0.5)
+        assert result.p_value == pytest.approx(3.378e-7, rel=0.2)
+        assert result.rejects_null()
+
+    def test_paper_table5_unvetted_case(self):
+        # Table 5: unvetted 88/450 vs baseline 6/294 -> chi2 = 39.9.
+        result = two_by_two(88, 450, 6, 294)
+        assert result.chi2 == pytest.approx(39.9, abs=0.7)
+        assert result.rejects_null()
+
+    def test_paper_table6_unvetted_not_significant(self):
+        # Table 6: unvetted 12/472 vs baseline 8/253 -> chi2 = 0.22, p = 0.64.
+        result = two_by_two(12, 472, 8, 253)
+        assert result.chi2 == pytest.approx(0.22, abs=0.15)
+        assert not result.rejects_null()
+
+    def test_matches_scipy_contingency(self):
+        table = [[30, 162], [5, 77]]
+        ours = chi_squared_independence(table)
+        theirs = scipy.stats.chi2_contingency(table, correction=False)
+        assert ours.chi2 == pytest.approx(theirs[0])
+        assert ours.p_value == pytest.approx(theirs[1])
+        assert ours.dof == theirs[2]
+
+    def test_three_by_two(self):
+        table = [[10, 20], [15, 15], [20, 10]]
+        ours = chi_squared_independence(table)
+        theirs = scipy.stats.chi2_contingency(table, correction=False)
+        assert ours.chi2 == pytest.approx(theirs[0])
+        assert ours.dof == 2
+
+    def test_independent_table_accepts_null(self):
+        result = chi_squared_independence([[50, 50], [100, 100]])
+        assert result.chi2 == pytest.approx(0.0)
+        assert result.p_value == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            chi_squared_independence([[1, 2]])
+        with pytest.raises(ValueError):
+            chi_squared_independence([[1], [2]])
+        with pytest.raises(ValueError):
+            chi_squared_independence([[1, 2], [3]])
+        with pytest.raises(ValueError):
+            chi_squared_independence([[-1, 2], [3, 4]])
+        with pytest.raises(ValueError):
+            chi_squared_independence([[0, 0], [0, 0]])
+        with pytest.raises(ValueError):
+            chi_squared_independence([[0, 0], [1, 1]])
+
+    @settings(max_examples=30)
+    @given(st.integers(1, 500), st.integers(1, 500),
+           st.integers(1, 500), st.integers(1, 500))
+    def test_two_by_two_matches_scipy_property(self, a, b, c, d):
+        ours = two_by_two(a, b, c, d)
+        theirs = scipy.stats.chi2_contingency([[a, b], [c, d]],
+                                              correction=False)
+        assert ours.chi2 == pytest.approx(theirs[0], rel=1e-9)
+        assert ours.p_value == pytest.approx(theirs[1], rel=1e-6, abs=1e-12)
+
+
+class TestDescriptive:
+    def test_median(self):
+        assert median([3, 1, 2]) == 2
+        assert median([1, 2, 3, 4]) == 2.5
+        with pytest.raises(ValueError):
+            median([])
+
+    def test_mean(self):
+        assert mean([1, 2, 3]) == 2
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_empirical_cdf(self):
+        values = [1, 2, 2, 5]
+        assert empirical_cdf(values, [0, 1, 2, 5, 10]) == [0, 0.25, 0.75, 1.0, 1.0]
+        with pytest.raises(ValueError):
+            empirical_cdf([], [1])
+
+
+class TestWilsonInterval:
+    def test_matches_known_values(self):
+        # Classic reference: 10/100 at 95% -> approx (0.055, 0.174).
+        from repro.analysis.stats import wilson_interval
+        low, high = wilson_interval(10, 100)
+        assert low == pytest.approx(0.0552, abs=0.002)
+        assert high == pytest.approx(0.1744, abs=0.002)
+
+    def test_contains_point_estimate(self):
+        from repro.analysis.stats import wilson_interval
+        for successes, total in ((0, 10), (5, 10), (10, 10), (30, 492)):
+            low, high = wilson_interval(successes, total)
+            assert low <= successes / total <= high
+            assert 0.0 <= low <= high <= 1.0
+
+    def test_narrows_with_sample_size(self):
+        from repro.analysis.stats import wilson_interval
+        narrow = wilson_interval(100, 1000)
+        wide = wilson_interval(10, 100)
+        assert (narrow[1] - narrow[0]) < (wide[1] - wide[0])
+
+    def test_validation(self):
+        from repro.analysis.stats import wilson_interval
+        with pytest.raises(ValueError):
+            wilson_interval(1, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(5, 4)
+        with pytest.raises(ValueError):
+            wilson_interval(1, 10, confidence=1.0)

@@ -1,0 +1,75 @@
+"""Shared fixtures: a fabric with a CA, an HTTPS echo server, a client."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.net.client import HttpClient
+from repro.net.fabric import Endpoint, NetworkFabric
+from repro.net.http import HttpResponse
+from repro.net.server import HttpsServer
+from repro.net.tls import CertificateAuthority, TrustStore, issue_server_identity
+
+
+@pytest.fixture()
+def rng():
+    return random.Random(1234)
+
+
+@pytest.fixture()
+def fabric():
+    return NetworkFabric()
+
+
+@pytest.fixture()
+def root_ca(rng):
+    return CertificateAuthority("Example Root CA", rng)
+
+
+@pytest.fixture()
+def trust_store(root_ca):
+    store = TrustStore()
+    store.add_root(root_ca.self_certificate())
+    return store
+
+
+def make_https_server(fabric, root_ca, rng, hostname="api.example.com"):
+    """An HTTPS server with /echo and /json routes, on a fresh address."""
+    asn = fabric.asn_db.datacenter_asns()[0]
+    address = fabric.asn_db.allocate(asn.number, rng)
+    identity = issue_server_identity(root_ca, hostname, rng)
+    server = HttpsServer(fabric, hostname, address, identity, rng)
+
+    def echo(request, context):
+        return HttpResponse.text_response(request.body.decode("utf-8"))
+
+    def json_route(request, context):
+        return HttpResponse.json_response({
+            "path": request.path,
+            "query": request.query,
+            "client": str(context.client_address),
+        })
+
+    server.router.post("/echo", echo)
+    server.router.get("/json", json_route)
+    return server
+
+
+@pytest.fixture()
+def https_server(fabric, root_ca, rng):
+    return make_https_server(fabric, root_ca, rng)
+
+
+def make_client(fabric, trust_store, rng, country="US", proxy=None, pins=None):
+    asn = fabric.asn_db.asns_in_country(country, kind="eyeball")[0]
+    address = fabric.asn_db.allocate(asn.number, rng)
+    endpoint = Endpoint(address=address)
+    return HttpClient(fabric, endpoint, trust_store, rng,
+                      proxy=proxy, pinned_fingerprints=pins)
+
+
+@pytest.fixture()
+def client(fabric, trust_store, rng):
+    return make_client(fabric, trust_store, rng)

@@ -1,0 +1,89 @@
+"""CLI tests: every subcommand, argument handling, export/report flow."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_wild_arguments(self):
+        args = build_parser().parse_args(
+            ["wild", "--scale", "0.1", "--days", "30",
+             "--export-offers", "x.json"])
+        assert args.scale == 0.1
+        assert args.days == 30
+        assert args.export_offers == "x.json"
+
+    def test_report_requires_offers(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["report"])
+
+
+class TestCommands:
+    def test_tables(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "Table 2" in out
+        assert "RankApp" in out
+
+    def test_detect(self, capsys):
+        assert main(["detect", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "precision" in out
+        assert "policy candidate: com.advertised." in out
+
+    def test_honey(self, capsys):
+        assert main(["honey", "--seed", "2019"]) == 0
+        out = capsys.readouterr().out
+        assert "total installs: 1679" in out
+        assert "1000+" in out
+
+    def test_wild_with_export_and_report_round_trip(self, capsys, tmp_path):
+        offers = tmp_path / "offers.json"
+        archive = tmp_path / "archive.json"
+        assert main(["wild", "--scale", "0.05", "--days", "14",
+                     "--export-offers", str(offers),
+                     "--export-archive", str(archive)]) == 0
+        out = capsys.readouterr().out
+        assert "Table 3" in out
+        assert "Table 5" in out
+        assert "exported" in out
+        assert offers.exists()
+        assert archive.exists()
+
+        assert main(["report", "--offers", str(offers),
+                     "--archive", str(archive)]) == 0
+        out = capsys.readouterr().out
+        assert "loaded" in out
+        assert "Table 3" in out
+        assert "Table 4" in out
+
+    def test_report_missing_file_fails_cleanly(self, capsys, tmp_path):
+        assert main(["report", "--offers", str(tmp_path / "nope.json")]) == 2
+        assert "cannot load offers" in capsys.readouterr().err
+
+    def test_report_bad_file_fails_cleanly(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        assert main(["report", "--offers", str(bad)]) == 2
+        assert "cannot load offers" in capsys.readouterr().err
+
+
+class TestPaperCommand:
+    def test_paper_small_scale(self, capsys):
+        assert main(["paper", "--scale", "0.05", "--days", "14",
+                     "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        for marker in ("Table 1", "Table 3", "Table 5", "Table 7",
+                       "Figure 4", "Figure 6", "Arbitrage", "Enforcement",
+                       "Cost recovery"):
+            assert marker in out

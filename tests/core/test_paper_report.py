@@ -1,0 +1,32 @@
+"""PaperReport API tests."""
+
+import pytest
+
+from repro.core.paper_report import PaperReport, run_full_reproduction
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_full_reproduction(seed=5, scale=0.06, days=16)
+
+
+class TestPaperReport:
+    def test_all_sections_present(self, report):
+        assert report.section_names() == [
+            "table1", "table2", "table3", "table4", "table5", "table6",
+            "table7", "table8", "fig4", "fig6", "arbitrage", "enforcement",
+            "cost_recovery"]
+
+    def test_section_lookup(self, report):
+        assert "Table 5" in report.section("table5")
+        with pytest.raises(KeyError):
+            report.section("table99")
+
+    def test_render_concatenates_everything(self, report):
+        text = report.render()
+        for _, section_text in report.sections:
+            assert section_text in text
+
+    def test_results_attached(self, report):
+        assert report.results.dataset.offer_count() > 0
+        assert report.results.baseline_packages

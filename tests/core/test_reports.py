@@ -1,0 +1,142 @@
+"""Report-renderer tests: every table prints its load-bearing cells."""
+
+import pytest
+
+from repro.analysis.appstore_impact import (
+    CaseStudyTimeline,
+    EnforcementObservation,
+    GroupCount,
+    ImpactComparison,
+    RankTimelinePoint,
+)
+from repro.analysis.characterize import IipSummaryRow, OfferTypeRow
+from repro.analysis.funding import (
+    FundedOfferBreakdown,
+    FundingComparison,
+    FundingGroup,
+)
+from repro.analysis.monetization import AdLibraryCdf, ArbitrageStats
+from repro.analysis.stats import ChiSquaredResult
+from repro.core import reports
+
+
+def make_comparison():
+    return ImpactComparison(
+        baseline=GroupCount("Baseline", 300, 6),
+        vetted=GroupCount("Vetted", 492, 61),
+        unvetted=GroupCount("Unvetted", 538, 88),
+        vetted_vs_baseline=ChiSquaredResult(26.0, 3.4e-7, 1),
+        unvetted_vs_baseline=ChiSquaredResult(39.9, 2.7e-10, 1),
+    )
+
+
+class TestStaticTables:
+    def test_table1_lists_all_seven(self):
+        text = reports.render_table1()
+        for name in ("Fyber", "OfferToro", "AdscendMedia", "HangMyAds",
+                     "AdGem", "ayeT-Studios", "RankApp"):
+            assert name in text
+        assert text.count("Vetted") >= 5
+        assert text.count("Unvetted") == 2
+
+    def test_table2_static_and_observed(self):
+        static = reports.render_table2()
+        assert "com.mobvantage.CashForApps" in static
+        assert "10M+" in static
+        observed = reports.render_table2(
+            {"com.bigcash.app": ["OfferToro"]})
+        assert "OfferToro" in observed
+
+
+class TestMeasuredTables:
+    def test_table3(self):
+        rows = [
+            OfferTypeRow("No activity", 1000, 0.47, 0.06),
+            OfferTypeRow("Activity", 1126, 0.53, 0.52),
+            OfferTypeRow("Activity (Usage)", 787, 0.37, 0.50),
+        ]
+        text = reports.render_table3(rows)
+        assert "47%" in text
+        assert "$0.06" in text
+        assert "N = 2126" in text
+
+    def test_table4(self):
+        row = IipSummaryRow(
+            iip_name="Fyber", iip_type="Vetted",
+            median_offer_payout_usd=0.19, no_activity_fraction=0.24,
+            activity_fraction=0.76, app_count=378, developer_count=319,
+            country_count=40, genre_count=36,
+            median_install_count=1_000_000, median_app_age_days=777)
+        text = reports.render_table4([row])
+        assert "1,000,000" in text
+        assert "777" in text
+        assert "$0.19" in text
+
+    def test_table5_and_6(self):
+        comparison = make_comparison()
+        table5 = reports.render_table5(comparison)
+        assert "chi2=26.00" in table5
+        assert "61 (12.4%)" in table5
+        table6 = reports.render_table6(comparison)
+        assert "Table 6" in table6
+
+    def test_likelihood_ratio_helper(self):
+        comparison = make_comparison()
+        assert comparison.likelihood_ratio(comparison.unvetted) == pytest.approx(
+            (88 / 538) / (6 / 300), rel=1e-6)
+
+    def test_table7(self):
+        comparison = FundingComparison(
+            baseline=FundingGroup("Baseline", 300, 82, 5),
+            vetted=FundingGroup("Vetted", 492, 192, 30),
+            unvetted=FundingGroup("Unvetted", 538, 79, 11),
+            vetted_vs_baseline=ChiSquaredResult(4.7, 0.03, 1),
+            unvetted_vs_baseline=ChiSquaredResult(2.8, 0.10, 1),
+            public_company_apps=28)
+        text = reports.render_table7(comparison)
+        assert "30 (15.6%)" in text
+        assert "publicly traded" in text
+        assert "28" in text
+
+    def test_table8(self):
+        breakdown = FundedOfferBreakdown(
+            funded_app_count=30, no_activity_app_fraction=0.67,
+            activity_app_fraction=0.63, no_activity_average_payout=0.12,
+            activity_average_payout=0.92)
+        text = reports.render_table8(breakdown)
+        assert "67%" in text
+        assert "$0.92" in text
+        assert "N = 30" in text
+
+
+class TestFigures:
+    def test_fig4_bars_scale(self):
+        text = reports.render_fig4([("0-1k", 10), ("1k-10k", 30)])
+        lines = text.splitlines()
+        assert "#" * 30 in lines[2]
+        assert "#" * 10 in lines[1]
+
+    def test_fig5_markers(self):
+        timeline = CaseStudyTimeline(
+            package="com.mmm.trebelmusic", chart="top_games",
+            campaign_start=10, campaign_end=30,
+            points=[RankTimelinePoint(8, None),
+                    RankTimelinePoint(12, 0.95)])
+        text = reports.render_fig5(timeline)
+        assert "not in chart" in text
+        assert "percentile 0.95" in text
+        assert "<- campaign" in text
+
+    def test_fig6(self):
+        distributions = [AdLibraryCdf("Activity offers", 4, (2, 5, 7, 9))]
+        text = reports.render_fig6(distributions)
+        assert "P(>= 5 ad libs) = 75%" in text
+
+    def test_arbitrage_and_enforcement(self):
+        arbitrage = reports.render_arbitrage(ArbitrageStats(
+            total_apps=922, arbitrage_apps=36, vetted_apps=492,
+            vetted_arbitrage=35, unvetted_apps=538, unvetted_arbitrage=10))
+        assert "36/922 (3.9%)" in arbitrage
+        enforcement = reports.render_enforcement([
+            EnforcementObservation("Unvetted", 538, 11)])
+        assert "2.0%" in enforcement

@@ -1,0 +1,122 @@
+"""Funding database and developer-matcher tests."""
+
+import pytest
+
+from repro.crunchbase.database import (
+    CrunchbaseDatabase,
+    FundingRound,
+    Organization,
+)
+from repro.crunchbase.matcher import (
+    DeveloperMatcher,
+    normalize_name,
+    website_domain,
+)
+from repro.playstore.catalog import Developer
+
+
+def org(org_id="org1", name="Dashlane Inc", website="https://dashlane.example",
+        country="US", public=False):
+    return Organization(org_id=org_id, name=name, website=website,
+                        country=country, is_public_company=public)
+
+
+def round_for(org_id="org1", day=100, round_type="Series D",
+              amount=30_000_000.0):
+    return FundingRound(org_id=org_id, day=day, round_type=round_type,
+                        amount_usd=amount, investor_name="Sequoia Example",
+                        investor_type="VC investor")
+
+
+class TestDatabase:
+    def test_add_and_snapshot(self):
+        db = CrunchbaseDatabase()
+        db.add_organization(org())
+        db.add_round(round_for(day=50))
+        db.add_round(round_for(day=150, round_type="Series E", amount=110e6))
+        snapshot = db.snapshot(as_of_day=100)
+        assert len(snapshot) == 1
+        assert len(snapshot.rounds_for("org1")) == 1  # day-150 round excluded
+
+    def test_raised_after(self):
+        db = CrunchbaseDatabase()
+        db.add_organization(org())
+        db.add_round(round_for(day=50))
+        db.add_round(round_for(day=90, round_type="Series E", amount=110e6))
+        snapshot = db.snapshot(as_of_day=200)
+        assert len(snapshot.raised_after("org1", day=40)) == 2
+        assert len(snapshot.raised_after("org1", day=60)) == 1
+        assert snapshot.raised_after("org1", day=90) == []
+
+    def test_duplicate_org_rejected(self):
+        db = CrunchbaseDatabase()
+        db.add_organization(org())
+        with pytest.raises(ValueError):
+            db.add_organization(org())
+
+    def test_round_for_unknown_org_rejected(self):
+        with pytest.raises(KeyError):
+            CrunchbaseDatabase().add_round(round_for())
+
+    def test_round_validation(self):
+        with pytest.raises(ValueError):
+            round_for(round_type="Series Z")
+        with pytest.raises(ValueError):
+            round_for(amount=0)
+
+
+class TestNormalization:
+    def test_normalize_name_strips_suffixes(self):
+        assert normalize_name("Dashlane Inc.") == "dashlane"
+        assert normalize_name("Droom Technologies Pvt Ltd") == "droom"
+        assert normalize_name("IGG Games") == "igg"
+
+    def test_website_domain(self):
+        assert website_domain("https://www.droom.example/about") == "droom.example"
+        assert website_domain("http://igg.example") == "igg.example"
+        assert website_domain(None) is None
+        assert website_domain("") is None
+
+
+class TestMatcher:
+    def _matcher(self):
+        db = CrunchbaseDatabase()
+        db.add_organization(org("org1", "Dashlane Inc",
+                                "https://dashlane.example"))
+        db.add_organization(org("org2", "Droom Technologies", None, "IN"))
+        return DeveloperMatcher(db.snapshot(200))
+
+    def test_website_match_preferred(self):
+        matcher = self._matcher()
+        result = matcher.match("Completely Different Name",
+                               "https://www.dashlane.example")
+        assert result is not None
+        assert result.matched_by == "website"
+        assert result.organization.org_id == "org1"
+
+    def test_name_fallback(self):
+        matcher = self._matcher()
+        result = matcher.match("Droom Technologies Ltd", None)
+        assert result is not None
+        assert result.matched_by == "name"
+        assert result.organization.org_id == "org2"
+
+    def test_unmatched_developer(self):
+        matcher = self._matcher()
+        assert matcher.match("Totally Unknown Studio", None) is None
+
+    def test_developer_without_profile_information_unmatchable(self):
+        # Unvetted-IIP developers often expose no website; name-only
+        # matching then has to carry the weight, and garbage names fail.
+        matcher = self._matcher()
+        assert matcher.match("xX_dev_9921_Xx", None) is None
+
+    def test_match_many(self):
+        matcher = self._matcher()
+        developers = [
+            Developer(developer_id="d1", name="Dashlane", country="US",
+                      website="https://dashlane.example"),
+            Developer(developer_id="d2", name="Nobody", country="US"),
+        ]
+        matches = matcher.match_many(developers)
+        assert set(matches) == {"d1"}

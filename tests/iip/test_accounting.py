@@ -1,0 +1,86 @@
+"""Money-ledger tests: wallets, transfers, the Figure-1 waterfall."""
+
+import pytest
+
+from repro.iip.accounting import MoneyLedger, Wallet
+
+
+class TestWallet:
+    def test_deposit_withdraw(self):
+        wallet = Wallet(owner="dev")
+        wallet.deposit(100)
+        wallet.withdraw(40)
+        assert wallet.balance_usd == pytest.approx(60)
+
+    def test_overdraft_rejected(self):
+        wallet = Wallet(owner="dev", balance_usd=5)
+        with pytest.raises(ValueError, match="insufficient"):
+            wallet.withdraw(10)
+
+    def test_negative_amounts_rejected(self):
+        wallet = Wallet(owner="dev")
+        with pytest.raises(ValueError):
+            wallet.deposit(-1)
+        with pytest.raises(ValueError):
+            wallet.withdraw(-1)
+
+
+class TestMoneyLedger:
+    def setup_method(self):
+        self.ledger = MoneyLedger()
+
+    def test_mint_and_transfer(self):
+        self.ledger.mint("dev", 100, day=0)
+        self.ledger.transfer("dev", "iip", 30, day=1, memo="deposit")
+        assert self.ledger.wallet("dev").balance_usd == pytest.approx(70)
+        assert self.ledger.wallet("iip").balance_usd == pytest.approx(30)
+
+    def test_transfer_without_funds_fails(self):
+        with pytest.raises(ValueError):
+            self.ledger.transfer("dev", "iip", 1, day=0, memo="x")
+
+    def test_entry_log(self):
+        self.ledger.mint("dev", 10, day=0)
+        self.ledger.transfer("dev", "iip", 10, day=0, memo="deposit")
+        assert self.ledger.total_sent("dev") == pytest.approx(10)
+        assert self.ledger.total_received("iip") == pytest.approx(10)
+
+    def test_disbursement_waterfall_conserves_money(self):
+        self.ledger.mint("dev", 100, day=0)
+        disbursement = self.ledger.disburse(
+            offer_id="o1", day=3, developer="dev", iip="Fyber",
+            affiliate="cashapp", user="worker-1", mediator="appsflyer",
+            advertiser_cost_usd=0.10, user_payout_usd=0.06,
+            affiliate_share=0.5, mediator_fee_usd=0.03)
+        # Split: margin 0.04 -> affiliate 0.02, iip 0.02; user 0.06; fee 0.03.
+        assert disbursement.iip_cut_usd == pytest.approx(0.02)
+        assert disbursement.affiliate_cut_usd == pytest.approx(0.02)
+        assert disbursement.user_payout_usd == pytest.approx(0.06)
+        balances = {
+            owner: self.ledger.wallet(owner).balance_usd
+            for owner in ("dev", "Fyber", "cashapp", "worker-1", "appsflyer")
+        }
+        assert balances["dev"] == pytest.approx(100 - 0.10 - 0.03)
+        assert balances["Fyber"] == pytest.approx(0.02)
+        assert balances["cashapp"] == pytest.approx(0.02)
+        assert balances["worker-1"] == pytest.approx(0.06)
+        assert balances["appsflyer"] == pytest.approx(0.03)
+        assert sum(balances.values()) == pytest.approx(100)
+
+    def test_user_payout_cannot_exceed_cost(self):
+        self.ledger.mint("dev", 100, day=0)
+        with pytest.raises(ValueError):
+            self.ledger.disburse(
+                offer_id="o1", day=0, developer="dev", iip="i",
+                affiliate="a", user="u", mediator="m",
+                advertiser_cost_usd=0.05, user_payout_usd=0.06,
+                affiliate_share=0.5, mediator_fee_usd=0.0)
+
+    def test_bad_affiliate_share_rejected(self):
+        self.ledger.mint("dev", 1, day=0)
+        with pytest.raises(ValueError):
+            self.ledger.disburse(
+                offer_id="o1", day=0, developer="dev", iip="i",
+                affiliate="a", user="u", mediator="m",
+                advertiser_cost_usd=0.10, user_payout_usd=0.06,
+                affiliate_share=1.5, mediator_fee_usd=0.0)

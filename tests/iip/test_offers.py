@@ -1,0 +1,180 @@
+"""Offer model and description-generator tests."""
+
+import random
+
+import pytest
+
+from repro.iip.offers import (
+    ActivityKind,
+    Offer,
+    OfferCategory,
+    OfferDescriptionGenerator,
+    TaskKind,
+    TaskSpec,
+    tasks_for,
+)
+
+
+def make_offer(**overrides):
+    defaults = dict(
+        offer_id="o1", iip_name="Fyber", package="com.a.b",
+        app_title="App", play_store_url="https://play/x",
+        description="Install and Launch", payout_usd=0.06,
+        category=OfferCategory.NO_ACTIVITY, activity_kind=None,
+        tasks=tasks_for(OfferCategory.NO_ACTIVITY, None),
+        start_day=0, end_day=25,
+    )
+    defaults.update(overrides)
+    return Offer(**defaults)
+
+
+class TestOffer:
+    def test_no_activity_offer_valid(self):
+        offer = make_offer()
+        assert offer.live_on(0)
+        assert offer.live_on(25)
+        assert not offer.live_on(26)
+        assert offer.duration_days == 26
+
+    def test_activity_needs_kind(self):
+        with pytest.raises(ValueError):
+            make_offer(category=OfferCategory.ACTIVITY, activity_kind=None)
+
+    def test_no_activity_cannot_have_kind(self):
+        with pytest.raises(ValueError):
+            make_offer(activity_kind=ActivityKind.USAGE)
+
+    def test_negative_payout_rejected(self):
+        with pytest.raises(ValueError):
+            make_offer(payout_usd=-0.01)
+
+    def test_end_before_start_rejected(self):
+        with pytest.raises(ValueError):
+            make_offer(start_day=5, end_day=4)
+
+    def test_worldwide_targeting(self):
+        offer = make_offer(target_countries=None)
+        assert offer.targets("US")
+        assert offer.targets(None)
+
+    def test_country_targeting(self):
+        offer = make_offer(target_countries=("US", "GB"))
+        assert offer.targets("US")
+        assert not offer.targets("DE")
+        assert not offer.targets(None)
+
+    def test_effort_totals(self):
+        usage = make_offer(category=OfferCategory.ACTIVITY,
+                           activity_kind=ActivityKind.USAGE,
+                           tasks=tasks_for(OfferCategory.ACTIVITY,
+                                           ActivityKind.USAGE))
+        no_activity = make_offer()
+        assert usage.total_effort_minutes > no_activity.total_effort_minutes
+
+
+class TestTasksFor:
+    def test_no_activity_tasks(self):
+        tasks = tasks_for(OfferCategory.NO_ACTIVITY, None)
+        kinds = [task.kind for task in tasks]
+        assert kinds == [TaskKind.INSTALL, TaskKind.OPEN]
+
+    def test_registration_tasks(self):
+        tasks = tasks_for(OfferCategory.ACTIVITY, ActivityKind.REGISTRATION)
+        assert TaskKind.REGISTER in [task.kind for task in tasks]
+
+    def test_purchase_tasks_carry_amount(self):
+        tasks = tasks_for(OfferCategory.ACTIVITY, ActivityKind.PURCHASE,
+                          purchase_usd=4.99)
+        purchase = [task for task in tasks if task.kind is TaskKind.PURCHASE][0]
+        assert purchase.amount == pytest.approx(4.99)
+
+    def test_arbitrage_tasks_are_survey_heavy(self):
+        tasks = tasks_for(OfferCategory.ACTIVITY, ActivityKind.USAGE,
+                          is_arbitrage=True)
+        assert TaskKind.COMPLETE_SURVEYS in [task.kind for task in tasks]
+
+    def test_negative_effort_rejected(self):
+        with pytest.raises(ValueError):
+            TaskSpec(TaskKind.OPEN, effort_minutes=-1)
+
+
+class TestDescriptionGenerator:
+    def setup_method(self):
+        self.generator = OfferDescriptionGenerator(random.Random(11))
+
+    def test_no_activity_mentions_install(self):
+        for _ in range(20):
+            text = self.generator.describe(OfferCategory.NO_ACTIVITY, None, "X")
+            assert "nstall" in text or "ownload" in text
+
+    def test_registration_mentions_account_or_register(self):
+        for _ in range(20):
+            text = self.generator.describe(
+                OfferCategory.ACTIVITY, ActivityKind.REGISTRATION, "X").lower()
+            assert "regist" in text or "account" in text or "sign up" in text
+
+    def test_purchase_mentions_money(self):
+        for _ in range(20):
+            text = self.generator.describe(
+                OfferCategory.ACTIVITY, ActivityKind.PURCHASE, "X").lower()
+            assert "purchase" in text or "buy" in text or "deposit" in text
+
+    def test_arbitrage_descriptions_mention_earning_inside_app(self):
+        for _ in range(20):
+            text = self.generator.describe(
+                OfferCategory.ACTIVITY, ActivityKind.USAGE, "X",
+                is_arbitrage=True).lower()
+            assert ("points" in text or "coins" in text or "surveys" in text
+                    or "deals" in text)
+
+    def test_titles_are_interpolated(self):
+        texts = {self.generator.describe(OfferCategory.NO_ACTIVITY, None,
+                                         "CashQuest") for _ in range(30)}
+        assert any("CashQuest" in text for text in texts)
+
+    def test_variety(self):
+        texts = {self.generator.describe(OfferCategory.ACTIVITY,
+                                         ActivityKind.USAGE, "X")
+                 for _ in range(40)}
+        assert len(texts) >= 5
+
+
+class TestLocalizedDescriptions:
+    def setup_method(self):
+        self.generator = OfferDescriptionGenerator(random.Random(7))
+
+    def test_every_language_and_type_renders(self):
+        from repro.iip.offers import SUPPORTED_LANGUAGES
+        for language in SUPPORTED_LANGUAGES:
+            for category, kind in (
+                    (OfferCategory.NO_ACTIVITY, None),
+                    (OfferCategory.ACTIVITY, ActivityKind.REGISTRATION),
+                    (OfferCategory.ACTIVITY, ActivityKind.PURCHASE),
+                    (OfferCategory.ACTIVITY, ActivityKind.USAGE)):
+                text = self.generator.describe(category, kind, "App",
+                                               language=language)
+                assert text
+                assert "{" not in text  # all placeholders interpolated
+
+    def test_spanish_registration(self):
+        texts = {self.generator.describe(
+            OfferCategory.ACTIVITY, ActivityKind.REGISTRATION, "X",
+            language="es") for _ in range(10)}
+        assert any("regístrate" in t or "cuenta" in t for t in texts)
+
+    def test_russian_usage(self):
+        texts = {self.generator.describe(
+            OfferCategory.ACTIVITY, ActivityKind.USAGE, "X",
+            language="ru") for _ in range(10)}
+        assert any("Установи" in t for t in texts)
+
+    def test_unknown_language_rejected(self):
+        with pytest.raises(ValueError):
+            self.generator.describe(OfferCategory.NO_ACTIVITY, None, "X",
+                                    language="xx")
+
+    def test_arbitrage_always_english(self):
+        text = self.generator.describe(
+            OfferCategory.ACTIVITY, ActivityKind.USAGE, "X",
+            is_arbitrage=True, language="ru")
+        assert "Install" in text

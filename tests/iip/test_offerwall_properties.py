@@ -1,0 +1,65 @@
+"""Property tests for offer-wall pagination and payout conversion."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.iip.accounting import MoneyLedger
+from repro.iip.mediator import AttributionMediator
+from repro.iip.offerwall import PAGE_SIZE, AffiliateWallConfig, OfferWallServer
+from repro.iip.registry import build_platforms
+from tests.conftest import make_client
+from tests.iip.test_platform import make_campaign, register_and_fund
+
+
+@given(st.floats(min_value=0.01, max_value=50.0),
+       st.floats(min_value=1.0, max_value=100000.0),
+       st.floats(min_value=0.05, max_value=1.0))
+def test_points_conversion_round_trip_property(payout, rate, share):
+    config = AffiliateWallConfig(affiliate_id="a", currency_name="pts",
+                                 points_per_usd=rate, user_share=share)
+    points = config.payout_to_points(payout)
+    # Rounding to whole points loses at most half a point of value.
+    assert abs(config.points_to_usd(points) - payout) <= 0.5 / rate / share + 1e-9
+
+
+@settings(max_examples=5, deadline=None)
+@given(st.integers(min_value=0, max_value=55))
+def test_pagination_covers_every_offer_exactly_once(offer_count):
+    rng = random.Random(offer_count)
+    from repro.net.fabric import NetworkFabric
+    from repro.net.tls import CertificateAuthority, TrustStore
+    fabric = NetworkFabric()
+    ca = CertificateAuthority("Root", rng)
+    trust = TrustStore()
+    trust.add_root(ca.self_certificate())
+    ledger = MoneyLedger()
+    platforms = build_platforms(ledger, AttributionMediator())
+    fyber = platforms["Fyber"]
+    register_and_fund(ledger, fyber, funds=100000.0)
+    expected_ids = set()
+    for _ in range(offer_count):
+        campaign = make_campaign(fyber, installs=10, payout=0.10)
+        fyber.launch(campaign.campaign_id, 0)
+        expected_ids.add(campaign.offer.offer_id)
+    wall = OfferWallServer(fabric, fyber, ca, rng, current_day=lambda: 0)
+    wall.register_affiliate(AffiliateWallConfig(
+        affiliate_id="app", currency_name="pts", points_per_usd=100,
+        user_share=1.0))
+    client = make_client(fabric, trust, rng)
+
+    seen = []
+    page = 0
+    while True:
+        payload = client.get(wall.hostname, "/api/v1/offers",
+                             params={"affiliate_id": "app",
+                                     "page": str(page)}).json()
+        seen.extend(entry["offer_id"] for entry in payload["offers"])
+        assert len(payload["offers"]) <= PAGE_SIZE
+        if not payload["has_more"]:
+            break
+        page += 1
+    assert len(seen) == len(set(seen)) == offer_count
+    assert set(seen) == expected_ids

@@ -1,0 +1,183 @@
+"""Dataset persistence tests (the public data release)."""
+
+import json
+
+import pytest
+
+from repro.monitor.crawler import ChartAppearance, CrawlArchive
+from repro.monitor.dataset import OfferDataset
+from repro.monitor.storage import (
+    DatasetFormatError,
+    load_archive,
+    load_offer_records,
+    rehydrate_dataset,
+    save_archive,
+    save_dataset,
+)
+from tests.analysis.test_tables import SPEC, build_dataset, obs, profile
+
+
+class TestOfferDatasetRoundTrip:
+    def test_round_trip_preserves_records(self, tmp_path):
+        dataset = build_dataset()
+        path = tmp_path / "offers.json"
+        count = save_dataset(dataset, path)
+        assert count == dataset.offer_count()
+        records = load_offer_records(path)
+        reloaded = rehydrate_dataset(records)
+        assert reloaded.offer_count() == dataset.offer_count()
+        assert reloaded.unique_packages() == dataset.unique_packages()
+        original = {(r.iip_name, r.offer_id): r for r in dataset.offers()}
+        for record in reloaded.offers():
+            source = original[(record.iip_name, record.offer_id)]
+            assert record.description == source.description
+            assert record.payout_usd == pytest.approx(source.payout_usd)
+            assert record.countries == source.countries
+
+    def test_rehydrated_dataset_supports_analysis(self, tmp_path):
+        from repro.analysis.characterize import offer_type_table
+        dataset = build_dataset()
+        path = tmp_path / "offers.json"
+        save_dataset(dataset, path)
+        reloaded = rehydrate_dataset(load_offer_records(path))
+        rows = offer_type_table(reloaded)
+        assert rows == offer_type_table(dataset)
+
+    def test_file_is_stable_json(self, tmp_path):
+        dataset = build_dataset()
+        path_a = tmp_path / "a.json"
+        path_b = tmp_path / "b.json"
+        save_dataset(dataset, path_a)
+        save_dataset(dataset, path_b)
+        assert path_a.read_text() == path_b.read_text()
+
+    def test_wrong_kind_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"kind": "something_else",
+                                    "format_version": 1}))
+        with pytest.raises(DatasetFormatError, match="not an offer dataset"):
+            load_offer_records(path)
+
+    def test_wrong_version_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"kind": "offer_dataset",
+                                    "format_version": 99, "offers": []}))
+        with pytest.raises(DatasetFormatError, match="version"):
+            load_offer_records(path)
+
+    def test_garbage_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(DatasetFormatError):
+            load_offer_records(path)
+
+    def test_malformed_record_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({
+            "kind": "offer_dataset", "format_version": 1,
+            "offers": [{"iip": "Fyber"}]}))
+        with pytest.raises(DatasetFormatError, match="malformed"):
+            load_offer_records(path)
+
+
+class TestArchiveRoundTrip:
+    def _archive(self):
+        archive = CrawlArchive()
+        for day, installs in ((0, 100), (2, 500)):
+            archive.add_profile(profile("com.app.one", day, installs,
+                                        website="https://dev.example"))
+        archive.add_chart("top_free", 2, [
+            ChartAppearance("com.app.one", "top_free", 2, 7, 0.97)])
+        archive.note_crawl_day(0)
+        archive.note_crawl_day(2)
+        return archive
+
+    def test_round_trip(self, tmp_path):
+        archive = self._archive()
+        path = tmp_path / "archive.json"
+        count = save_archive(archive, path)
+        assert count == 2
+        reloaded = load_archive(path)
+        assert reloaded.crawl_days == [0, 2]
+        assert reloaded.install_series("com.app.one") == [(0, 100), (2, 500)]
+        assert reloaded.charted_on("com.app.one", 2)
+        snapshot = reloaded.profile("com.app.one", 0)
+        assert snapshot.developer_website == "https://dev.example"
+
+    def test_rank_timeline_survives(self, tmp_path):
+        archive = self._archive()
+        path = tmp_path / "archive.json"
+        save_archive(archive, path)
+        reloaded = load_archive(path)
+        assert reloaded.rank_timeline("com.app.one", "top_free") == [(2, 0.97)]
+
+    def test_wrong_kind_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"kind": "offer_dataset",
+                                    "format_version": 1}))
+        with pytest.raises(DatasetFormatError):
+            load_archive(path)
+
+
+class TestDatasetIngestProperties:
+    """Ingestion invariants, via hypothesis."""
+
+    def test_ingest_is_idempotent(self):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+        from repro.monitor.dataset import ObservedOffer, OfferDataset
+
+        @settings(max_examples=30)
+        @given(st.lists(st.tuples(
+            st.sampled_from(["Fyber", "RankApp"]),
+            st.integers(min_value=0, max_value=5),    # offer index
+            st.integers(min_value=0, max_value=40),   # day
+            st.sampled_from(["US", "DE", None]),
+        ), max_size=30))
+        def check(observations):
+            def build(order):
+                dataset = OfferDataset({"com.aff.app": SPEC})
+                for iip, index, day, country in order:
+                    dataset.ingest(ObservedOffer(
+                        iip_name=iip, offer_id=f"o{index}",
+                        package=f"com.app.n{index}.x", app_title="T",
+                        play_store_url="u", description="Install and Launch",
+                        payout_points=100, currency="coins",
+                        affiliate_package="com.aff.app", country=country,
+                        day=day))
+                return dataset
+
+            once = build(observations)
+            twice = build(observations + observations)
+            assert once.offer_count() == twice.offer_count()
+            for a, b in zip(once.offers(), twice.offers()):
+                assert (a.first_seen_day, a.last_seen_day) == \
+                    (b.first_seen_day, b.last_seen_day)
+                assert a.countries == b.countries
+
+        check()
+
+    def test_window_invariants(self):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+        from repro.monitor.dataset import ObservedOffer, OfferDataset
+
+        @settings(max_examples=30)
+        @given(st.lists(st.integers(min_value=0, max_value=100),
+                        min_size=1, max_size=20))
+        def check(days):
+            dataset = OfferDataset({"com.aff.app": SPEC})
+            for day in days:
+                dataset.ingest(ObservedOffer(
+                    iip_name="Fyber", offer_id="o1", package="com.app.x.y",
+                    app_title="T", play_store_url="u",
+                    description="Install and Launch", payout_points=100,
+                    currency="coins", affiliate_package="com.aff.app",
+                    country=None, day=day))
+            record = dataset.offers()[0]
+            assert record.first_seen_day == min(days)
+            assert record.last_seen_day == max(days)
+            start, end = dataset.campaign_window("com.app.x.y")
+            assert (start, end) == (min(days), max(days))
+
+        check()

@@ -1,0 +1,66 @@
+"""HAR export tests, fed by real intercepted traffic."""
+
+import json
+
+import pytest
+
+from repro.net.har import exchanges_to_har, load_har, save_har
+from repro.net.proxy import MitmProxy
+from repro.net.tls import TrustStore
+from tests.conftest import make_client
+
+
+@pytest.fixture()
+def intercepted(fabric, root_ca, trust_store, rng, https_server):
+    address = fabric.asn_db.allocate(14061, rng)
+    mitm = MitmProxy(fabric, "har.mitm.example", address, rng,
+                     upstream_trust=trust_store)
+    victim = TrustStore()
+    victim.add_root(root_ca.self_certificate())
+    victim.add_root(mitm.ca_certificate())
+    client = make_client(fabric, victim, rng,
+                         proxy=(mitm.hostname, mitm.port))
+    client.get("api.example.com", "/json", params={"country": "US"})
+    client.post_json("api.example.com", "/echo", {"k": "v"})
+    return mitm.intercepted
+
+
+class TestHarExport:
+    def test_document_shape(self, intercepted):
+        document = exchanges_to_har(intercepted, day=7)
+        log = document["log"]
+        assert log["version"] == "1.2"
+        assert len(log["entries"]) == 2
+        entry = log["entries"][0]
+        assert entry["_simulationDay"] == 7
+        assert entry["request"]["method"] == "GET"
+        assert entry["request"]["url"].startswith(
+            "https://api.example.com:443/json")
+        assert entry["response"]["status"] == 200
+
+    def test_query_string_decomposed(self, intercepted):
+        entry = exchanges_to_har(intercepted)["log"]["entries"][0]
+        assert {"name": "country", "value": "US"} in entry["request"]["queryString"]
+
+    def test_response_body_is_readable_text(self, intercepted):
+        entry = exchanges_to_har(intercepted)["log"]["entries"][0]
+        body = json.loads(entry["response"]["content"]["text"])
+        assert body["query"] == {"country": "US"}
+
+    def test_save_and_load_round_trip(self, intercepted, tmp_path):
+        path = tmp_path / "flows.har"
+        count = save_har(intercepted, path, day=3)
+        assert count == 2
+        document = load_har(path)
+        assert len(document["log"]["entries"]) == 2
+
+    def test_load_rejects_non_har(self, tmp_path):
+        path = tmp_path / "x.har"
+        path.write_text(json.dumps({"nope": 1}))
+        with pytest.raises(ValueError, match="not a HAR"):
+            load_har(path)
+
+    def test_empty_exchange_list(self, tmp_path):
+        path = tmp_path / "empty.har"
+        assert save_har([], path) == 0
+        assert load_har(path)["log"]["entries"] == []

@@ -1,0 +1,107 @@
+"""IPv4 / ASN model tests."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.ip import AsnDatabase, AsnRecord, IPv4Address, slash24
+
+
+class TestIPv4Address:
+    def test_from_string_round_trip(self):
+        address = IPv4Address.from_string("203.0.113.7")
+        assert str(address) == "203.0.113.7"
+        assert address.octets == (203, 0, 113, 7)
+
+    def test_anonymized_drops_last_octet(self):
+        address = IPv4Address.from_string("203.0.113.7")
+        assert address.anonymized() == "203.0.113.0"
+        assert slash24(address) == "203.0.113.0/24"
+
+    def test_rejects_bad_strings(self):
+        for bad in ("1.2.3", "1.2.3.4.5", "a.b.c.d", "256.1.1.1", ""):
+            with pytest.raises(ValueError):
+                IPv4Address.from_string(bad)
+
+    def test_rejects_out_of_range_value(self):
+        with pytest.raises(ValueError):
+            IPv4Address(1 << 32)
+        with pytest.raises(ValueError):
+            IPv4Address(-1)
+
+    def test_equality_and_hash(self):
+        a = IPv4Address.from_string("10.0.0.1")
+        b = IPv4Address.from_string("10.0.0.1")
+        assert a == b
+        assert len({a, b}) == 1
+
+    def test_ordering(self):
+        low = IPv4Address.from_string("1.0.0.1")
+        high = IPv4Address.from_string("2.0.0.1")
+        assert low < high
+
+    @given(st.integers(min_value=0, max_value=0xFFFFFFFF))
+    def test_string_round_trip_property(self, value):
+        address = IPv4Address(value)
+        assert IPv4Address.from_string(str(address)) == address
+
+    @given(st.integers(min_value=0, max_value=0xFFFFFFFF))
+    def test_same_slash24_shares_prefix(self, value):
+        address = IPv4Address(value)
+        sibling = IPv4Address((value & 0xFFFFFF00) | ((value + 1) & 0xFF))
+        assert slash24(address) == slash24(sibling)
+
+
+class TestAsnRecord:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            AsnRecord(1, "X", "satellite", "US")
+
+    def test_is_datacenter(self):
+        assert AsnRecord(1, "X", "datacenter", "US").is_datacenter
+        assert not AsnRecord(2, "Y", "eyeball", "US").is_datacenter
+
+
+class TestAsnDatabase:
+    def setup_method(self):
+        self.db = AsnDatabase()
+        self.rng = random.Random(7)
+
+    def test_allocate_then_lookup(self):
+        asn = self.db.eyeball_asns()[0]
+        address = self.db.allocate(asn.number, self.rng)
+        record = self.db.lookup(address)
+        assert record is not None
+        assert record.number == asn.number
+
+    def test_lookup_unallocated_space(self):
+        assert self.db.lookup(IPv4Address.from_string("250.1.2.3")) is None
+
+    def test_country_filter(self):
+        for record in self.db.asns_in_country("US", kind="datacenter"):
+            assert record.country == "US"
+            assert record.is_datacenter
+        assert self.db.asns_in_country("US", kind="datacenter")
+
+    def test_digitalocean_is_datacenter(self):
+        numbers = {r.number for r in self.db.datacenter_asns()}
+        assert 14061 in numbers  # DigitalOcean, named in the paper
+
+    def test_allocate_in_block_stays_in_slash24(self):
+        asn = self.db.eyeball_asns()[0]
+        base = self.db.allocate(asn.number, self.rng)
+        for _ in range(20):
+            sibling = self.db.allocate_in_block(base, self.rng)
+            assert slash24(sibling) == slash24(base)
+
+    def test_country_of(self):
+        asn = self.db.asns_in_country("IN", kind="eyeball")[0]
+        address = self.db.allocate(asn.number, self.rng)
+        assert self.db.country_of(address) == "IN"
+
+    def test_eyeball_and_datacenter_disjoint(self):
+        eyeballs = {r.number for r in self.db.eyeball_asns()}
+        centers = {r.number for r in self.db.datacenter_asns()}
+        assert not (eyeballs & centers)

@@ -1,0 +1,155 @@
+"""TLS layer tests: certificates, trust, handshake, records, pinning."""
+
+import random
+
+import pytest
+
+from repro.net.errors import (
+    CertificatePinningError,
+    CertificateVerificationError,
+    TlsError,
+)
+from repro.net.fabric import PacketCapture
+from repro.net.http import HttpRequest
+from repro.net.tls import (
+    Certificate,
+    CertificateAuthority,
+    TlsClientSession,
+    TrustStore,
+    is_handshake_bytes,
+    is_record_bytes,
+    issue_server_identity,
+)
+from tests.conftest import make_client, make_https_server
+
+
+class TestCertificates:
+    def setup_method(self):
+        self.rng = random.Random(3)
+        self.ca = CertificateAuthority("Root", self.rng)
+
+    def test_self_certificate_is_self_signed(self):
+        cert = self.ca.self_certificate()
+        assert cert.is_self_signed
+        assert cert.subject == "Root"
+
+    def test_issue_increments_serials(self):
+        identity_a = issue_server_identity(self.ca, "a.example", self.rng)
+        identity_b = issue_server_identity(self.ca, "b.example", self.rng)
+        assert identity_a.leaf.serial != identity_b.leaf.serial
+
+    def test_json_round_trip(self):
+        cert = self.ca.self_certificate()
+        assert Certificate.from_json(cert.to_json()) == cert
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(TlsError):
+            Certificate.from_json({"subject": "x"})
+
+
+class TestTrustStore:
+    def setup_method(self):
+        self.rng = random.Random(4)
+        self.ca = CertificateAuthority("Root", self.rng)
+        self.store = TrustStore()
+        self.store.add_root(self.ca.self_certificate())
+
+    def test_valid_chain_accepted(self):
+        identity = issue_server_identity(self.ca, "srv.example", self.rng)
+        leaf = self.store.verify_chain(identity.chain, "srv.example", today=5)
+        assert leaf.subject == "srv.example"
+
+    def test_name_mismatch_rejected(self):
+        identity = issue_server_identity(self.ca, "srv.example", self.rng)
+        with pytest.raises(CertificateVerificationError, match="mismatch"):
+            self.store.verify_chain(identity.chain, "other.example", today=5)
+
+    def test_expired_certificate_rejected(self):
+        identity = issue_server_identity(self.ca, "srv.example", self.rng,
+                                         not_before=0, not_after=10)
+        with pytest.raises(CertificateVerificationError, match="not valid"):
+            self.store.verify_chain(identity.chain, "srv.example", today=11)
+
+    def test_untrusted_issuer_rejected(self):
+        rogue = CertificateAuthority("Rogue", self.rng)
+        identity = issue_server_identity(rogue, "srv.example", self.rng)
+        with pytest.raises(CertificateVerificationError, match="untrusted"):
+            self.store.verify_chain(identity.chain, "srv.example", today=5)
+
+    def test_tampered_signature_rejected(self):
+        identity = issue_server_identity(self.ca, "srv.example", self.rng)
+        leaf = identity.chain[0]
+        forged = Certificate(
+            subject=leaf.subject, public_key=leaf.public_key,
+            issuer=leaf.issuer, serial=leaf.serial,
+            not_before=leaf.not_before, not_after=leaf.not_after,
+            signature=leaf.signature ^ 1)
+        with pytest.raises(CertificateVerificationError, match="signature"):
+            self.store.verify_chain([forged], "srv.example", today=5)
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(CertificateVerificationError, match="empty"):
+            self.store.verify_chain([], "srv.example", today=0)
+
+    def test_non_root_cannot_be_added(self):
+        identity = issue_server_identity(self.ca, "srv.example", self.rng)
+        with pytest.raises(ValueError):
+            self.store.add_root(identity.leaf)
+
+    def test_remove_root(self):
+        self.store.remove_root("Root")
+        identity = issue_server_identity(self.ca, "srv.example", self.rng)
+        with pytest.raises(CertificateVerificationError):
+            self.store.verify_chain(identity.chain, "srv.example", today=5)
+
+
+class TestHandshakeEndToEnd:
+    def test_https_request_works(self, fabric, root_ca, trust_store, rng,
+                                 https_server, client):
+        response = client.get("api.example.com", "/json", params={"a": "1"})
+        assert response.ok
+        assert response.json()["query"] == {"a": "1"}
+
+    def test_client_without_root_fails(self, fabric, root_ca, rng, https_server):
+        empty_store = TrustStore()
+        client = make_client(fabric, empty_store, rng)
+        with pytest.raises(CertificateVerificationError):
+            client.get("api.example.com", "/json")
+
+    def test_pinned_wrong_key_fails(self, fabric, root_ca, trust_store, rng,
+                                    https_server):
+        pins = {"api.example.com": "0" * 64}
+        client = make_client(fabric, trust_store, rng, pins=pins)
+        with pytest.raises(CertificatePinningError):
+            client.get("api.example.com", "/json")
+
+    def test_pinned_correct_key_succeeds(self, fabric, root_ca, trust_store,
+                                         rng, https_server):
+        pins = {"api.example.com": https_server.identity.leaf.fingerprint()}
+        client = make_client(fabric, trust_store, rng, pins=pins)
+        assert client.get("api.example.com", "/json").ok
+
+    def test_no_plaintext_on_wire(self, fabric, root_ca, trust_store, rng,
+                                  https_server):
+        capture = PacketCapture(fabric)
+        client = make_client(fabric, trust_store, rng)
+        client.post_json("api.example.com", "/echo", {"secret": "hunter2"})
+        for payload in capture.payloads_to("api.example.com"):
+            assert b"hunter2" not in payload
+            assert is_handshake_bytes(payload) or is_record_bytes(payload)
+
+    def test_record_replay_rejected(self, fabric, root_ca, trust_store, rng,
+                                    https_server):
+        # Handshake normally, then replay the first sealed record.
+        asn = fabric.asn_db.eyeball_asns()[0]
+        address = fabric.asn_db.allocate(asn.number, rng)
+        from repro.net.fabric import Endpoint
+        connection = fabric.connect(Endpoint(address=address),
+                                    "api.example.com", 443)
+        session = TlsClientSession(connection, "api.example.com",
+                                   trust_store, rng)
+        request = HttpRequest.get("/json", "api.example.com")
+        sealed = session._codec.seal(request.to_bytes())
+        connection.roundtrip(sealed)
+        with pytest.raises(TlsError, match="replay|MAC"):
+            connection.roundtrip(sealed)

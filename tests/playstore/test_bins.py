@@ -1,0 +1,54 @@
+"""Install-count binning tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.playstore.bins import INSTALL_BINS, bin_floor, bin_index, bin_label
+
+
+class TestBinFloor:
+    def test_zero(self):
+        assert bin_floor(0) == 0
+
+    def test_exact_edges(self):
+        for edge in INSTALL_BINS:
+            assert bin_floor(edge) == edge
+
+    def test_between_edges(self):
+        assert bin_floor(999) == 500
+        assert bin_floor(1_000) == 1_000
+        assert bin_floor(1_001) == 1_000
+        assert bin_floor(4_999_999) == 1_000_000
+
+    def test_paper_honey_app_case(self):
+        # 1,679 purchased installs display as "1,000+" (Section 3).
+        assert bin_floor(1_679) == 1_000
+        assert bin_label(1_679) == "1,000+"
+
+    def test_enforcement_case(self):
+        # "Phonebook - Contacts manager" dropped from 1,000 to 500.
+        assert bin_floor(1_050) == 1_000
+        assert bin_floor(1_050 - 400) == 500
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bin_floor(-1)
+
+    def test_huge_counts_saturate_top_bin(self):
+        assert bin_floor(10 ** 12) == INSTALL_BINS[-1]
+
+    def test_bin_index_monotone(self):
+        indices = [bin_index(count) for count in (0, 3, 100, 10 ** 6, 10 ** 10)]
+        assert indices == sorted(indices)
+
+
+@given(st.integers(min_value=0, max_value=10 ** 10))
+def test_floor_never_exceeds_count(count):
+    assert bin_floor(count) <= count
+
+
+@given(st.integers(min_value=0, max_value=10 ** 10),
+       st.integers(min_value=0, max_value=10 ** 6))
+def test_floor_is_monotone(count, delta):
+    assert bin_floor(count + delta) >= bin_floor(count)

@@ -1,0 +1,125 @@
+"""PlayStore facade, console authorisation, and enforcement tests."""
+
+import random
+
+import pytest
+
+from repro.playstore.catalog import AppListing, Developer
+from repro.playstore.ledger import InstallSource
+from repro.playstore.policy import CampaignSignals, EnforcementEngine
+from repro.playstore.store import PlayStore
+
+
+def make_store():
+    store = PlayStore()
+    developer = Developer(developer_id="dev1", name="Honey Labs", country="US")
+    store.publish(AppListing(package="com.honey.memos", title="Voice Memos",
+                             genre="Tools", developer=developer, release_day=0))
+    return store
+
+
+class TestPlayStoreFacade:
+    def test_install_and_binned_display(self):
+        store = make_store()
+        store.record_install_batch("com.honey.memos", 1,
+                                   InstallSource.INCENTIVIZED, 1679, "c1")
+        assert store.displayed_installs("com.honey.memos", 1) == 1000
+        profile = store.public_profile("com.honey.memos", 1)
+        assert profile["installs_label"] == "1,000+"
+        assert profile["developer"]["country"] == "US"
+
+    def test_install_for_unknown_app_rejected(self):
+        store = make_store()
+        with pytest.raises(KeyError):
+            store.record_install("com.ghost", 0, InstallSource.ORGANIC)
+
+    def test_zero_count_batch_is_noop(self):
+        store = make_store()
+        store.record_install_batch("com.honey.memos", 0,
+                                   InstallSource.ORGANIC, 0)
+        assert store.ledger.total_installs("com.honey.memos") == 0
+
+    def test_console_requires_ownership(self):
+        store = make_store()
+        store.record_install("com.honey.memos", 0, InstallSource.ORGANIC)
+        report = store.console.acquisition_report("dev1", "com.honey.memos", 0, 0)
+        assert report.total == 1
+        with pytest.raises(PermissionError):
+            store.console.acquisition_report("intruder", "com.honey.memos", 0, 0)
+
+    def test_console_daily_series(self):
+        store = make_store()
+        store.record_install_batch("com.honey.memos", 0,
+                                   InstallSource.INCENTIVIZED, 10, "c1")
+        store.record_install_batch("com.honey.memos", 2,
+                                   InstallSource.ORGANIC, 3)
+        series = store.console.daily_install_series("dev1", "com.honey.memos", 0, 2)
+        assert series == [10, 0, 3]
+
+    def test_console_verifies_no_organic_installs(self):
+        # The paper uses the console to confirm campaigns received no
+        # organic installs, so attribution to the IIP is sound.
+        store = make_store()
+        store.record_install_batch("com.honey.memos", 0,
+                                   InstallSource.INCENTIVIZED, 500, "c1")
+        report = store.console.acquisition_report("dev1", "com.honey.memos", 0, 5)
+        assert report.organic == 0
+        assert report.by_source[InstallSource.INCENTIVIZED] == 500
+
+
+class TestEnforcement:
+    def _signals(self, open_rate, emulator_rate=0.0, hours=1.0):
+        return CampaignSignals(campaign_id="c1", package="com.honey.memos",
+                               installs_delivered=500, open_rate=open_rate,
+                               emulator_rate=emulator_rate,
+                               delivery_hours=hours, end_day=3)
+
+    def test_high_engagement_campaign_rarely_detected(self):
+        store = make_store()
+        probability = store.enforcement.detection_probability(
+            self._signals(open_rate=1.0, hours=2.5))
+        assert probability == 0.0
+
+    def test_low_engagement_campaign_sometimes_detected(self):
+        store = make_store()
+        probability = store.enforcement.detection_probability(
+            self._signals(open_rate=0.55))
+        assert 0.005 < probability < 0.1
+
+    def test_detection_removes_campaign_installs(self):
+        store = make_store()
+        store.record_install_batch("com.honey.memos", 1,
+                                   InstallSource.INCENTIVIZED, 600, "c1")
+        engine = store.enforcement
+        engine.NEVER_OPENED_WEIGHT = 10.0  # force detection
+        action = engine.review(self._signals(open_rate=0.0), day=10,
+                               rng=random.Random(0))
+        assert action is not None
+        assert action.installs_removed == 600
+        assert store.displayed_installs("com.honey.memos", 9) == 500
+        assert store.displayed_installs("com.honey.memos", 10) == 0
+
+    def test_each_campaign_reviewed_once(self):
+        store = make_store()
+        store.record_install_batch("com.honey.memos", 1,
+                                   InstallSource.INCENTIVIZED, 600, "c1")
+        engine = store.enforcement
+        engine.NEVER_OPENED_WEIGHT = 10.0
+        first = engine.review(self._signals(open_rate=0.0), 10, random.Random(0))
+        second = engine.review(self._signals(open_rate=0.0), 11, random.Random(0))
+        assert first is not None
+        assert second is None
+        assert len(engine.actions_for("com.honey.memos")) == 1
+
+    def test_detection_calibration_band(self):
+        # RankApp-like campaigns (45% never open) should be caught for a
+        # few percent of campaigns, not most of them.
+        engine = EnforcementEngine(ledger=make_store().ledger)
+        probability = engine.detection_probability(self._signals(open_rate=0.55))
+        assert 0.01 < probability < 0.05
+
+    def test_invalid_rates_rejected(self):
+        with pytest.raises(ValueError):
+            self._signals(open_rate=1.5)
+        with pytest.raises(ValueError):
+            self._signals(open_rate=0.5, emulator_rate=-0.1)

@@ -1,0 +1,136 @@
+"""World wiring and wild-scenario generation tests."""
+
+import pytest
+
+from repro.iip.offers import OfferCategory
+from repro.iip.registry import UNVETTED_IIPS, VETTED_IIPS
+from repro.playstore.ledger import InstallSource
+from repro.simulation import paperdata
+from repro.simulation.scenarios import WildScenario, WildScenarioConfig
+from repro.simulation.world import World
+
+SCALE = 0.08
+
+
+@pytest.fixture(scope="module")
+def built():
+    world = World(seed=11)
+    scenario = WildScenario(world, WildScenarioConfig(
+        scale=SCALE, measurement_days=40))
+    scenario.build()
+    return world, scenario
+
+
+class TestWorldWiring:
+    def test_all_seven_walls_listening(self, built):
+        world, _ = built
+        for name, wall in world.walls.items():
+            assert world.fabric.is_listening(wall.hostname, 443)
+
+    def test_play_frontend_listening(self, built):
+        world, _ = built
+        assert world.fabric.is_listening("play.google.example", 443)
+
+    def test_affiliates_registered_per_table2(self, built):
+        world, _ = built
+        assert "com.ayet.cashpirate" in world.platforms["Fyber"].affiliate_ids
+        assert "eu.makemoney" in world.platforms["RankApp"].affiliate_ids
+        assert ("com.ayet.cashpirate"
+                not in world.platforms["RankApp"].affiliate_ids)
+
+    def test_device_trust_store_is_fresh(self, built):
+        world, _ = built
+        store_a = world.device_trust_store()
+        store_b = world.device_trust_store()
+        assert store_a is not store_b
+        assert store_a.trusts("GlobalTrust Root CA")
+
+
+class TestScenarioGeneration:
+    def test_app_counts_scale(self, built):
+        _, scenario = built
+        expected = sum(
+            max(3, round(calibration.app_count * SCALE))
+            for calibration in paperdata.TABLE4.values())
+        # Overlap makes actual app count smaller than total memberships.
+        assert 0.5 * expected < len(scenario.advertised) <= expected
+
+    def test_every_advertised_app_has_campaigns(self, built):
+        _, scenario = built
+        assert all(app.campaigns for app in scenario.advertised)
+
+    def test_campaigns_live_within_measurement_window(self, built):
+        _, scenario = built
+        for app in scenario.advertised:
+            for campaign in app.campaigns:
+                assert 0 <= campaign.offer.start_day < 40
+                assert campaign.offer.end_day < 40
+
+    def test_rankapp_offers_are_no_activity_dominated(self, built):
+        _, scenario = built
+        rank_offers = [
+            campaign.offer
+            for app in scenario.advertised
+            for campaign in app.campaigns
+            if campaign.offer.iip_name == "RankApp"
+        ]
+        assert rank_offers
+        no_activity = sum(o.category is OfferCategory.NO_ACTIVITY
+                          for o in rank_offers)
+        assert no_activity / len(rank_offers) > 0.7
+
+    def test_campaign_volumes_follow_budget_tiers(self, built):
+        _, scenario = built
+        for app in scenario.advertised:
+            big_budget_app = app.initial_installs > 500_000
+            for campaign in app.campaigns:
+                vetted = campaign.offer.iip_name not in UNVETTED_IIPS
+                if vetted or big_budget_app:
+                    assert campaign.installs_purchased >= 2000
+                else:
+                    assert campaign.installs_purchased <= 400
+
+    def test_initial_installs_recorded(self, built):
+        world, scenario = built
+        app = scenario.advertised[0]
+        assert (world.store.ledger.total_installs(app.package, 0)
+                >= app.initial_installs)
+
+    def test_apks_built_for_every_app(self, built):
+        world, scenario = built
+        for app in scenario.advertised:
+            assert app.package in world.apks
+        for app in scenario.baseline:
+            assert app.package in world.apks
+
+    def test_crunchbase_populated(self, built):
+        world, _ = built
+        assert world.crunchbase.organization_count() > 0
+
+    def test_deterministic_generation(self):
+        def fingerprint():
+            world = World(seed=99)
+            scenario = WildScenario(world, WildScenarioConfig(
+                scale=0.05, measurement_days=30))
+            scenario.build()
+            return [
+                (app.package, app.initial_installs, tuple(app.iips),
+                 tuple(c.offer.description for c in app.campaigns))
+                for app in scenario.advertised
+            ]
+
+        assert fingerprint() == fingerprint()
+
+    def test_daily_dynamics_record_installs_and_engagement(self, built):
+        world, scenario = built
+        scenario.run_day(0)
+        scenario.run_day(1)
+        recorded = sum(
+            world.store.ledger.daily_installs(app.package, 1)[
+                InstallSource.INCENTIVIZED]
+            for app in scenario.advertised)
+        assert recorded > 0
+        engaged = sum(
+            world.store.engagement.for_day(app.package, 1).active_users
+            for app in scenario.baseline)
+        assert engaged > 0

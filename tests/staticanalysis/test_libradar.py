@@ -1,0 +1,79 @@
+"""APK builder and LibRadar detector tests."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.staticanalysis.apk import Apk, ApkBuilder, ApkRepository
+from repro.staticanalysis.libradar import LibRadarDetector
+from repro.staticanalysis.signatures import AD_LIBRARY_SIGNATURES
+
+
+@pytest.fixture()
+def builder():
+    return ApkBuilder(random.Random(77))
+
+
+class TestApkBuilder:
+    def test_requested_ad_count_embedded(self, builder):
+        apk = builder.build("com.example.game", ad_library_count=5)
+        detector = LibRadarDetector()
+        assert detector.unique_ad_library_count(apk) == 5
+
+    def test_zero_ad_libraries(self, builder):
+        apk = builder.build("com.example.clean", ad_library_count=0)
+        assert LibRadarDetector().detect(apk) == set()
+
+    def test_count_capped_at_signature_universe(self, builder):
+        apk = builder.build("com.example.bloat", ad_library_count=10_000)
+        assert (LibRadarDetector().unique_ad_library_count(apk)
+                == len(AD_LIBRARY_SIGNATURES))
+
+    def test_obfuscation_hides_libraries(self, builder):
+        apk = builder.build("com.example.hidden", ad_library_count=10,
+                            obfuscate_fraction=1.0)
+        assert LibRadarDetector().detect(apk) == set()
+
+    def test_partial_obfuscation_hides_some(self):
+        rng = random.Random(5)
+        detector = LibRadarDetector()
+        detected = []
+        for index in range(30):
+            apk = ApkBuilder(rng).build(f"com.example.a{index}",
+                                        ad_library_count=10,
+                                        obfuscate_fraction=0.4)
+            detected.append(detector.unique_ad_library_count(apk))
+        assert 3 < sum(detected) / len(detected) < 9
+
+    def test_invalid_arguments(self, builder):
+        with pytest.raises(ValueError):
+            builder.build("com.x.y", ad_library_count=-1)
+        with pytest.raises(ValueError):
+            builder.build("com.x.y", ad_library_count=1, obfuscate_fraction=1.5)
+
+    def test_common_noise_libraries_not_counted(self, builder):
+        apk = builder.build("com.example.app", ad_library_count=0)
+        # APKs always embed some common (non-ad) libraries.
+        assert len(apk.dex_prefixes) > 1
+        assert LibRadarDetector().detect(apk) == set()
+
+    @settings(max_examples=20)
+    @given(st.integers(min_value=0, max_value=30))
+    def test_detection_exact_without_obfuscation(self, count):
+        builder = ApkBuilder(random.Random(count))
+        apk = builder.build("com.prop.app", ad_library_count=count)
+        assert LibRadarDetector().unique_ad_library_count(apk) == count
+
+
+class TestRepository:
+    def test_add_get_scan(self, builder):
+        repository = ApkRepository()
+        for index, count in enumerate((2, 7)):
+            repository.add(builder.build(f"com.app.n{index}", count))
+        assert len(repository) == 2
+        assert "com.app.n0" in repository
+        assert repository.get("com.missing") is None
+        scan = LibRadarDetector().scan_repository(repository)
+        assert scan == {"com.app.n0": 2, "com.app.n1": 7}

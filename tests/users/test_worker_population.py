@@ -1,0 +1,167 @@
+"""Worker behaviour and population-builder tests."""
+
+import random
+
+import pytest
+
+from repro.iip.offers import ActivityKind, OfferCategory, tasks_for
+from repro.net.ip import AsnDatabase
+from repro.users.devices import DeviceFactory
+from repro.users.population import IIPUserMix, PopulationBuilder
+from repro.users.worker import Worker, WorkerBehavior
+from tests.iip.test_offers import make_offer
+
+
+@pytest.fixture()
+def rng():
+    return random.Random(31)
+
+
+def make_worker(rng, behavior=None):
+    factory = DeviceFactory(AsnDatabase(), rng)
+    return Worker("w1", factory.real_phone("IN"),
+                  behavior or WorkerBehavior())
+
+
+class TestWorkerBehavior:
+    def test_rates_validated(self):
+        with pytest.raises(ValueError):
+            WorkerBehavior(open_probability=1.1)
+        with pytest.raises(ValueError):
+            WorkerBehavior(engage_probability=-0.1)
+
+    def test_diligent_worker_completes_no_activity_offer(self, rng):
+        worker = make_worker(rng, WorkerBehavior(open_probability=1.0))
+        result = worker.work_offer(make_offer(), day=0, rng=rng)
+        assert result.installed
+        assert result.opened
+        assert result.completed
+        assert "install" in result.tasks_completed
+        assert "open" in result.tasks_completed
+        assert worker.device.has_installed("com.a.b")
+
+    def test_lazy_worker_never_opens_but_install_counts(self, rng):
+        worker = make_worker(rng, WorkerBehavior(open_probability=0.0))
+        result = worker.work_offer(make_offer(), day=0, rng=rng)
+        assert result.installed
+        assert not result.opened
+        assert result.completed  # sloppy attribution pays bare installs
+        assert result.session_seconds == 0.0
+
+    def test_activity_offer_requires_open(self, rng):
+        offer = make_offer(category=OfferCategory.ACTIVITY,
+                           activity_kind=ActivityKind.REGISTRATION,
+                           tasks=tasks_for(OfferCategory.ACTIVITY,
+                                           ActivityKind.REGISTRATION))
+        worker = make_worker(rng, WorkerBehavior(open_probability=0.0))
+        result = worker.work_offer(offer, day=0, rng=rng)
+        assert not result.completed
+        assert not result.registered
+
+    def test_registration_offer_registers(self, rng):
+        offer = make_offer(category=OfferCategory.ACTIVITY,
+                           activity_kind=ActivityKind.REGISTRATION,
+                           tasks=tasks_for(OfferCategory.ACTIVITY,
+                                           ActivityKind.REGISTRATION))
+        worker = make_worker(rng, WorkerBehavior(
+            open_probability=1.0, abandon_activity_probability=0.0))
+        result = worker.work_offer(offer, day=0, rng=rng)
+        assert result.completed
+        assert result.registered
+
+    def test_purchase_offer_generates_revenue(self, rng):
+        offer = make_offer(category=OfferCategory.ACTIVITY,
+                           activity_kind=ActivityKind.PURCHASE,
+                           tasks=tasks_for(OfferCategory.ACTIVITY,
+                                           ActivityKind.PURCHASE,
+                                           purchase_usd=4.99))
+        worker = make_worker(rng, WorkerBehavior(
+            abandon_activity_probability=0.0))
+        result = worker.work_offer(offer, day=0, rng=rng)
+        assert result.purchase_usd == pytest.approx(4.99)
+
+    def test_activity_offers_take_longer(self, rng):
+        usage_offer = make_offer(category=OfferCategory.ACTIVITY,
+                                 activity_kind=ActivityKind.USAGE,
+                                 tasks=tasks_for(OfferCategory.ACTIVITY,
+                                                 ActivityKind.USAGE))
+        behavior = WorkerBehavior(abandon_activity_probability=0.0)
+        quick = make_worker(rng, behavior).work_offer(make_offer(), 0, rng)
+        slow = make_worker(rng, behavior).work_offer(usage_offer, 0, rng)
+        assert slow.session_seconds > quick.session_seconds
+
+    def test_engagement_rate_statistics(self, rng):
+        behavior = WorkerBehavior(engage_probability=0.44)
+        engaged = 0
+        for index in range(500):
+            worker = make_worker(rng, behavior)
+            if worker.work_offer(make_offer(), 0, rng).engaged_beyond_task:
+                engaged += 1
+        assert 0.35 < engaged / 500 < 0.53
+
+    def test_retention_is_rare(self, rng):
+        behavior = WorkerBehavior(next_day_return_probability=0.005)
+        returned = sum(
+            make_worker(rng, behavior).work_offer(make_offer(), 0, rng).returned_next_day
+            for _ in range(500))
+        assert returned <= 10
+
+    def test_points_credit(self, rng):
+        worker = make_worker(rng)
+        worker.credit_points(300)
+        assert worker.points_earned == 300
+        with pytest.raises(ValueError):
+            worker.credit_points(-1)
+
+
+class TestPopulationBuilder:
+    def _builder(self, rng):
+        return PopulationBuilder(AsnDatabase(), rng,
+                                 affiliate_catalog=("eu.gcashapp",
+                                                    "com.ayet.cashpirate",
+                                                    "com.bigcash.app"))
+
+    def test_population_size(self, rng):
+        mix = IIPUserMix(iip_name="Fyber", behavior=WorkerBehavior())
+        sample = self._builder(rng).build(mix, 100)
+        assert len(sample) == 100
+
+    def test_farm_quota(self, rng):
+        mix = IIPUserMix(iip_name="ayeT-Studios", behavior=WorkerBehavior(),
+                         farm_fraction=0.04, farm_size=20)
+        sample = self._builder(rng).build(mix, 500)
+        assert len(sample.farm_device_ids) == 20
+        assert len(sample) == 500
+
+    def test_emulator_fraction_approximate(self, rng):
+        mix = IIPUserMix(iip_name="RankApp", behavior=WorkerBehavior(),
+                         emulator_fraction=0.10)
+        sample = self._builder(rng).build(mix, 1000)
+        emulators = sum(worker.device.profile.is_emulator
+                        for worker in sample.workers)
+        assert 60 <= emulators <= 140
+
+    def test_affiliate_app_prevalence(self, rng):
+        mix = IIPUserMix(iip_name="RankApp", behavior=WorkerBehavior(),
+                         affiliate_app_probability=0.98,
+                         flagship_affiliate="eu.gcashapp",
+                         flagship_share=0.37)
+        sample = self._builder(rng).build(mix, 400)
+        with_affiliate = sum(
+            any(pkg in worker.device.installed_packages
+                for pkg in ("eu.gcashapp", "com.ayet.cashpirate", "com.bigcash.app"))
+            for worker in sample.workers)
+        flagship = sum("eu.gcashapp" in worker.device.installed_packages
+                       for worker in sample.workers)
+        assert with_affiliate / 400 > 0.9
+        assert 0.2 < flagship / 400 < 0.8
+
+    def test_invalid_mix_rejected(self):
+        with pytest.raises(ValueError):
+            IIPUserMix(iip_name="X", behavior=WorkerBehavior(),
+                       emulator_fraction=0.7, cloud_phone_fraction=0.5)
+
+    def test_zero_count_rejected(self, rng):
+        mix = IIPUserMix(iip_name="Fyber", behavior=WorkerBehavior())
+        with pytest.raises(ValueError):
+            self._builder(rng).build(mix, 0)
