@@ -19,6 +19,7 @@ Quick start::
 """
 
 from repro.core.honey_experiment import HoneyAppExperiment, HoneyExperimentResults
+from repro.obs import NULL_OBS, Observability
 from repro.core.wild_measurement import (
     WildMeasurement,
     WildMeasurementConfig,
@@ -32,6 +33,8 @@ __version__ = "1.0.0"
 __all__ = [
     "HoneyAppExperiment",
     "HoneyExperimentResults",
+    "NULL_OBS",
+    "Observability",
     "WildMeasurement",
     "WildMeasurementConfig",
     "WildResults",

@@ -9,6 +9,11 @@ Commands
 ``report``   Re-run the analyses on previously exported data files.
 ``detect``   Run the lockstep detector on a labelled corpus.
 ``tables``   Print the static tables (1 and 2).
+``obs``      Print top counters/spans from a metrics snapshot (or from
+             a fresh honey run when no snapshot is given).
+
+The global ``--metrics-out PATH`` flag (before the subcommand) dumps
+the observability snapshot of any world-running subcommand as JSON.
 """
 
 from __future__ import annotations
@@ -54,16 +59,33 @@ def _add_detect(subparsers) -> None:
     parser.add_argument("--seed", type=int, default=2019)
 
 
+def _add_obs(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "obs", help="print top counters and spans as a text table")
+    parser.add_argument("--metrics", metavar="PATH",
+                        help="snapshot JSON written by --metrics-out; when "
+                             "omitted, runs the honey experiment and reports "
+                             "its observability")
+    parser.add_argument("--seed", type=int, default=2019)
+    parser.add_argument("--top", type=int, default=15,
+                        help="rows per table section")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduction of 'Understanding Incentivized Mobile "
                     "App Installs on Google Play Store' (IMC 2020)")
+    parser.add_argument(
+        "--metrics-out", metavar="PATH", default=None,
+        help="after the subcommand, dump the observability snapshot "
+             "(metrics + spans) as JSON to PATH")
     subparsers = parser.add_subparsers(dest="command", required=True)
     _add_honey(subparsers)
     _add_wild(subparsers)
     _add_report(subparsers)
     _add_detect(subparsers)
+    _add_obs(subparsers)
     subparsers.add_parser("tables", help="print the static tables (1 and 2)")
     paper = subparsers.add_parser(
         "paper", help="run the full reproduction and print every table")
@@ -71,6 +93,25 @@ def build_parser() -> argparse.ArgumentParser:
     paper.add_argument("--scale", type=float, default=1.0)
     paper.add_argument("--days", type=int, default=None)
     return parser
+
+
+def _maybe_dump_metrics(args, obs) -> int:
+    """Honour the global ``--metrics-out`` flag for a finished world.
+
+    Returns a process exit code: the experiment already ran, but a
+    snapshot the user asked for and did not get is still a failure.
+    """
+    path = getattr(args, "metrics_out", None)
+    if not path:
+        return 0
+    from repro.obs import save_snapshot
+    try:
+        save_snapshot(obs, path)
+    except OSError as exc:
+        print(f"error: cannot write metrics snapshot: {exc}", file=sys.stderr)
+        return 1
+    print(f"\nmetrics snapshot written to {path}")
+    return 0
 
 
 # ---------------------------------------------------------------------------
@@ -90,7 +131,7 @@ def _cmd_honey(args) -> int:
     world = World(seed=args.seed)
     results = HoneyAppExperiment(world).run()
     print(reports.render_honey_report(results))
-    return 0
+    return _maybe_dump_metrics(args, world.obs)
 
 
 def _cmd_wild(args) -> int:
@@ -149,7 +190,7 @@ def _cmd_wild(args) -> int:
             count = save_archive(results.archive, args.export_archive)
             print(f"exported {count} profile snapshots to "
                   f"{args.export_archive}")
-    return 0
+    return _maybe_dump_metrics(args, world.obs)
 
 
 def _cmd_report(args) -> int:
@@ -198,8 +239,36 @@ def _cmd_detect(args) -> int:
     return 0
 
 
+def _cmd_obs(args) -> int:
+    from repro.obs import load_snapshot, render_obs_table
+    if args.metrics:
+        try:
+            snapshot = load_snapshot(args.metrics)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot load snapshot: {exc}", file=sys.stderr)
+            return 2
+        rc = 0
+    else:
+        from repro import HoneyAppExperiment, World
+        world = World(seed=args.seed)
+        HoneyAppExperiment(world).run()
+        snapshot = world.obs.snapshot()
+        rc = _maybe_dump_metrics(args, world.obs)
+    print(render_obs_table(snapshot, top=args.top))
+    return rc
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(build_parser().parse_args(argv))
+    except BrokenPipeError:
+        # Reports are routinely piped into head/less; a closed pipe is
+        # not an error worth a traceback.
+        sys.stderr.close()
+        return 0
+
+
+def _dispatch(args) -> int:
     if args.command == "tables":
         return _cmd_tables()
     if args.command == "honey":
@@ -210,11 +279,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_report(args)
     if args.command == "detect":
         return _cmd_detect(args)
+    if args.command == "obs":
+        return _cmd_obs(args)
     if args.command == "paper":
         from repro.core.paper_report import run_full_reproduction
+        from repro.obs import Observability
+        obs = Observability() if args.metrics_out else None
         report = run_full_reproduction(seed=args.seed, scale=args.scale,
-                                       days=args.days)
+                                       days=args.days, obs=obs)
         print(report.render())
+        if obs is not None:
+            return _maybe_dump_metrics(args, obs)
         return 0
     raise AssertionError(f"unhandled command {args.command!r}")
 

@@ -119,21 +119,31 @@ class HoneyAppExperiment:
 
     def run(self) -> HoneyExperimentResults:
         store = self.world.store
+        tracer = self.world.obs.tracer
+        metrics = self.world.obs.metrics
         before = store.displayed_installs(HONEY_PACKAGE, 0)
         records: List[HoneyCampaignRecord] = []
         windows: List[CampaignWindow] = []
         console_installs: Dict[str, int] = {}
         install_days: Dict[str, List[Tuple[int, float]]] = {}
-        for iip_name in _CAMPAIGN_ORDER:
-            record, timestamps = self._run_campaign(iip_name)
-            records.append(record)
-            windows.append(record.window)
-            console_installs[record.campaign_id] = record.delivered
-            install_days[record.campaign_id] = timestamps
-        last_day = max(w.end_day for w in windows) + 1
-        after = store.displayed_installs(HONEY_PACKAGE, last_day + 30)
-        analysis = HoneyExperimentAnalysis(
-            windows, self.world.telemetry, console_installs, install_days)
+        with tracer.span("honey.run"):
+            for iip_name in _CAMPAIGN_ORDER:
+                with tracer.span("honey.campaign", iip=iip_name):
+                    record, timestamps = self._run_campaign(iip_name)
+                metrics.inc("core.honey.installs_delivered",
+                            record.delivered, iip=iip_name)
+                metrics.inc("core.honey.completions_paid",
+                            record.completions_paid, iip=iip_name)
+                records.append(record)
+                windows.append(record.window)
+                console_installs[record.campaign_id] = record.delivered
+                install_days[record.campaign_id] = timestamps
+            last_day = max(w.end_day for w in windows) + 1
+            after = store.displayed_installs(HONEY_PACKAGE, last_day + 30)
+            with tracer.span("honey.analysis"):
+                analysis = HoneyExperimentAnalysis(
+                    windows, self.world.telemetry, console_installs,
+                    install_days)
         total_cost = sum(record.total_cost_usd for record in records)
         total_installs = sum(record.delivered for record in records)
         return HoneyExperimentResults(

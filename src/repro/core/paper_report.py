@@ -41,6 +41,7 @@ from repro.core.wild_measurement import (
     WildResults,
 )
 from repro.iip.registry import VETTED_IIPS
+from repro.obs import Observability
 from repro.simulation.scenarios import WildScenario, WildScenarioConfig
 from repro.simulation.world import World
 
@@ -133,9 +134,14 @@ def analyse(results: WildResults) -> PaperReport:
 
 
 def run_full_reproduction(seed: int = 2019, scale: float = 1.0,
-                          days: Optional[int] = None) -> PaperReport:
-    """Build the world, run the measurement, analyse everything."""
-    world = World(seed=seed)
+                          days: Optional[int] = None,
+                          obs: Optional["Observability"] = None) -> PaperReport:
+    """Build the world, run the measurement, analyse everything.
+
+    Pass an :class:`repro.obs.Observability` to collect metrics and
+    spans for the whole run (the CLI's ``--metrics-out`` does this).
+    """
+    world = World(seed=seed, obs=obs)
     scenario_config = (WildScenarioConfig(scale=scale)
                        if days is None
                        else WildScenarioConfig(scale=scale,

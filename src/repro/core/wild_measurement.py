@@ -86,11 +86,13 @@ class WildMeasurement:
         self.phone = world.device_factory.real_phone(
             "US", trust_store=phone_trust)
         self.milker = Milker(world.fabric, self.phone, self.mitm, world.walls,
-                             world.seeds.rng("milker"), vpn=world.vpn)
-        self.dataset = OfferDataset(AFFILIATE_SPECS)
+                             world.seeds.rng("milker"), vpn=world.vpn,
+                             obs=world.obs)
+        self.dataset = OfferDataset(AFFILIATE_SPECS, obs=world.obs)
         self.crawler = PlayStoreCrawler(
             world.measurement_client(), PLAY_HOST,
-            cadence_days=self.config.crawl_cadence_days)
+            cadence_days=self.config.crawl_cadence_days,
+            obs=world.obs)
         self._milk_errors: List[str] = []
         self._milk_runs = 0
         self._observations: List = []
@@ -99,16 +101,29 @@ class WildMeasurement:
 
     def run(self) -> WildResults:
         config = self.config
-        for day in range(config.measurement_days):
-            self.scenario.run_day(day)
-            if day % config.milk_cadence_days == 0:
-                self._milk(day)
-            if self.crawler.should_crawl(day):
-                tracked = (self.scenario.baseline_packages()
-                           + self.dataset.unique_packages())
-                self.crawler.crawl_everything(tracked)
-            self.world.clock.advance()
-        return self._finalize()
+        tracer = self.world.obs.tracer
+        metrics = self.world.obs.metrics
+        with tracer.span("wild.run", days=config.measurement_days):
+            for day in range(config.measurement_days):
+                with tracer.span("wild.scenario", day=day):
+                    self.scenario.run_day(day)
+                if day % config.milk_cadence_days == 0:
+                    with tracer.span("wild.milk", day=day):
+                        self._milk(day)
+                if self.crawler.should_crawl(day):
+                    tracked = (self.scenario.baseline_packages()
+                               + self.dataset.unique_packages())
+                    with tracer.span("wild.crawl", day=day):
+                        self.crawler.crawl_everything(tracked)
+                metrics.inc("core.wild.days")
+                self.world.clock.advance()
+            with tracer.span("wild.finalize"):
+                results = self._finalize()
+        metrics.set_gauge("core.wild.dataset_offers",
+                          self.dataset.offer_count())
+        metrics.set_gauge("core.wild.advertised_packages",
+                          len(self.dataset.unique_packages()))
+        return results
 
     def _countries_for(self, day: int) -> Sequence[str]:
         count = min(self.config.countries_per_milk_day,
@@ -118,13 +133,15 @@ class WildMeasurement:
                 for i in range(count)]
 
     def _milk(self, day: int) -> None:
+        tracer = self.world.obs.tracer
         for country in self._countries_for(day):
-            for spec in AFFILIATE_SPECS.values():
-                run = self.milker.milk(spec, day, country=country)
-                self._milk_runs += 1
-                self._milk_errors.extend(run.errors)
-                self._observations.extend(run.offers)
-                self.dataset.ingest_all(run.offers)
+            with tracer.span("wild.milk.country", country=country, day=day):
+                for spec in AFFILIATE_SPECS.values():
+                    run = self.milker.milk(spec, day, country=country)
+                    self._milk_runs += 1
+                    self._milk_errors.extend(run.errors)
+                    self._observations.extend(run.offers)
+                    self.dataset.ingest_all(run.offers)
 
     def _finalize(self) -> WildResults:
         detector = LibRadarDetector()

@@ -49,6 +49,8 @@ class TelemetryServer:
         except (KeyError, TypeError, ValueError) as exc:
             return HttpResponse.error(400, f"bad telemetry: {exc}")
         record = self._asn_db.lookup(context.client_address)
+        self._server.obs.metrics.inc("honeyapp.telemetry_events",
+                                     event=payload.event)
         self.events.append(StoredEvent(
             payload=payload,
             source_asn=record.number if record else None,

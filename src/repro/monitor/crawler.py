@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.net.client import HttpClient
+from repro.obs import Observability
 from repro.playstore.charts import ChartKind
 
 DEFAULT_CADENCE_DAYS = 2
@@ -131,7 +132,8 @@ class PlayStoreCrawler:
 
     def __init__(self, client: HttpClient, play_host: str,
                  archive: Optional[CrawlArchive] = None,
-                 cadence_days: int = DEFAULT_CADENCE_DAYS) -> None:
+                 cadence_days: int = DEFAULT_CADENCE_DAYS,
+                 obs: Optional[Observability] = None) -> None:
         if cadence_days <= 0:
             raise ValueError("cadence must be positive")
         self._client = client
@@ -140,16 +142,19 @@ class PlayStoreCrawler:
         self.cadence_days = cadence_days
         self.requests_made = 0
         self.failures = 0
+        self.obs = obs or client.obs
 
     def should_crawl(self, day: int, start_day: int = 0) -> bool:
         return day >= start_day and (day - start_day) % self.cadence_days == 0
 
     def crawl_profile(self, package: str) -> Optional[ProfileSnapshot]:
         self.requests_made += 1
+        self.obs.metrics.inc("monitor.crawl_requests", kind="profile")
         response = self._client.get(self._play_host, "/store/apps/details",
                                     params={"id": package})
         if not response.ok:
             self.failures += 1
+            self.obs.metrics.inc("monitor.crawl_failures", kind="profile")
             return None
         payload = response.json()
         snapshot = ProfileSnapshot(
@@ -172,10 +177,12 @@ class PlayStoreCrawler:
         day = -1
         for kind in ChartKind:
             self.requests_made += 1
+            self.obs.metrics.inc("monitor.crawl_requests", kind="chart")
             response = self._client.get(self._play_host,
                                         f"/store/charts/{kind.value}")
             if not response.ok:
                 self.failures += 1
+                self.obs.metrics.inc("monitor.crawl_failures", kind="chart")
                 continue
             payload = response.json()
             day = int(payload["day"])

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Set, Tuple
 
 from repro.affiliates.app import AffiliateAppSpec
+from repro.obs import NULL_OBS, Observability
 
 
 @dataclass(frozen=True)
@@ -54,9 +55,11 @@ class OfferRecord:
 class OfferDataset:
     """Accumulates milk runs into the deduplicated offer corpus."""
 
-    def __init__(self, affiliate_specs: Mapping[str, AffiliateAppSpec]) -> None:
+    def __init__(self, affiliate_specs: Mapping[str, AffiliateAppSpec],
+                 obs: Optional[Observability] = None) -> None:
         self._specs = dict(affiliate_specs)
         self._records: Dict[Tuple[str, str], OfferRecord] = {}
+        self.obs = obs or NULL_OBS
 
     # -- ingestion ------------------------------------------------------------
 
@@ -73,6 +76,8 @@ class OfferDataset:
         payout_usd = self.normalize_payout(observation)
         record = self._records.get(key)
         if record is None:
+            self.obs.metrics.inc("monitor.offers_new",
+                                 iip=observation.iip_name)
             self._records[key] = OfferRecord(
                 iip_name=observation.iip_name,
                 offer_id=observation.offer_id,
@@ -87,6 +92,7 @@ class OfferDataset:
                 affiliates={observation.affiliate_package},
             )
             return
+        self.obs.metrics.inc("monitor.dedup_hits", iip=observation.iip_name)
         record.first_seen_day = min(record.first_seen_day, observation.day)
         record.last_seen_day = max(record.last_seen_day, observation.day)
         if observation.country:

@@ -23,6 +23,7 @@ from repro.net.fabric import NetworkFabric
 from repro.net.proxy import MitmProxy
 from repro.net.tls import TrustStore
 from repro.net.vpn import VpnExitPool
+from repro.obs import Observability
 from repro.users.devices import Device
 
 
@@ -51,6 +52,7 @@ class Milker:
         rng: random.Random,
         vpn: Optional[VpnExitPool] = None,
         public_trust: Optional[TrustStore] = None,
+        obs: Optional[Observability] = None,
     ) -> None:
         """``phone.trust_store`` must already contain ``mitm``'s CA
         certificate (the self-signed cert installed on the device)."""
@@ -61,12 +63,29 @@ class Milker:
         self._rng = rng
         self._vpn = vpn
         self._fuzzer = UiFuzzer()
+        self.obs = obs or fabric.obs
         if public_trust is not None:
             self.mitm.upstream_trust = public_trust
 
     def milk(self, spec: AffiliateAppSpec, day: int,
              country: Optional[str] = None) -> MilkRun:
         """Run the full pipeline for one affiliate app."""
+        with self.obs.tracer.span("milk.run", app=spec.package,
+                                  country=country or "-", day=day):
+            run = self._milk_inner(spec, day, country)
+        metrics = self.obs.metrics
+        metrics.inc("monitor.milk_runs", app=spec.package,
+                    country=country or "-")
+        for offer in run.offers:
+            metrics.inc("monitor.offers_milked", iip=offer.iip_name,
+                        country=country or "-")
+        if run.errors:
+            metrics.inc("monitor.milk_errors", len(run.errors),
+                        app=spec.package)
+        return run
+
+    def _milk_inner(self, spec: AffiliateAppSpec, day: int,
+                    country: Optional[str]) -> MilkRun:
         run = MilkRun(app_package=spec.package, country=country, day=day)
         if country is not None:
             if self._vpn is None:
@@ -76,7 +95,8 @@ class Milker:
             self.mitm.upstream_proxy = None
         client = HttpClient(
             self._fabric, self.phone.endpoint, self.phone.trust_store,
-            self._rng, proxy=(self.mitm.hostname, self.mitm.port))
+            self._rng, proxy=(self.mitm.hostname, self.mitm.port),
+            obs=self.obs)
         self.mitm.clear()
         try:
             runtime = AffiliateAppRuntime(spec, client, self._walls)

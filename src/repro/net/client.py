@@ -11,11 +11,12 @@ from __future__ import annotations
 import random
 from typing import Mapping, Optional, Tuple
 
-from repro.net.errors import HttpProtocolError, TlsError
+from repro.net.errors import CertificatePinningError, HttpProtocolError, TlsError
 from repro.net.fabric import Endpoint, NetworkFabric
 from repro.net.http import HttpRequest, HttpResponse
 from repro.net.server import HTTPS_PORT
 from repro.net.tls import TlsClientSession, TrustStore
+from repro.obs import Observability
 
 
 class HttpClient:
@@ -38,6 +39,9 @@ class HttpClient:
         trusts the proxy's CA).
     pinned_fingerprints:
         Hostname -> key fingerprint pins (certificate pinning).
+    obs:
+        Observability context; defaults to the fabric's (which is a
+        no-op unless the world wired a real one in).
     """
 
     def __init__(
@@ -49,6 +53,7 @@ class HttpClient:
         proxy: Optional[Tuple[str, int]] = None,
         pinned_fingerprints: Optional[Mapping[str, str]] = None,
         today: int = 0,
+        obs: Optional[Observability] = None,
     ) -> None:
         self.fabric = fabric
         self.endpoint = endpoint
@@ -57,6 +62,7 @@ class HttpClient:
         self.proxy = proxy
         self.pinned_fingerprints = dict(pinned_fingerprints or {})
         self.today = today
+        self.obs = obs or fabric.obs
 
     # -- public API ----------------------------------------------------------
 
@@ -77,21 +83,24 @@ class HttpClient:
             return self._request_via_proxy(host, port, request)
         connection = self.fabric.connect(self.endpoint, host, port)
         try:
-            session = TlsClientSession(
-                connection, host, self.trust_store, self.rng,
-                today=self.today, pinned_fingerprints=self.pinned_fingerprints)
-            return HttpResponse.from_bytes(session.send(request.to_bytes()))
+            session = self._handshake(connection, host)
+            response = HttpResponse.from_bytes(session.send(request.to_bytes()))
         finally:
             connection.close()
+        self._record(host, request, response)
+        return response
 
     def request_plain(self, host: str, request: HttpRequest,
                       port: int = 80) -> HttpResponse:
         """Send one cleartext HTTP request (no TLS)."""
         connection = self.fabric.connect(self.endpoint, host, port)
         try:
-            return HttpResponse.from_bytes(connection.roundtrip(request.to_bytes()))
+            response = HttpResponse.from_bytes(
+                connection.roundtrip(request.to_bytes()))
         finally:
             connection.close()
+        self._record(host, request, response)
+        return response
 
     # -- proxy path ------------------------------------------------------------
 
@@ -108,14 +117,38 @@ class HttpClient:
             connect.headers.set("Host", f"{host}:{port}")
             reply = HttpResponse.from_bytes(connection.roundtrip(connect.to_bytes()))
             if not reply.ok:
+                self.obs.metrics.inc("net.client.proxy_refusals", host=host)
                 raise HttpProtocolError(
                     f"proxy refused CONNECT to {host}:{port}: {reply.status}")
-            session = TlsClientSession(
-                connection, host, self.trust_store, self.rng,
-                today=self.today, pinned_fingerprints=self.pinned_fingerprints)
-            return HttpResponse.from_bytes(session.send(request.to_bytes()))
+            session = self._handshake(connection, host)
+            response = HttpResponse.from_bytes(session.send(request.to_bytes()))
         finally:
             connection.close()
+        self._record(host, request, response)
+        return response
+
+    # -- instrumentation -------------------------------------------------------
+
+    def _handshake(self, connection, host: str) -> TlsClientSession:
+        """Open the TLS session, counting handshakes and their failures."""
+        metrics = self.obs.metrics
+        metrics.inc("net.client.tls_handshakes", host=host)
+        try:
+            return TlsClientSession(
+                connection, host, self.trust_store, self.rng,
+                today=self.today, pinned_fingerprints=self.pinned_fingerprints)
+        except CertificatePinningError:
+            metrics.inc("net.client.pinning_failures", host=host)
+            raise
+        except TlsError as exc:
+            metrics.inc("net.client.tls_failures", host=host,
+                        error=type(exc).__name__)
+            raise
+
+    def _record(self, host: str, request: HttpRequest,
+                response: HttpResponse) -> None:
+        self.obs.metrics.inc("net.client.requests", host=host,
+                             method=request.method, status=str(response.status))
 
 
 __all__ = ["HttpClient", "TlsError"]

@@ -19,6 +19,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.net.errors import ConnectionRefusedFabricError, NetError
 from repro.net.ip import AsnDatabase, IPv4Address
+from repro.obs import NULL_OBS, Observability
 
 
 @dataclass(frozen=True)
@@ -130,8 +131,12 @@ class _Listener:
 class NetworkFabric:
     """The in-process network: DNS, listeners, taps, and fault injection."""
 
-    def __init__(self, asn_db: Optional[AsnDatabase] = None) -> None:
+    def __init__(self, asn_db: Optional[AsnDatabase] = None,
+                 obs: Optional[Observability] = None) -> None:
         self.asn_db = asn_db or AsnDatabase()
+        #: Observability context; components built on this fabric
+        #: (servers, clients, proxies) inherit it unless handed their own.
+        self.obs = obs or NULL_OBS
         self._dns: Dict[str, IPv4Address] = {}
         self._listeners: Dict[Tuple[str, int], _Listener] = {}
         self._taps: List[TapCallback] = []
@@ -184,10 +189,13 @@ class NetworkFabric:
     def connect(self, source: Endpoint, hostname: str, port: int) -> Connection:
         fault = self._faults.get((hostname, port))
         if fault is not None:
+            self.obs.metrics.inc("net.fabric.faults_raised", host=hostname,
+                                 error=type(fault).__name__)
             raise fault
         self.resolve(hostname)  # raises for unknown hosts
         listener = self._listeners.get((hostname, port))
         if listener is None:
+            self.obs.metrics.inc("net.fabric.refused", host=hostname)
             raise ConnectionRefusedFabricError(f"connection refused: {hostname}:{port}")
         info = ConnectionInfo(
             client_address=source.address,
@@ -195,6 +203,7 @@ class NetworkFabric:
             server_port=port,
         )
         listener.connections_accepted += 1
+        self.obs.metrics.inc("net.fabric.connections", host=hostname)
         handler = listener.factory(info)
         return Connection(self, handler, info)
 
@@ -207,6 +216,10 @@ class NetworkFabric:
         self._taps = [tap for tap in self._taps if tap is not callback]
 
     def _observe(self, frame: Frame) -> None:
+        metrics = self.obs.metrics
+        metrics.inc("net.fabric.frames", direction=frame.direction)
+        metrics.inc("net.fabric.bytes", len(frame.payload),
+                    direction=frame.direction)
         for tap in self._taps:
             tap(frame)
 

@@ -58,13 +58,18 @@ def exchanges_to_har(exchanges: Sequence[InterceptedExchange],
 
     The simulation has no wall clock; entries carry the simulation day
     in a ``_simulationDay`` custom field (HAR permits ``_``-prefixed
-    extensions) and a constant placeholder timestamp.
+    extensions) and a constant placeholder timestamp.  Exchanges
+    recorded by a proxy wired into the observability layer also carry
+    their deterministic timing there: ``_opSeq`` (the monotonic
+    operation-counter tick of the exchange) and ``_spanId`` (the trace
+    span active when it was intercepted), so HAR entries can be joined
+    back to the recorded spans.
     """
     entries: List[Dict[str, object]] = []
     for exchange in exchanges:
-        entries.append({
+        entry: Dict[str, object] = {
             "startedDateTime": "2019-03-01T00:00:00.000Z",
-            "_simulationDay": day,
+            "_simulationDay": exchange.day if exchange.day >= 0 else day,
             "_clientAddress": str(exchange.client_address),
             "time": 0,
             "request": _request_entry(exchange.host, exchange.port,
@@ -72,7 +77,12 @@ def exchanges_to_har(exchanges: Sequence[InterceptedExchange],
             "response": _response_entry(exchange.response),
             "cache": {},
             "timings": {"send": 0, "wait": 0, "receive": 0},
-        })
+        }
+        if exchange.seq:
+            entry["_opSeq"] = exchange.seq
+        if exchange.span_id:
+            entry["_spanId"] = exchange.span_id
+        entries.append(entry)
     return {"log": {"version": HAR_VERSION, "creator": dict(CREATOR),
                     "entries": entries}}
 

@@ -35,6 +35,7 @@ from repro.net.tls import (
     TrustStore,
     issue_server_identity,
 )
+from repro.obs import Observability
 
 
 def _parse_connect_target(request: HttpRequest) -> Tuple[str, int]:
@@ -73,49 +74,68 @@ class ForwardProxy:
     """A relay-only CONNECT proxy bound on the fabric."""
 
     def __init__(self, fabric: NetworkFabric, hostname: str,
-                 address: IPv4Address, port: int = 8080) -> None:
+                 address: IPv4Address, port: int = 8080,
+                 obs: Optional[Observability] = None) -> None:
         self.fabric = fabric
         self.hostname = hostname
         self.port = port
         self.endpoint = Endpoint(address=address, hostname=hostname)
+        self.obs = obs or fabric.obs
+
+        def factory(info: ConnectionInfo) -> ConnectionHandler:
+            self.obs.metrics.inc("net.proxy.tunnels", proxy=hostname)
+            return _TunnelHandler(info, fabric, self.endpoint)
+
         fabric.register_host(hostname, address)
-        fabric.listen(hostname, port,
-                      lambda info: _TunnelHandler(info, fabric, self.endpoint))
+        fabric.listen(hostname, port, factory)
 
 
 @dataclass(frozen=True)
 class InterceptedExchange:
-    """One decrypted request/response pair recorded by the mitm proxy."""
+    """One decrypted request/response pair recorded by the mitm proxy.
+
+    ``day``, ``seq``, and ``span_id`` come from the observability layer
+    when the proxy has one: the simulation day of the exchange, the
+    monotonic operation-counter tick, and the id of the trace span that
+    was active when the exchange was logged (e.g. the milker's
+    ``milk.run``).  They default to sentinel values when the proxy runs
+    without observability.
+    """
 
     host: str
     port: int
     client_address: IPv4Address
     request: HttpRequest
     response: HttpResponse
+    day: int = -1
+    seq: int = 0
+    span_id: Optional[str] = None
 
 
 class _MitmInnerHandler(ConnectionHandler):
     """Plaintext side of the mitm: log and forward each HTTP exchange."""
 
     def __init__(self, info: ConnectionInfo, upstream: TlsClientSession,
-                 host: str, port: int,
-                 log: Callable[[InterceptedExchange], None]) -> None:
+                 host: str, port: int, proxy: "MitmProxy") -> None:
         super().__init__(info)
         self._upstream = upstream
         self._host = host
         self._port = port
-        self._log = log
+        self._proxy = proxy
 
     def on_data(self, data: bytes) -> bytes:
         request = HttpRequest.from_bytes(data)
         response_bytes = self._upstream.send(data)
         response = HttpResponse.from_bytes(response_bytes)
-        self._log(InterceptedExchange(
+        self._proxy._log_exchange(InterceptedExchange(
             host=self._host,
             port=self._port,
             client_address=self.info.client_address,
             request=request,
             response=response,
+            day=self._proxy._today(),
+            seq=self._proxy.obs.tick(),
+            span_id=self._proxy.obs.tracer.current_span_id,
         ))
         return response_bytes
 
@@ -161,11 +181,15 @@ class MitmProxy:
         port: int = 8080,
         upstream_trust: Optional[TrustStore] = None,
         upstream_proxy: Optional[Tuple[str, int]] = None,
+        obs: Optional[Observability] = None,
+        current_day: Optional[Callable[[], int]] = None,
     ) -> None:
         self.fabric = fabric
         self.hostname = hostname
         self.port = port
         self.endpoint = Endpoint(address=address, hostname=hostname)
+        self.obs = obs or fabric.obs
+        self._current_day = current_day
         self._rng = rng
         self.ca = CertificateAuthority(f"{hostname} mitm CA", rng)
         self._identity_cache: Dict[str, ServerIdentity] = {}
@@ -190,6 +214,14 @@ class MitmProxy:
 
     # -- internals ----------------------------------------------------------
 
+    def _today(self) -> int:
+        return self._current_day() if self._current_day is not None else -1
+
+    def _log_exchange(self, exchange: InterceptedExchange) -> None:
+        self.obs.metrics.inc("net.proxy.intercepted", host=exchange.host,
+                             status=str(exchange.response.status))
+        self.intercepted.append(exchange)
+
     def _connect_upstream(self, host: str, port: int) -> Connection:
         if self.upstream_proxy is None:
             return self.fabric.connect(self.endpoint, host, port)
@@ -200,12 +232,14 @@ class MitmProxy:
         reply = HttpResponse.from_bytes(connection.roundtrip(connect.to_bytes()))
         if not reply.ok:
             connection.close()
+            self.obs.metrics.inc("net.proxy.upstream_refusals", host=host)
             raise HttpProtocolError(
                 f"upstream proxy refused CONNECT to {host}:{port}")
         return connection
 
     def _build_impersonator(self, info: ConnectionInfo, host: str,
                             port: int) -> TlsServerHandler:
+        self.obs.metrics.inc("net.proxy.intercept_sessions", host=host)
         upstream_connection = self._connect_upstream(host, port)
         upstream_session = TlsClientSession(
             upstream_connection, host, self.upstream_trust, self._rng)
@@ -213,11 +247,12 @@ class MitmProxy:
         if identity is None:
             identity = issue_server_identity(self.ca, host, self._rng)
             self._identity_cache[host] = identity
+            self.obs.metrics.inc("net.proxy.identities_minted", host=host)
         return TlsServerHandler(
             info,
             identity,
             lambda inner_info: _MitmInnerHandler(
-                inner_info, upstream_session, host, port, self.intercepted.append),
+                inner_info, upstream_session, host, port, self),
             self._rng,
         )
 

@@ -18,6 +18,7 @@ from repro.net.fabric import ConnectionHandler, ConnectionInfo, NetworkFabric
 from repro.net.http import HttpRequest, HttpResponse
 from repro.net.ip import IPv4Address
 from repro.net.tls import ServerIdentity, TlsServerHandler
+from repro.obs import NULL_OBS, Observability
 
 HTTPS_PORT = 443
 HTTP_PORT = 80
@@ -82,19 +83,27 @@ class Router:
 class HttpConnectionHandler(ConnectionHandler):
     """Parses request bytes, dispatches, serialises the response."""
 
-    def __init__(self, info: ConnectionInfo, router: Router) -> None:
+    def __init__(self, info: ConnectionInfo, router: Router,
+                 obs: Optional[Observability] = None) -> None:
         super().__init__(info)
         self._router = router
+        self._obs = obs or NULL_OBS
 
     def on_data(self, data: bytes) -> bytes:
         try:
             request = HttpRequest.from_bytes(data)
         except HttpProtocolError as exc:
+            self._obs.metrics.inc("net.server.bad_requests",
+                                  host=self.info.server_host)
             return HttpResponse.error(400, str(exc)).to_bytes()
         try:
             response = self._router.dispatch(request, self.info)
         except Exception as exc:  # noqa: BLE001 - server boundary
             response = HttpResponse.error(500, f"{type(exc).__name__}: {exc}")
+        self._obs.metrics.inc("net.server.requests",
+                              host=self.info.server_host,
+                              method=request.method,
+                              status=str(response.status))
         return response.to_bytes()
 
 
@@ -107,14 +116,17 @@ class HttpServer:
         hostname: str,
         address: IPv4Address,
         port: int = HTTP_PORT,
+        obs: Optional[Observability] = None,
     ) -> None:
         self.fabric = fabric
         self.hostname = hostname
         self.port = port
         self.router = Router()
+        self.obs = obs or fabric.obs
         fabric.register_host(hostname, address)
         fabric.listen(hostname, port,
-                      lambda info: HttpConnectionHandler(info, self.router))
+                      lambda info: HttpConnectionHandler(info, self.router,
+                                                         self.obs))
 
 
 class HttpsServer:
@@ -128,12 +140,14 @@ class HttpsServer:
         identity: ServerIdentity,
         rng: random.Random,
         port: int = HTTPS_PORT,
+        obs: Optional[Observability] = None,
     ) -> None:
         self.fabric = fabric
         self.hostname = hostname
         self.port = port
         self.identity = identity
         self.router = Router()
+        self.obs = obs or fabric.obs
         fabric.register_host(hostname, address)
         fabric.listen(
             hostname,
@@ -141,7 +155,8 @@ class HttpsServer:
             lambda info: TlsServerHandler(
                 info,
                 identity,
-                lambda inner_info: HttpConnectionHandler(inner_info, self.router),
+                lambda inner_info: HttpConnectionHandler(inner_info, self.router,
+                                                         self.obs),
                 rng,
             ),
         )

@@ -1,0 +1,219 @@
+"""Deterministic metrics primitives: counters, gauges, histograms.
+
+Every metric is keyed by ``(name, labels)`` where the labels are
+canonicalised to a sorted tuple, so two call sites that pass the same
+labels in different orders update the same series.  The registry never
+reads the wall clock or any randomness source: snapshots are pure
+functions of the sequence of recording calls, which is what makes
+exports byte-identical across runs with the same scenario seed.
+
+A :class:`NullMetricsRegistry` accepts every call and records nothing;
+instrumented code defaults to it so un-wired call sites cost almost
+nothing and never fail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple, Union
+
+Number = Union[int, float]
+LabelItems = Tuple[Tuple[str, str], ...]
+
+#: Default histogram bucket upper bounds (values above the last bound
+#: land in the overflow bucket).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0)
+
+
+def label_key(labels: Mapping[str, object]) -> LabelItems:
+    """Canonical, hashable form of a label set."""
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class OpCounter:
+    """The monotonic operation counter behind every obs timestamp.
+
+    One counter is shared by a context's registry and tracer: every
+    recorded metric and every span boundary ticks it, so a span's
+    ``(end_op - start_op)`` is the number of instrumented operations
+    that happened inside it — a deterministic stand-in for duration.
+    """
+
+    def __init__(self) -> None:
+        self._value = 0
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def tick(self) -> int:
+        self._value += 1
+        return self._value
+
+
+def render_key(name: str, labels: LabelItems) -> str:
+    """``name{k=v,...}`` rendering used in snapshots and tables."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+@dataclass
+class HistogramState:
+    """Counts of observations against fixed bucket bounds."""
+
+    bounds: Tuple[float, ...]
+    bucket_counts: List[int] = field(default_factory=list)
+    count: int = 0
+    total: float = 0.0
+    minimum: Optional[float] = None
+    maximum: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.bucket_counts:
+            # one bucket per bound plus the overflow bucket
+            self.bucket_counts = [0] * (len(self.bounds) + 1)
+
+    def observe(self, value: Number) -> None:
+        self.count += 1
+        self.total += value
+        self.minimum = value if self.minimum is None else min(self.minimum, value)
+        self.maximum = value if self.maximum is None else max(self.maximum, value)
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.bucket_counts[index] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "bounds": list(self.bounds),
+            "bucket_counts": list(self.bucket_counts),
+            "count": self.count,
+            "sum": self.total,
+            "min": self.minimum,
+            "max": self.maximum,
+        }
+
+
+class MetricsRegistry:
+    """Labelled counters, gauges, and histograms with sorted exports.
+
+    When given an :class:`OpCounter`, every recording call ticks it, so
+    trace spans can measure their cost in instrumented operations.
+    """
+
+    def __init__(self, counter: Optional[OpCounter] = None) -> None:
+        self._counter = counter
+        self._counters: Dict[str, Dict[LabelItems, Number]] = {}
+        self._gauges: Dict[str, Dict[LabelItems, Number]] = {}
+        self._histograms: Dict[str, Dict[LabelItems, HistogramState]] = {}
+        self._histogram_bounds: Dict[str, Tuple[float, ...]] = {}
+
+    @property
+    def enabled(self) -> bool:
+        return True
+
+    def _tick(self) -> None:
+        if self._counter is not None:
+            self._counter.tick()
+
+    # -- recording -----------------------------------------------------------
+
+    def inc(self, name: str, value: Number = 1, **labels: object) -> None:
+        self._tick()
+        series = self._counters.setdefault(name, {})
+        key = label_key(labels)
+        series[key] = series.get(key, 0) + value
+
+    def set_gauge(self, name: str, value: Number, **labels: object) -> None:
+        self._tick()
+        self._gauges.setdefault(name, {})[label_key(labels)] = value
+
+    def declare_histogram(self, name: str, bounds: Tuple[float, ...]) -> None:
+        """Set custom bucket bounds for ``name`` (before first observe)."""
+        if name in self._histograms:
+            raise ValueError(f"histogram {name!r} already has observations")
+        self._histogram_bounds[name] = tuple(bounds)
+
+    def observe(self, name: str, value: Number, **labels: object) -> None:
+        self._tick()
+        series = self._histograms.setdefault(name, {})
+        key = label_key(labels)
+        state = series.get(key)
+        if state is None:
+            bounds = self._histogram_bounds.get(name, DEFAULT_BUCKETS)
+            state = series[key] = HistogramState(bounds=bounds)
+        state.observe(value)
+
+    # -- queries -------------------------------------------------------------
+
+    def counter_value(self, name: str, **labels: object) -> Number:
+        return self._counters.get(name, {}).get(label_key(labels), 0)
+
+    def counter_total(self, name: str) -> Number:
+        return sum(self._counters.get(name, {}).values())
+
+    def counter_names(self) -> List[str]:
+        return sorted(self._counters)
+
+    def counters(self) -> Dict[str, Number]:
+        """All counter series as ``rendered-key -> value``, sorted."""
+        flat: Dict[str, Number] = {}
+        for name in sorted(self._counters):
+            for key in sorted(self._counters[name]):
+                flat[render_key(name, key)] = self._counters[name][key]
+        return flat
+
+    def gauges(self) -> Dict[str, Number]:
+        flat: Dict[str, Number] = {}
+        for name in sorted(self._gauges):
+            for key in sorted(self._gauges[name]):
+                flat[render_key(name, key)] = self._gauges[name][key]
+        return flat
+
+    def histogram(self, name: str, **labels: object) -> Optional[HistogramState]:
+        return self._histograms.get(name, {}).get(label_key(labels))
+
+    def top_counters(self, limit: int = 20) -> List[Tuple[str, Number]]:
+        """Counter series sorted by value (desc), then key — for reports."""
+        ranked = sorted(self.counters().items(), key=lambda kv: (-kv[1], kv[0]))
+        return ranked[:limit]
+
+    def snapshot(self) -> Dict[str, object]:
+        histograms: Dict[str, object] = {}
+        for name in sorted(self._histograms):
+            for key in sorted(self._histograms[name]):
+                histograms[render_key(name, key)] = (
+                    self._histograms[name][key].to_dict())
+        return {
+            "counters": self.counters(),
+            "gauges": self.gauges(),
+            "histograms": histograms,
+        }
+
+
+class NullMetricsRegistry(MetricsRegistry):
+    """Accepts every recording call, stores nothing."""
+
+    @property
+    def enabled(self) -> bool:
+        return False
+
+    def inc(self, name: str, value: Number = 1, **labels: object) -> None:
+        pass
+
+    def set_gauge(self, name: str, value: Number, **labels: object) -> None:
+        pass
+
+    def declare_histogram(self, name: str, bounds: Tuple[float, ...]) -> None:
+        pass
+
+    def observe(self, name: str, value: Number, **labels: object) -> None:
+        pass

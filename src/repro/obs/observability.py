@@ -1,0 +1,67 @@
+"""The observability context: one registry + one tracer + one op counter.
+
+Instrumented components take an ``Observability`` and default to
+:data:`NULL_OBS`, a shared no-op context, so nothing changes for call
+sites that never wire one in.  ``simulation.world.World`` creates a
+real context bound to the simulation clock and threads it through the
+net stack, the monitor, and both paper pipelines.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.obs.metrics import MetricsRegistry, NullMetricsRegistry, OpCounter
+from repro.obs.tracing import Clock, NullTracer, Tracer
+
+
+class Observability:
+    """Shared metrics + tracing for one world (or one test rig)."""
+
+    def __init__(self, clock: Optional[Clock] = None) -> None:
+        self.ops = OpCounter()
+        self.metrics: MetricsRegistry = MetricsRegistry(counter=self.ops)
+        self.tracer: Tracer = Tracer(clock=clock, counter=self.ops)
+
+    @property
+    def enabled(self) -> bool:
+        return True
+
+    def bind_clock(self, clock: Clock, force: bool = False) -> None:
+        """Point trace timestamps at a simulation clock (idempotent)."""
+        self.tracer.bind_clock(clock, force=force)
+
+    def tick(self) -> int:
+        """Next value of the shared monotonic operation counter."""
+        return self.ops.tick()
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "metrics": self.metrics.snapshot(),
+            "spans": self.tracer.snapshot(),
+            "ops": self.ops.value,
+        }
+
+
+class NullObservability(Observability):
+    """Records nothing; safe to share as a module-level default."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.metrics = NullMetricsRegistry()
+        self.tracer = NullTracer(counter=self.ops)
+
+    @property
+    def enabled(self) -> bool:
+        return False
+
+    def tick(self) -> int:
+        return 0
+
+    def snapshot(self) -> Dict[str, object]:
+        return {"metrics": self.metrics.snapshot(), "spans": [], "ops": 0}
+
+
+#: The shared default: every instrumented component that is not handed a
+#: real context records against this and stays a no-op.
+NULL_OBS = NullObservability()

@@ -1,0 +1,175 @@
+"""Span-based tracing on simulation time.
+
+A span's timestamps are ``(day, op)`` pairs: the simulation-clock day
+plus a monotonic operation counter shared across the whole
+observability context.  Real time never appears anywhere, so two runs
+with the same scenario seed produce byte-identical trace exports — the
+property the determinism tests pin down.
+
+Spans nest: ``Tracer.span`` is a context manager, and a span opened
+while another is active records that span as its parent, which is how
+the pipeline stages (``wild.run`` → ``wild.milk`` → ``milk.run``)
+appear as a tree in exports.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional
+
+from repro.obs.metrics import LabelItems, OpCounter, label_key
+
+Clock = Callable[[], int]
+
+
+@dataclass
+class SpanRecord:
+    """One recorded operation: name, labels, (day, op) start/end."""
+
+    span_id: str
+    name: str
+    labels: LabelItems
+    parent_id: Optional[str]
+    start_day: int
+    start_op: int
+    end_day: int = -1
+    end_op: int = -1
+    status: str = "ok"
+
+    @property
+    def finished(self) -> bool:
+        return self.end_op >= 0
+
+    @property
+    def duration_ops(self) -> int:
+        """Operations that happened inside the span (its 'cost')."""
+        return (self.end_op - self.start_op) if self.finished else 0
+
+    def label(self, key: str) -> Optional[str]:
+        for name, value in self.labels:
+            if name == key:
+                return value
+        return None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "span_id": self.span_id,
+            "name": self.name,
+            "labels": {k: v for k, v in self.labels},
+            "parent_id": self.parent_id,
+            "start": [self.start_day, self.start_op],
+            "end": [self.end_day, self.end_op],
+            "status": self.status,
+        }
+
+
+class Tracer:
+    """Creates, nests, and stores spans.
+
+    ``clock`` supplies the simulation day (``SimulationClock.now``); it
+    may be bound after construction (the world binds its clock during
+    assembly).  Without a clock every timestamp uses day 0, which is
+    still deterministic.
+    """
+
+    def __init__(self, clock: Optional[Clock] = None,
+                 counter: Optional[OpCounter] = None) -> None:
+        self._clock = clock
+        self._counter = counter or OpCounter()
+        self._active: List[SpanRecord] = []
+        self._finished: List[SpanRecord] = []
+        self._next_id = 1
+
+    @property
+    def enabled(self) -> bool:
+        return True
+
+    def bind_clock(self, clock: Clock, force: bool = False) -> None:
+        if self._clock is None or force:
+            self._clock = clock
+
+    def _day(self) -> int:
+        return self._clock() if self._clock is not None else 0
+
+    # -- span lifecycle ------------------------------------------------------
+
+    @contextmanager
+    def span(self, name: str, **labels: object) -> Iterator[SpanRecord]:
+        record = SpanRecord(
+            span_id=f"s{self._next_id:06d}",
+            name=name,
+            labels=label_key(labels),
+            parent_id=self._active[-1].span_id if self._active else None,
+            start_day=self._day(),
+            start_op=self._counter.tick(),
+        )
+        self._next_id += 1
+        self._active.append(record)
+        try:
+            yield record
+        except BaseException as exc:
+            record.status = type(exc).__name__
+            raise
+        finally:
+            record.end_day = self._day()
+            record.end_op = self._counter.tick()
+            self._active.pop()
+            self._finished.append(record)
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def current_span(self) -> Optional[SpanRecord]:
+        return self._active[-1] if self._active else None
+
+    @property
+    def current_span_id(self) -> Optional[str]:
+        span = self.current_span
+        return span.span_id if span else None
+
+    def spans(self, name: Optional[str] = None) -> List[SpanRecord]:
+        """Finished spans, in completion order."""
+        if name is None:
+            return list(self._finished)
+        return [span for span in self._finished if span.name == name]
+
+    def span_ids(self) -> List[str]:
+        return [span.span_id for span in self._finished]
+
+    def children_of(self, span_id: str) -> List[SpanRecord]:
+        return [span for span in self._finished if span.parent_id == span_id]
+
+    def summary(self) -> Dict[str, Dict[str, int]]:
+        """Per-name aggregate: span count and total operation cost."""
+        table: Dict[str, Dict[str, int]] = {}
+        for span in self._finished:
+            row = table.setdefault(span.name, {"count": 0, "ops": 0})
+            row["count"] += 1
+            row["ops"] += span.duration_ops
+        return {name: table[name] for name in sorted(table)}
+
+    def snapshot(self) -> List[Dict[str, object]]:
+        return [span.to_dict() for span in self._finished]
+
+
+class NullTracer(Tracer):
+    """Hands out one inert span and stores nothing."""
+
+    _NULL_SPAN = SpanRecord(span_id="", name="", labels=(), parent_id=None,
+                            start_day=0, start_op=0)
+
+    @property
+    def enabled(self) -> bool:
+        return False
+
+    def bind_clock(self, clock: Clock, force: bool = False) -> None:
+        pass
+
+    @contextmanager
+    def span(self, name: str, **labels: object) -> Iterator[SpanRecord]:
+        yield self._NULL_SPAN
+
+    @property
+    def current_span(self) -> Optional[SpanRecord]:
+        return None

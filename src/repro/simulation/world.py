@@ -25,6 +25,7 @@ from repro.net.ip import MILKER_COUNTRIES
 from repro.net.proxy import MitmProxy
 from repro.net.tls import CertificateAuthority, TrustStore
 from repro.net.vpn import VpnExitPool
+from repro.obs import Observability
 from repro.playstore.frontend import PlayStoreFrontend
 from repro.playstore.store import PlayStore
 from repro.simulation.clock import SimulationClock
@@ -37,10 +38,16 @@ class World:
     """The full simulated ecosystem."""
 
     def __init__(self, seed: int = 2019,
-                 vpn_countries=MILKER_COUNTRIES) -> None:
+                 vpn_countries=MILKER_COUNTRIES,
+                 obs: Optional[Observability] = None) -> None:
         self.seeds = SeedSequence(seed)
         self.clock = SimulationClock()
-        self.fabric = NetworkFabric()
+        #: Observability context shared by every component on this
+        #: world's fabric.  Trace timestamps come from the simulation
+        #: clock (never wall time), so exports are deterministic.
+        self.obs = obs or Observability()
+        self.obs.bind_clock(self.clock.now)
+        self.fabric = NetworkFabric(obs=self.obs)
         ca_rng = self.seeds.rng("ca")
         self.root_ca = CertificateAuthority("GlobalTrust Root CA", ca_rng)
         self.public_trust = TrustStore()
@@ -100,4 +107,5 @@ class World:
         rng = self.seeds.rng("mitm")
         address = self.fabric.asn_db.allocate(14061, rng)
         return MitmProxy(self.fabric, hostname, address, rng,
-                         upstream_trust=self.public_trust)
+                         upstream_trust=self.public_trust,
+                         obs=self.obs, current_day=self.clock.now)

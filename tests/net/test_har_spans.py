@@ -1,0 +1,76 @@
+"""HAR export carries the obs layer's span ids and deterministic timing."""
+
+import pytest
+
+from repro.affiliates.registry import AFFILIATE_SPECS
+from repro.monitor.milker import Milker
+from repro.net.har import exchanges_to_har, load_har, save_har
+from repro.simulation.world import World
+
+
+@pytest.fixture(scope="module")
+def milked_world():
+    world = World(seed=3)
+    mitm = world.build_mitm()
+    phone_trust = world.device_trust_store()
+    phone_trust.add_root(mitm.ca_certificate())
+    phone = world.device_factory.real_phone("US", trust_store=phone_trust)
+    milker = Milker(world.fabric, phone, mitm, world.walls,
+                    world.seeds.rng("milker"), vpn=world.vpn)
+    spec = next(iter(AFFILIATE_SPECS.values()))
+    milker.milk(spec, day=0, country="US")
+    return world, mitm
+
+
+class TestHarSpanLinkage:
+    def test_entries_carry_span_ids_of_recorded_spans(self, milked_world):
+        world, mitm = milked_world
+        assert mitm.intercepted, "milking should intercept traffic"
+        document = exchanges_to_har(mitm.intercepted)
+        entries = document["log"]["entries"]
+        recorded = set(world.obs.tracer.span_ids())
+        assert entries
+        for entry in entries:
+            assert entry["_spanId"] in recorded
+
+    def test_entry_spans_are_the_milk_runs(self, milked_world):
+        world, mitm = milked_world
+        spans = {span.span_id: span for span in world.obs.tracer.spans()}
+        document = exchanges_to_har(mitm.intercepted)
+        for entry in document["log"]["entries"]:
+            assert spans[entry["_spanId"]].name == "milk.run"
+
+    def test_op_seq_strictly_increasing(self, milked_world):
+        _, mitm = milked_world
+        entries = exchanges_to_har(mitm.intercepted)["log"]["entries"]
+        seqs = [entry["_opSeq"] for entry in entries]
+        assert all(b > a for a, b in zip(seqs, seqs[1:]))
+
+    def test_simulation_day_comes_from_the_clock(self, milked_world):
+        world, mitm = milked_world
+        entries = exchanges_to_har(mitm.intercepted)["log"]["entries"]
+        assert {entry["_simulationDay"] for entry in entries} == {world.clock.day}
+
+    def test_round_trip_preserves_span_fields(self, milked_world, tmp_path):
+        _, mitm = milked_world
+        path = tmp_path / "milk.har"
+        save_har(mitm.intercepted, path)
+        loaded = load_har(path)
+        entry = loaded["log"]["entries"][0]
+        assert "_spanId" in entry and "_opSeq" in entry
+
+    def test_unobserved_exchanges_omit_span_fields(self):
+        from repro.net.http import HttpRequest, HttpResponse
+        from repro.net.ip import IPv4Address
+        from repro.net.proxy import InterceptedExchange
+
+        exchange = InterceptedExchange(
+            host="h.example", port=443,
+            client_address=IPv4Address.from_string("10.0.0.1"),
+            request=HttpRequest.get("/x", "h.example"),
+            response=HttpResponse.json_response({"ok": True}),
+        )
+        (entry,) = exchanges_to_har([exchange], day=7)["log"]["entries"]
+        assert "_spanId" not in entry
+        assert "_opSeq" not in entry
+        assert entry["_simulationDay"] == 7

@@ -1,0 +1,66 @@
+"""Exporter tests: JSON round-trip, text table, determinism."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    Observability,
+    load_snapshot,
+    render_obs_table,
+    save_snapshot,
+    to_json,
+)
+
+
+def build_context() -> Observability:
+    obs = Observability(clock=lambda: 2)
+    with obs.tracer.span("pipeline.stage", step="one"):
+        obs.metrics.inc("layer.requests", host="h", status="200")
+        obs.metrics.inc("layer.requests", host="h", status="404")
+        obs.metrics.observe("layer.bytes", 120.0)
+        obs.metrics.set_gauge("layer.pool", 3)
+    return obs
+
+
+class TestJson:
+    def test_round_trip_through_file(self, tmp_path):
+        obs = build_context()
+        path = save_snapshot(obs, tmp_path / "snap.json")
+        loaded = load_snapshot(path)
+        assert loaded == obs.snapshot()
+
+    def test_json_is_byte_identical_for_identical_calls(self):
+        assert to_json(build_context()) == to_json(build_context())
+
+    def test_json_keys_sorted(self):
+        document = json.loads(to_json(build_context()))
+        counters = document["metrics"]["counters"]
+        assert list(counters) == sorted(counters)
+
+    def test_load_rejects_non_snapshot(self, tmp_path):
+        bogus = tmp_path / "x.json"
+        bogus.write_text(json.dumps({"spans": []}))
+        with pytest.raises(ValueError):
+            load_snapshot(bogus)
+
+
+class TestTextTable:
+    def test_table_lists_counters_and_spans(self):
+        text = render_obs_table(build_context().snapshot(), top=5)
+        assert "layer.requests{host=h,status=200}" in text
+        assert "pipeline.stage" in text
+        assert "top counters" in text
+
+    def test_table_handles_empty_snapshot(self):
+        text = render_obs_table(Observability().snapshot())
+        assert "(no counters recorded)" in text
+        assert "(no spans recorded)" in text
+
+    def test_top_limits_rows(self):
+        obs = Observability()
+        for index in range(30):
+            obs.metrics.inc(f"counter.{index:02d}")
+        text = render_obs_table(obs.snapshot(), top=3)
+        assert "counter.00" in text
+        assert "counter.29" not in text

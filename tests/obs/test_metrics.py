@@ -1,0 +1,109 @@
+"""Unit tests for the metrics registry."""
+
+import pytest
+
+from repro.obs import MetricsRegistry, NullMetricsRegistry, OpCounter, render_key
+
+
+class TestCounters:
+    def test_increment_and_read(self):
+        registry = MetricsRegistry()
+        registry.inc("net.requests", host="a.example")
+        registry.inc("net.requests", host="a.example")
+        registry.inc("net.requests", 5, host="b.example")
+        assert registry.counter_value("net.requests", host="a.example") == 2
+        assert registry.counter_value("net.requests", host="b.example") == 5
+        assert registry.counter_total("net.requests") == 7
+
+    def test_label_order_is_canonical(self):
+        registry = MetricsRegistry()
+        registry.inc("x", host="h", method="GET")
+        registry.inc("x", method="GET", host="h")
+        assert registry.counter_value("x", host="h", method="GET") == 2
+        assert list(registry.counters()) == ["x{host=h,method=GET}"]
+
+    def test_missing_counter_reads_zero(self):
+        assert MetricsRegistry().counter_value("nope") == 0
+
+    def test_top_counters_sorted_by_value_then_key(self):
+        registry = MetricsRegistry()
+        registry.inc("b", 3)
+        registry.inc("a", 3)
+        registry.inc("c", 9)
+        assert registry.top_counters(2) == [("c", 9), ("a", 3)]
+
+    def test_render_key_without_labels(self):
+        assert render_key("plain", ()) == "plain"
+
+
+class TestGaugesAndHistograms:
+    def test_gauge_overwrites(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("pool.size", 3, pool="vpn")
+        registry.set_gauge("pool.size", 8, pool="vpn")
+        assert registry.gauges() == {"pool.size{pool=vpn}": 8}
+
+    def test_histogram_buckets_and_stats(self):
+        registry = MetricsRegistry()
+        registry.declare_histogram("latency", (1.0, 10.0))
+        for value in (0.5, 2.0, 5.0, 100.0):
+            registry.observe("latency", value)
+        state = registry.histogram("latency")
+        assert state.count == 4
+        assert state.bucket_counts == [1, 2, 1]  # <=1, <=10, overflow
+        assert state.minimum == 0.5
+        assert state.maximum == 100.0
+        assert state.mean == pytest.approx(26.875)
+
+    def test_declare_after_observe_rejected(self):
+        registry = MetricsRegistry()
+        registry.observe("h", 1.0)
+        with pytest.raises(ValueError):
+            registry.declare_histogram("h", (1.0,))
+
+
+class TestDeterminism:
+    def test_snapshot_is_fully_sorted(self):
+        registry = MetricsRegistry()
+        registry.inc("z.last", host="b")
+        registry.inc("a.first", host="z")
+        registry.inc("z.last", host="a")
+        snap = registry.snapshot()
+        assert list(snap["counters"]) == sorted(snap["counters"])
+
+    def test_same_calls_same_snapshot(self):
+        def build():
+            registry = MetricsRegistry()
+            registry.inc("x", host="h")
+            registry.observe("y", 3.0, kind="k")
+            registry.set_gauge("g", 1)
+            return registry.snapshot()
+
+        assert build() == build()
+
+
+class TestOpCounterWiring:
+    def test_recording_ticks_shared_counter(self):
+        ops = OpCounter()
+        registry = MetricsRegistry(counter=ops)
+        registry.inc("a")
+        registry.set_gauge("b", 1)
+        registry.observe("c", 2.0)
+        assert ops.value == 3
+
+    def test_unwired_registry_does_not_need_counter(self):
+        registry = MetricsRegistry()
+        registry.inc("a")  # must not raise
+        assert registry.counter_total("a") == 1
+
+
+class TestNullRegistry:
+    def test_records_nothing(self):
+        registry = NullMetricsRegistry()
+        registry.inc("a", host="h")
+        registry.set_gauge("b", 2)
+        registry.observe("c", 3.0)
+        registry.declare_histogram("d", (1.0,))
+        assert registry.snapshot() == {"counters": {}, "gauges": {},
+                                       "histograms": {}}
+        assert not registry.enabled

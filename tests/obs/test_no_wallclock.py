@@ -1,0 +1,32 @@
+"""Static guard: repro.obs must never touch wall-clock time or global
+randomness — the acceptance criterion behind byte-identical exports."""
+
+import re
+from pathlib import Path
+
+import repro.obs
+
+OBS_DIR = Path(repro.obs.__file__).resolve().parent
+
+FORBIDDEN = (
+    re.compile(r"^\s*import time\b"),
+    re.compile(r"^\s*from time\b"),
+    re.compile(r"^\s*import datetime\b"),
+    re.compile(r"^\s*from datetime\b"),
+    re.compile(r"^\s*import random\b"),
+    re.compile(r"^\s*from random\b"),
+    re.compile(r"\btime\.time\("),
+    re.compile(r"\bdatetime\.now\("),
+    re.compile(r"\brandom\.(random|randint|choice|shuffle)\("),
+    re.compile(r"\buuid\."),
+)
+
+
+def test_obs_sources_never_read_wall_clock_or_global_random():
+    offenders = []
+    for source in sorted(OBS_DIR.glob("*.py")):
+        for number, line in enumerate(source.read_text().splitlines(), 1):
+            for pattern in FORBIDDEN:
+                if pattern.search(line):
+                    offenders.append(f"{source.name}:{number}: {line.strip()}")
+    assert offenders == []

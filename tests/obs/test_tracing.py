@@ -1,0 +1,100 @@
+"""Unit tests for span tracing on simulation time."""
+
+import pytest
+
+from repro.obs import NULL_OBS, NullTracer, Observability, Tracer
+from repro.simulation.clock import SimulationClock
+
+
+class TestSpans:
+    def test_span_records_day_and_ops(self):
+        clock = SimulationClock()
+        tracer = Tracer(clock=clock.now)
+        with tracer.span("stage", kind="milk"):
+            clock.advance(3)
+        (span,) = tracer.spans("stage")
+        assert span.start_day == 0
+        assert span.end_day == 3
+        assert span.start_op == 1
+        assert span.end_op == 2
+        assert span.label("kind") == "milk"
+        assert span.finished
+
+    def test_nesting_records_parent(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            assert tracer.current_span_id == outer.span_id
+            with tracer.span("inner") as inner:
+                assert inner.parent_id == outer.span_id
+        assert tracer.current_span is None
+        assert [s.name for s in tracer.spans()] == ["inner", "outer"]
+        assert tracer.children_of(outer.span_id) == [inner]
+
+    def test_exception_marks_status_and_closes(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("no")
+        (span,) = tracer.spans("boom")
+        assert span.status == "RuntimeError"
+        assert span.finished
+        assert tracer.current_span is None
+
+    def test_span_ids_are_sequential_and_unique(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        ids = tracer.span_ids()
+        assert len(set(ids)) == 2
+        assert ids == sorted(ids)
+
+    def test_summary_aggregates_by_name(self):
+        tracer = Tracer()
+        for _ in range(3):
+            with tracer.span("stage"):
+                pass
+        summary = tracer.summary()
+        assert summary["stage"]["count"] == 3
+
+    def test_bind_clock_is_idempotent_unless_forced(self):
+        tracer = Tracer()
+        tracer.bind_clock(lambda: 5)
+        tracer.bind_clock(lambda: 9)
+        with tracer.span("s"):
+            pass
+        assert tracer.spans("s")[0].start_day == 5
+        tracer.bind_clock(lambda: 9, force=True)
+        with tracer.span("t"):
+            pass
+        assert tracer.spans("t")[0].start_day == 9
+
+
+class TestSharedOpCounter:
+    def test_metrics_ticks_appear_in_span_cost(self):
+        obs = Observability()
+        with obs.tracer.span("work"):
+            for _ in range(4):
+                obs.metrics.inc("events")
+        (span,) = obs.tracer.spans("work")
+        # 4 metric ticks happened between the start and end ticks
+        assert span.duration_ops == 5
+
+
+class TestNullTracer:
+    def test_null_span_is_inert(self):
+        tracer = NullTracer()
+        with tracer.span("anything", key="value") as span:
+            assert span.span_id == ""
+        assert tracer.spans() == []
+        assert tracer.current_span is None
+        assert not tracer.enabled
+
+    def test_null_obs_is_shared_and_stateless(self):
+        with NULL_OBS.tracer.span("x"):
+            NULL_OBS.metrics.inc("y")
+        assert NULL_OBS.snapshot() == {"metrics": {"counters": {},
+                                                   "gauges": {},
+                                                   "histograms": {}},
+                                       "spans": [], "ops": 0}

@@ -1,0 +1,36 @@
+"""Every script under examples/ must run to completion.
+
+API drift in the examples is invisible to unit tests (nothing imports
+them), so tier-1 executes each one in a subprocess and requires a clean
+exit.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+EXAMPLES = sorted((REPO_ROOT / "examples").glob("*.py"))
+
+
+def test_examples_directory_is_populated():
+    assert EXAMPLES, "examples/ should contain scripts"
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda path: path.name)
+def test_example_exits_cleanly(script):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(REPO_ROOT / "src")]
+        + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else []))
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True, text=True, env=env, cwd=str(REPO_ROOT),
+        timeout=600)
+    assert completed.returncode == 0, (
+        f"{script.name} exited {completed.returncode}\n"
+        f"stdout:\n{completed.stdout[-2000:]}\n"
+        f"stderr:\n{completed.stderr[-2000:]}")
