@@ -1,0 +1,47 @@
+"""Chaos resilience bench: the measurement's coverage under the
+``paper`` fault profile, pinned against the committed snapshot.
+
+``benchmarks/snapshots/chaos_obs.json`` (written by
+``scripts/export_chaos_obs.py``) is the baseline; a diff means a code
+change moved the resilience behaviour and the snapshot needs
+regenerating -- deliberately, in the same commit.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SNAPSHOT = REPO_ROOT / "benchmarks" / "snapshots" / "chaos_obs.json"
+
+sys.path.insert(0, str(REPO_ROOT / "scripts"))
+
+from export_chaos_obs import build_snapshot, render  # noqa: E402
+
+
+@pytest.fixture(scope="module")
+def fresh_snapshot():
+    return build_snapshot()
+
+
+def test_chaos_run_shape(fresh_snapshot):
+    loss = fresh_snapshot["coverage_loss"]
+    # The pipeline survived a paper-plausible fault schedule...
+    assert loss["faults_injected"] > 0
+    assert loss["retries"] > 0
+    assert loss["faults_survived"] > 0
+    # ...and lost only a bounded slice of coverage.
+    assert loss["gave_up"] <= loss["retries"]
+    assert loss["walls_lost"] < 100
+
+
+def test_chaos_counters_match_committed_snapshot(fresh_snapshot):
+    assert SNAPSHOT.exists(), (
+        "run PYTHONPATH=src python scripts/export_chaos_obs.py")
+    committed = json.loads(SNAPSHOT.read_text())
+    fresh = json.loads(render(fresh_snapshot))
+    assert fresh["run"] == committed["run"]
+    assert fresh["coverage_loss"] == committed["coverage_loss"]
+    assert fresh["counters"] == committed["counters"]

@@ -19,8 +19,10 @@ Quick start::
 """
 
 from repro.core.honey_experiment import HoneyAppExperiment, HoneyExperimentResults
+from repro.net.chaos import ChaosScenario
 from repro.obs import NULL_OBS, Observability
 from repro.core.wild_measurement import (
+    CoverageLossSummary,
     WildMeasurement,
     WildMeasurementConfig,
     WildResults,
@@ -31,6 +33,8 @@ from repro.simulation.world import World
 __version__ = "1.0.0"
 
 __all__ = [
+    "ChaosScenario",
+    "CoverageLossSummary",
     "HoneyAppExperiment",
     "HoneyExperimentResults",
     "NULL_OBS",

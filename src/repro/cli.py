@@ -42,6 +42,13 @@ def _add_wild(subparsers) -> None:
                         help="write the offer corpus JSON here")
     parser.add_argument("--export-archive", metavar="PATH",
                         help="write the crawl archive JSON here")
+    parser.add_argument("--chaos-profile", default="off",
+                        choices=("off", "mild", "paper", "harsh"),
+                        help="inject deterministic network faults at the "
+                             "named intensity (default: off)")
+    parser.add_argument("--chaos-seed", type=int, default=None,
+                        help="seed for the fault schedule (defaults to "
+                             "--seed); same seed => identical faults")
 
 
 def _add_report(subparsers) -> None:
@@ -150,7 +157,11 @@ def _cmd_wild(args) -> int:
     from repro.analysis.characterize import iip_summary_table, offer_type_table
     from repro.iip.registry import VETTED_IIPS
 
-    world = World(seed=args.seed)
+    from repro.net.chaos import ChaosScenario
+
+    chaos_seed = args.chaos_seed if args.chaos_seed is not None else args.seed
+    chaos = ChaosScenario.profile(args.chaos_profile, seed=chaos_seed)
+    world = World(seed=args.seed, chaos=chaos)
     scenario = WildScenario(world, WildScenarioConfig(
         scale=args.scale, measurement_days=args.days))
     scenario.build()
@@ -161,6 +172,11 @@ def _cmd_wild(args) -> int:
           f"{len(results.dataset.unique_packages())} apps "
           f"({results.milk_runs} milk runs, "
           f"{results.crawl_requests} crawl requests)\n")
+    if chaos.enabled:
+        print(f"chaos profile: {chaos.name} (seed {chaos.seed})")
+        for line in results.coverage_loss.summary_lines():
+            print(f"  {line}")
+        print()
     print(reports.render_table3(offer_type_table(results.dataset)))
     print()
     print(reports.render_table4(iip_summary_table(

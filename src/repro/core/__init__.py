@@ -11,12 +11,14 @@
 
 from repro.core.honey_experiment import HoneyAppExperiment, HoneyExperimentResults
 from repro.core.wild_measurement import (
+    CoverageLossSummary,
     WildMeasurement,
     WildMeasurementConfig,
     WildResults,
 )
 
 __all__ = [
+    "CoverageLossSummary",
     "HoneyAppExperiment",
     "HoneyExperimentResults",
     "WildMeasurement",

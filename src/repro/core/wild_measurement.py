@@ -25,6 +25,7 @@ from repro.iip.registry import UNVETTED_IIPS, VETTED_IIPS
 from repro.monitor.crawler import CrawlArchive, PlayStoreCrawler
 from repro.monitor.dataset import OfferDataset
 from repro.monitor.milker import Milker
+from repro.net.client import CircuitBreaker, RetryPolicy
 from repro.net.ip import MILKER_COUNTRIES
 from repro.net.tls import TrustStore
 from repro.playstore.frontend import PLAY_HOST
@@ -45,6 +46,63 @@ class WildMeasurementConfig:
         0, paperdata.AVERAGE_CAMPAIGN_DURATION_DAYS)
 
 
+@dataclass(frozen=True)
+class CoverageLossSummary:
+    """What the measurement lost to infrastructure failures.
+
+    Every field is sourced from ``repro.obs`` counters recorded by the
+    fabric, the HTTP client, the proxies, and the monitor — not from
+    hand-rolled bookkeeping — so the summary is exactly as deterministic
+    as the metrics export.
+    """
+
+    faults_injected: int = 0       # fabric connect faults raised
+    frames_corrupted: int = 0      # wire-level truncations
+    server_faults: int = 0         # injected 429/5xx + corrupted bodies
+    retries: int = 0               # client re-attempts
+    gave_up: int = 0               # requests that exhausted the policy
+    proxy_refusals: int = 0        # CONNECTs answered with an error
+    walls_lost: int = 0            # per-run offer walls never milked
+    partial_milk_runs: int = 0     # milk runs that lost >= 1 wall
+    corrupt_wall_responses: int = 0
+    crawl_failures: int = 0        # profile/chart fetches that failed
+    crawl_retries_queued: int = 0  # profile fetches carried to next visit
+    crawl_retries_recovered: int = 0
+
+    @property
+    def faults_survived(self) -> int:
+        """Injected faults the pipeline absorbed without losing the run
+        (everything it saw minus the requests it abandoned)."""
+        total = (self.faults_injected + self.frames_corrupted
+                 + self.server_faults)
+        return max(0, total - self.gave_up)
+
+    @property
+    def crawl_gaps(self) -> int:
+        """Profile fetches that stayed missing after the retry queue."""
+        return max(0, self.crawl_retries_queued - self.crawl_retries_recovered)
+
+    @property
+    def offers_missed_proxy(self) -> int:
+        """Lost offer-wall fetches: each is a wall's worth of offers the
+        dataset never saw that run (a lower bound on missed offers)."""
+        return self.walls_lost
+
+    def summary_lines(self) -> List[str]:
+        return [
+            f"faults injected: {self.faults_injected} connect, "
+            f"{self.server_faults} http, {self.frames_corrupted} wire",
+            f"survived: {self.faults_survived} "
+            f"(retries {self.retries}, gave up {self.gave_up})",
+            f"coverage loss: {self.walls_lost} wall fetches "
+            f"({self.partial_milk_runs} partial milk runs, "
+            f"{self.corrupt_wall_responses} corrupt wall responses)",
+            f"crawl: {self.crawl_failures} failures, "
+            f"{self.crawl_retries_recovered}/{self.crawl_retries_queued} "
+            f"retried profiles recovered, {self.crawl_gaps} gaps",
+        ]
+
+
 @dataclass
 class WildResults:
     """Everything the analysis stage consumes."""
@@ -59,6 +117,8 @@ class WildResults:
     milk_runs: int = 0
     milk_errors: List[str] = field(default_factory=list)
     crawl_requests: int = 0
+    coverage_loss: CoverageLossSummary = field(
+        default_factory=CoverageLossSummary)
 
     def vetted_packages(self) -> List[str]:
         return sorted({record.package for record in self.dataset.offers()
@@ -85,12 +145,22 @@ class WildMeasurement:
         phone_trust.add_root(self.mitm.ca_certificate())
         self.phone = world.device_factory.real_phone(
             "US", trust_store=phone_trust)
+        # Resilience for both measurement clients: the paper's milkers
+        # and crawler retried flaky fetches rather than losing the day.
+        # The breaker's recovery window runs on the obs op clock when
+        # one is wired (deterministic), or its internal per-call
+        # counter otherwise.
+        self.retry_policy = RetryPolicy()
+        op_clock = (lambda: world.obs.ops.value) if world.obs.enabled else None
+        self.breaker = CircuitBreaker(op_clock=op_clock, obs=world.obs)
         self.milker = Milker(world.fabric, self.phone, self.mitm, world.walls,
                              world.seeds.rng("milker"), vpn=world.vpn,
-                             obs=world.obs)
+                             obs=world.obs, retry_policy=self.retry_policy,
+                             breaker=self.breaker)
         self.dataset = OfferDataset(AFFILIATE_SPECS, obs=world.obs)
         self.crawler = PlayStoreCrawler(
-            world.measurement_client(), PLAY_HOST,
+            world.measurement_client(retry_policy=self.retry_policy),
+            PLAY_HOST,
             cadence_days=self.config.crawl_cadence_days,
             obs=world.obs)
         self._milk_errors: List[str] = []
@@ -143,6 +213,29 @@ class WildMeasurement:
                     self._observations.extend(run.offers)
                     self.dataset.ingest_all(run.offers)
 
+    def _coverage_loss(self) -> CoverageLossSummary:
+        """Roll the obs counters up into the coverage-loss summary."""
+        metrics = self.world.obs.metrics
+        total = metrics.counter_total
+        return CoverageLossSummary(
+            faults_injected=int(total("net.fabric.faults_raised")),
+            frames_corrupted=int(total("net.fabric.frames_corrupted")),
+            server_faults=int(total("net.server.chaos_errors")
+                              + total("net.server.chaos_corrupted")),
+            retries=int(total("net.client.retries")
+                        + total("net.client.retried_statuses")),
+            gave_up=int(total("net.client.gave_up")),
+            proxy_refusals=int(total("net.client.proxy_refusals")),
+            walls_lost=int(total("monitor.walls_lost")),
+            partial_milk_runs=int(total("monitor.milk_partial")),
+            corrupt_wall_responses=int(
+                total("monitor.corrupt_wall_responses")),
+            crawl_failures=int(total("monitor.crawl_failures")),
+            crawl_retries_queued=int(total("monitor.crawl_retry_queued")),
+            crawl_retries_recovered=int(
+                total("monitor.crawl_retry_recovered")),
+        )
+
     def _finalize(self) -> WildResults:
         detector = LibRadarDetector()
         scan: Dict[str, int] = {}
@@ -164,4 +257,5 @@ class WildMeasurement:
             milk_runs=self._milk_runs,
             milk_errors=self._milk_errors,
             crawl_requests=self.crawler.requests_made,
+            coverage_loss=self._coverage_loss(),
         )

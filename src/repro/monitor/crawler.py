@@ -13,10 +13,15 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.net.client import HttpClient
+from repro.net.errors import NetError
 from repro.obs import Observability
 from repro.playstore.charts import ChartKind
 
 DEFAULT_CADENCE_DAYS = 2
+
+#: Statuses that mean "try this profile again next crawl day" (the app
+#: may well exist; the front end was rate-limiting or falling over).
+RETRY_NEXT_VISIT_STATUSES = (429, 500, 502, 503, 504)
 
 
 @dataclass(frozen=True)
@@ -142,33 +147,64 @@ class PlayStoreCrawler:
         self.cadence_days = cadence_days
         self.requests_made = 0
         self.failures = 0
+        #: Profiles whose fetch failed transiently, carried to the next
+        #: crawl visit (the paper's crawler re-tried gaps on later days).
+        self.retry_queue: List[str] = []
         self.obs = obs or client.obs
 
     def should_crawl(self, day: int, start_day: int = 0) -> bool:
         return day >= start_day and (day - start_day) % self.cadence_days == 0
 
-    def crawl_profile(self, package: str) -> Optional[ProfileSnapshot]:
+    def _queue_retry(self, package: str) -> None:
+        if package not in self.retry_queue:
+            self.retry_queue.append(package)
+            self.obs.metrics.inc("monitor.crawl_retry_queued")
+
+    def crawl_profile(self, package: str,
+                      is_retry: bool = False) -> Optional[ProfileSnapshot]:
         self.requests_made += 1
         self.obs.metrics.inc("monitor.crawl_requests", kind="profile")
-        response = self._client.get(self._play_host, "/store/apps/details",
-                                    params={"id": package})
+        try:
+            response = self._client.get(self._play_host, "/store/apps/details",
+                                        params={"id": package})
+        except NetError as exc:
+            # Transport-level failure: the profile is not gone, the
+            # fetch is.  Queue it for the next crawl day.
+            self.failures += 1
+            self.obs.metrics.inc("monitor.crawl_failures", kind="profile",
+                                 error=type(exc).__name__)
+            self._queue_retry(package)
+            return None
         if not response.ok:
             self.failures += 1
-            self.obs.metrics.inc("monitor.crawl_failures", kind="profile")
+            self.obs.metrics.inc("monitor.crawl_failures", kind="profile",
+                                 error=f"http_{response.status}")
+            if response.status in RETRY_NEXT_VISIT_STATUSES:
+                self._queue_retry(package)
             return None
-        payload = response.json()
-        snapshot = ProfileSnapshot(
-            package=payload["package"],
-            day=int(payload["crawl_day"]),
-            installs_floor=int(payload["installs_floor"]),
-            genre=str(payload["genre"]),
-            release_day=int(payload["release_day"]),
-            developer_id=str(payload["developer"]["id"]),
-            developer_name=str(payload["developer"]["name"]),
-            developer_country=str(payload["developer"]["country"]),
-            developer_website=payload["developer"]["website"],
-            is_game=bool(payload["is_game"]),
-        )
+        try:
+            payload = response.json()
+            snapshot = ProfileSnapshot(
+                package=payload["package"],
+                day=int(payload["crawl_day"]),
+                installs_floor=int(payload["installs_floor"]),
+                genre=str(payload["genre"]),
+                release_day=int(payload["release_day"]),
+                developer_id=str(payload["developer"]["id"]),
+                developer_name=str(payload["developer"]["name"]),
+                developer_country=str(payload["developer"]["country"]),
+                developer_website=payload["developer"]["website"],
+                is_game=bool(payload["is_game"]),
+            )
+        except (NetError, KeyError, TypeError, ValueError):
+            # Corrupted profile payload: treat like a transient failure.
+            self.failures += 1
+            self.obs.metrics.inc("monitor.crawl_failures", kind="profile",
+                                 error="corrupt_payload")
+            self._queue_retry(package)
+            return None
+        if is_retry:
+            self.obs.metrics.inc("monitor.crawl_retry_recovered")
         self.archive.add_profile(snapshot)
         return snapshot
 
@@ -178,32 +214,60 @@ class PlayStoreCrawler:
         for kind in ChartKind:
             self.requests_made += 1
             self.obs.metrics.inc("monitor.crawl_requests", kind="chart")
-            response = self._client.get(self._play_host,
-                                        f"/store/charts/{kind.value}")
+            try:
+                response = self._client.get(self._play_host,
+                                            f"/store/charts/{kind.value}")
+            except NetError as exc:
+                self.failures += 1
+                self.obs.metrics.inc("monitor.crawl_failures", kind="chart",
+                                     error=type(exc).__name__)
+                continue
             if not response.ok:
                 self.failures += 1
-                self.obs.metrics.inc("monitor.crawl_failures", kind="chart")
+                self.obs.metrics.inc("monitor.crawl_failures", kind="chart",
+                                     error=f"http_{response.status}")
                 continue
-            payload = response.json()
-            day = int(payload["day"])
-            appearances = [
-                ChartAppearance(
-                    package=str(entry["package"]),
-                    chart=kind.value,
-                    day=day,
-                    rank=int(entry["rank"]),
-                    percentile=float(entry["percentile"]),
-                )
-                for entry in payload["entries"]
-            ]
+            try:
+                payload = response.json()
+                chart_day = int(payload["day"])
+                appearances = [
+                    ChartAppearance(
+                        package=str(entry["package"]),
+                        chart=kind.value,
+                        day=chart_day,
+                        rank=int(entry["rank"]),
+                        percentile=float(entry["percentile"]),
+                    )
+                    for entry in payload["entries"]
+                ]
+            except (NetError, KeyError, TypeError, ValueError):
+                self.failures += 1
+                self.obs.metrics.inc("monitor.crawl_failures", kind="chart",
+                                     error="corrupt_payload")
+                continue
+            day = chart_day
             self.archive.add_chart(kind.value, day, appearances)
         return day
 
     def crawl_everything(self, packages: Sequence[str]) -> int:
-        """One full crawl visit: all charts plus every tracked profile."""
+        """One full crawl visit: all charts, the retry queue from the
+        previous visit, then every tracked profile."""
         day = self.crawl_charts()
+        pending = set(self.retry_queue)
+        orphaned = [p for p in self.retry_queue if p not in set(packages)]
+        self.retry_queue = []
+        for package in orphaned:
+            # Queued on a previous visit but no longer tracked: retry it
+            # anyway so the archive keeps its longitudinal series.
+            self.obs.metrics.inc("monitor.crawl_retry_drained")
+            snapshot = self.crawl_profile(package, is_retry=True)
+            if snapshot is not None:
+                day = snapshot.day
         for package in packages:
-            snapshot = self.crawl_profile(package)
+            is_retry = package in pending
+            if is_retry:
+                self.obs.metrics.inc("monitor.crawl_retry_drained")
+            snapshot = self.crawl_profile(package, is_retry=is_retry)
             if snapshot is not None:
                 day = snapshot.day
         if day >= 0:

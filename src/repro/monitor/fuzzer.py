@@ -25,12 +25,19 @@ class FuzzReport:
 
     app_package: str
     tabs_opened: List[str] = field(default_factory=list)
+    #: Walls that failed to load (tap error) or died mid-scroll; the
+    #: milker reports these as lost coverage for the run.
+    tabs_failed: List[str] = field(default_factory=list)
     scrolls: int = 0
     actions: List[str] = field(default_factory=list)
     errors: List[str] = field(default_factory=list)
 
     def log(self, action: str) -> None:
         self.actions.append(action)
+
+    def note_failure(self, iip_name: str) -> None:
+        if iip_name not in self.tabs_failed:
+            self.tabs_failed.append(iip_name)
 
 
 class UiFuzzer:
@@ -55,6 +62,7 @@ class UiFuzzer:
             except Exception as exc:  # noqa: BLE001 - measurement boundary
                 report.errors.append(
                     f"{tab.iip_name}: {type(exc).__name__}: {exc}")
+                report.note_failure(tab.iip_name)
                 report.log(f"tap {tab.view_id} failed")
                 continue
             report.tabs_opened.append(tab.iip_name)
@@ -65,6 +73,7 @@ class UiFuzzer:
                 except Exception as exc:  # noqa: BLE001
                     report.errors.append(
                         f"{tab.iip_name} scroll: {type(exc).__name__}: {exc}")
+                    report.note_failure(tab.iip_name)
                     break
                 if not more:
                     break

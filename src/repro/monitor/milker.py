@@ -17,7 +17,7 @@ from repro.affiliates.app import AffiliateAppRuntime, AffiliateAppSpec
 from repro.iip.offerwall import OfferWallServer
 from repro.monitor.dataset import ObservedOffer
 from repro.monitor.fuzzer import FuzzReport, UiFuzzer
-from repro.net.client import HttpClient
+from repro.net.client import CircuitBreaker, HttpClient, RetryPolicy
 from repro.net.errors import NetError, TlsError
 from repro.net.fabric import NetworkFabric
 from repro.net.proxy import MitmProxy
@@ -37,7 +37,14 @@ class MilkRun:
     offers: List[ObservedOffer] = field(default_factory=list)
     fuzz_report: Optional[FuzzReport] = None
     walls_seen: List[str] = field(default_factory=list)
+    #: Walls whose milking failed this run (dead host, pinning, corrupt
+    #: payloads); a partial run still keeps every other wall's offers.
+    walls_lost: List[str] = field(default_factory=list)
     errors: List[str] = field(default_factory=list)
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.walls_lost)
 
 
 class Milker:
@@ -53,9 +60,17 @@ class Milker:
         vpn: Optional[VpnExitPool] = None,
         public_trust: Optional[TrustStore] = None,
         obs: Optional[Observability] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        breaker: Optional[CircuitBreaker] = None,
     ) -> None:
         """``phone.trust_store`` must already contain ``mitm``'s CA
-        certificate (the self-signed cert installed on the device)."""
+        certificate (the self-signed cert installed on the device).
+
+        ``retry_policy`` and ``breaker`` (both optional) are handed to
+        the measurement phone's HTTP client; the breaker is shared
+        across milk runs so a persistently dead wall stays quarantined
+        until its half-open window elapses.
+        """
         self._fabric = fabric
         self.phone = phone
         self.mitm = mitm
@@ -64,6 +79,8 @@ class Milker:
         self._vpn = vpn
         self._fuzzer = UiFuzzer()
         self.obs = obs or fabric.obs
+        self.retry_policy = retry_policy
+        self.breaker = breaker
         if public_trust is not None:
             self.mitm.upstream_trust = public_trust
 
@@ -82,6 +99,11 @@ class Milker:
         if run.errors:
             metrics.inc("monitor.milk_errors", len(run.errors),
                         app=spec.package)
+        if run.walls_lost:
+            metrics.inc("monitor.milk_partial", app=spec.package)
+            for iip_name in run.walls_lost:
+                metrics.inc("monitor.walls_lost", iip=iip_name,
+                            app=spec.package)
         return run
 
     def _milk_inner(self, spec: AffiliateAppSpec, day: int,
@@ -96,7 +118,8 @@ class Milker:
         client = HttpClient(
             self._fabric, self.phone.endpoint, self.phone.trust_store,
             self._rng, proxy=(self.mitm.hostname, self.mitm.port),
-            obs=self.obs)
+            obs=self.obs, retry_policy=self.retry_policy,
+            breaker=self.breaker)
         self.mitm.clear()
         try:
             runtime = AffiliateAppRuntime(spec, client, self._walls)
@@ -108,13 +131,20 @@ class Milker:
             run.errors.extend(run.fuzz_report.errors)
         except (NetError, TlsError) as exc:
             run.errors.append(f"{type(exc).__name__}: {exc}")
-        run.offers = self._parse_intercepted(spec, day, country)
+        run.offers = self._parse_intercepted(spec, day, country, run)
         run.walls_seen = sorted({offer.iip_name for offer in run.offers})
+        lost = set(run.fuzz_report.tabs_failed if run.fuzz_report else ())
+        if run.fuzz_report is None:
+            # The whole session died: every wall we never saw is lost.
+            lost.update(set(spec.integrated_iips) - set(run.walls_seen))
+        run.walls_lost = sorted(lost)
         return run
 
     def _parse_intercepted(self, spec: AffiliateAppSpec, day: int,
-                           country: Optional[str]) -> List[ObservedOffer]:
+                           country: Optional[str],
+                           run: Optional[MilkRun] = None) -> List[ObservedOffer]:
         observed: List[ObservedOffer] = []
+        metrics = self.obs.metrics
         for exchange in self.mitm.intercepted:
             if not exchange.request.path.startswith("/api/"):
                 continue
@@ -123,22 +153,38 @@ class Milker:
             try:
                 payload = exchange.response.json()
             except NetError:
+                # Rate-limited / corrupted offer-wall bodies: count the
+                # loss instead of silently dropping the exchange.
+                metrics.inc("monitor.corrupt_wall_responses",
+                            host=exchange.host)
+                if run is not None:
+                    run.errors.append(
+                        f"{exchange.host}: corrupt offer-wall response")
                 continue
             if not isinstance(payload, dict) or "offers" not in payload:
+                metrics.inc("monitor.corrupt_wall_responses",
+                            host=exchange.host)
                 continue
             iip_name = str(payload.get("iip", ""))
             for entry in payload["offers"]:
-                observed.append(ObservedOffer(
-                    iip_name=iip_name,
-                    offer_id=str(entry["offer_id"]),
-                    package=str(entry["app"]["package"]),
-                    app_title=str(entry["app"]["title"]),
-                    play_store_url=str(entry["app"]["play_store_url"]),
-                    description=str(entry["description"]),
-                    payout_points=int(entry["payout"]["points"]),
-                    currency=str(entry["payout"]["currency"]),
-                    affiliate_package=spec.package,
-                    country=country,
-                    day=day,
-                ))
+                try:
+                    observed.append(ObservedOffer(
+                        iip_name=iip_name,
+                        offer_id=str(entry["offer_id"]),
+                        package=str(entry["app"]["package"]),
+                        app_title=str(entry["app"]["title"]),
+                        play_store_url=str(entry["app"]["play_store_url"]),
+                        description=str(entry["description"]),
+                        payout_points=int(entry["payout"]["points"]),
+                        currency=str(entry["payout"]["currency"]),
+                        affiliate_package=spec.package,
+                        country=country,
+                        day=day,
+                    ))
+                except (KeyError, TypeError, ValueError):
+                    metrics.inc("monitor.corrupt_offer_entries",
+                                iip=iip_name or exchange.host)
+                    if run is not None:
+                        run.errors.append(
+                            f"{exchange.host}: malformed offer entry")
         return observed

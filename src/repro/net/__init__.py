@@ -17,15 +17,20 @@ Public surface:
 * :mod:`repro.net.proxy` -- forward + man-in-the-middle proxies.
 * :mod:`repro.net.ip` -- IPv4 / ASN / geography model.
 * :mod:`repro.net.vpn` -- country-exit VPN proxy pool.
+* :mod:`repro.net.chaos` -- deterministic fault injection schedules.
 """
 
+from repro.net.chaos import ChaosScenario, FaultPlan, OutageWindow
+from repro.net.client import CircuitBreaker, RetryPolicy
 from repro.net.errors import (
     CertificatePinningError,
     CertificateVerificationError,
+    CircuitOpenError,
     ConnectionRefusedFabricError,
     HttpProtocolError,
     NetError,
     TlsError,
+    TransientNetworkError,
 )
 from repro.net.fabric import Endpoint, NetworkFabric
 from repro.net.http import HttpRequest, HttpResponse
@@ -39,15 +44,22 @@ __all__ = [
     "CertificateAuthority",
     "CertificatePinningError",
     "CertificateVerificationError",
+    "ChaosScenario",
+    "CircuitBreaker",
+    "CircuitOpenError",
     "ConnectionRefusedFabricError",
     "Endpoint",
+    "FaultPlan",
     "HttpProtocolError",
     "HttpRequest",
     "HttpResponse",
     "IPv4Address",
     "NetError",
     "NetworkFabric",
+    "OutageWindow",
+    "RetryPolicy",
     "TlsError",
+    "TransientNetworkError",
     "TrustStore",
     "slash24",
 ]

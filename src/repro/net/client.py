@@ -4,19 +4,149 @@
 SDKs fetching offer walls, the honey app posting telemetry, the Play
 Store crawler, and the milker (which points its client at the mitm
 proxy, exactly as the paper configures the measurement phone).
+
+Resilience: an optional deterministic :class:`RetryPolicy` re-attempts
+transient failures (backoff is charged in simulation op ticks, never
+wall time), and an optional per-host :class:`CircuitBreaker` quarantines
+hosts that keep failing, half-opening on the op clock.  Both default to
+off, so un-wired call sites behave exactly as before.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Mapping, Optional, Tuple
+from typing import Dict, Mapping, Optional, Tuple
 
-from repro.net.errors import CertificatePinningError, HttpProtocolError, TlsError
+from repro.net.errors import (
+    CertificatePinningError,
+    CertificateVerificationError,
+    CircuitOpenError,
+    HttpProtocolError,
+    NetError,
+    TlsError,
+    TransientNetworkError,
+)
 from repro.net.fabric import Endpoint, NetworkFabric
 from repro.net.http import HttpRequest, HttpResponse
 from repro.net.server import HTTPS_PORT
 from repro.net.tls import TlsClientSession, TrustStore
 from repro.obs import Observability
+
+#: Response statuses worth retrying (rate limits and server-side faults).
+RETRIABLE_STATUSES: Tuple[int, ...] = (429, 500, 502, 503, 504)
+
+#: Errors that never get better on retry: the certificate chain or pin
+#: will not change between attempts.
+_PERMANENT_ERRORS = (CertificatePinningError, CertificateVerificationError)
+
+
+class RetryPolicy:
+    """Deterministic retry schedule for one client.
+
+    ``backoff_ops`` simulated operation ticks are charged per retry
+    (multiplied by the attempt number) through the client's
+    observability context — a deterministic stand-in for sleeping.
+    """
+
+    def __init__(self, max_attempts: int = 3, backoff_ops: int = 2,
+                 retry_statuses: Tuple[int, ...] = RETRIABLE_STATUSES) -> None:
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if backoff_ops < 0:
+            raise ValueError("backoff_ops cannot be negative")
+        self.max_attempts = max_attempts
+        self.backoff_ops = backoff_ops
+        self.retry_statuses = tuple(retry_statuses)
+
+    def retriable_error(self, error: Exception) -> bool:
+        if isinstance(error, _PERMANENT_ERRORS) or isinstance(
+                error, CircuitOpenError):
+            return False
+        return isinstance(error, NetError)
+
+    def retriable_status(self, status: int) -> bool:
+        return status in self.retry_statuses
+
+
+class CircuitBreaker:
+    """Per-host quarantine: open after consecutive failures, half-open
+    after a recovery window on the op clock.
+
+    The op clock is ``op_clock`` when given (e.g. the observability
+    context's shared :class:`~repro.obs.OpCounter` value), otherwise an
+    internal counter ticked once per guarded attempt — both are
+    deterministic.
+    """
+
+    def __init__(self, failure_threshold: int = 5, recovery_ops: int = 50,
+                 op_clock=None, obs: Optional[Observability] = None) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be at least 1")
+        if recovery_ops < 1:
+            raise ValueError("recovery_ops must be at least 1")
+        self.failure_threshold = failure_threshold
+        self.recovery_ops = recovery_ops
+        self._op_clock = op_clock
+        self._internal_ops = 0
+        self.obs = obs
+        self._failures: Dict[str, int] = {}
+        self._opened_at: Dict[str, int] = {}
+        self._probing: Dict[str, bool] = {}
+
+    def _now(self) -> int:
+        if self._op_clock is not None:
+            return self._op_clock()
+        return self._internal_ops
+
+    def _metrics(self):
+        return self.obs.metrics if self.obs is not None else None
+
+    def is_open(self, host: str) -> bool:
+        return host in self._opened_at
+
+    def allow(self, host: str) -> None:
+        """Gate one attempt; raises :class:`CircuitOpenError` while the
+        host is quarantined (and not yet due a half-open probe)."""
+        self._internal_ops += 1
+        opened_at = self._opened_at.get(host)
+        if opened_at is None:
+            return
+        if self._now() - opened_at < self.recovery_ops:
+            metrics = self._metrics()
+            if metrics is not None:
+                metrics.inc("net.client.circuit_rejected", host=host)
+            raise CircuitOpenError(
+                f"circuit open for {host} (quarantined after "
+                f"{self.failure_threshold} consecutive failures)")
+        # Recovery window elapsed: let exactly this attempt probe.
+        self._probing[host] = True
+        metrics = self._metrics()
+        if metrics is not None:
+            metrics.inc("net.client.circuit_half_open", host=host)
+
+    def record_success(self, host: str) -> None:
+        self._failures.pop(host, None)
+        if self._opened_at.pop(host, None) is not None:
+            metrics = self._metrics()
+            if metrics is not None:
+                metrics.inc("net.client.circuit_closed", host=host)
+        self._probing.pop(host, None)
+
+    def record_failure(self, host: str) -> None:
+        if self._probing.pop(host, None):
+            # Failed half-open probe: re-open for a fresh window.
+            self._opened_at[host] = self._now()
+            metrics = self._metrics()
+            if metrics is not None:
+                metrics.inc("net.client.circuit_reopened", host=host)
+            return
+        count = self._failures.get(host, 0) + 1
+        self._failures[host] = count
+        if count >= self.failure_threshold and host not in self._opened_at:
+            self._opened_at[host] = self._now()
+            metrics = self._metrics()
+            if metrics is not None:
+                metrics.inc("net.client.circuit_opened", host=host)
 
 
 class HttpClient:
@@ -42,6 +172,12 @@ class HttpClient:
     obs:
         Observability context; defaults to the fabric's (which is a
         no-op unless the world wired a real one in).
+    retry_policy:
+        Optional :class:`RetryPolicy`; when set, transient errors and
+        retriable statuses are re-attempted deterministically.
+    breaker:
+        Optional :class:`CircuitBreaker` shared across requests (and
+        possibly across clients) to quarantine failing hosts.
     """
 
     def __init__(
@@ -54,6 +190,8 @@ class HttpClient:
         pinned_fingerprints: Optional[Mapping[str, str]] = None,
         today: int = 0,
         obs: Optional[Observability] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        breaker: Optional[CircuitBreaker] = None,
     ) -> None:
         self.fabric = fabric
         self.endpoint = endpoint
@@ -63,6 +201,10 @@ class HttpClient:
         self.pinned_fingerprints = dict(pinned_fingerprints or {})
         self.today = today
         self.obs = obs or fabric.obs
+        self.retry_policy = retry_policy
+        self.breaker = breaker
+        if breaker is not None and breaker.obs is None:
+            breaker.obs = self.obs
 
     # -- public API ----------------------------------------------------------
 
@@ -80,32 +222,96 @@ class HttpClient:
                 port: int = HTTPS_PORT) -> HttpResponse:
         """Send one HTTPS request (possibly through the proxy)."""
         if self.proxy is not None:
-            return self._request_via_proxy(host, port, request)
-        connection = self.fabric.connect(self.endpoint, host, port)
-        try:
-            session = self._handshake(connection, host)
-            response = HttpResponse.from_bytes(session.send(request.to_bytes()))
-        finally:
-            connection.close()
-        self._record(host, request, response)
-        return response
+            return self._resilient(host, request, port, self._send_via_proxy)
+        return self._resilient(host, request, port, self._send_direct)
 
     def request_plain(self, host: str, request: HttpRequest,
                       port: int = 80) -> HttpResponse:
         """Send one cleartext HTTP request (no TLS)."""
+        return self._resilient(host, request, port, self._send_plain)
+
+    # -- resilience ------------------------------------------------------------
+
+    def _resilient(self, host: str, request: HttpRequest, port: int,
+                   send) -> HttpResponse:
+        """Run one send function under the retry policy and breaker."""
+        policy = self.retry_policy
+        attempts = policy.max_attempts if policy is not None else 1
+        metrics = self.obs.metrics
+        response: Optional[HttpResponse] = None
+        for attempt in range(attempts):
+            if self.breaker is not None:
+                self.breaker.allow(host)
+            if attempt:
+                metrics.inc("net.client.retries", host=host)
+                self._charge_backoff(attempt)
+            try:
+                response = send(host, port, request)
+            except Exception as exc:  # noqa: BLE001 - resilience boundary
+                metrics.inc("net.client.request_failures", host=host,
+                            error=type(exc).__name__)
+                if self.breaker is not None:
+                    self.breaker.record_failure(host)
+                last_attempt = attempt == attempts - 1
+                if (policy is None or last_attempt
+                        or not policy.retriable_error(exc)):
+                    if (policy is not None and last_attempt
+                            and policy.retriable_error(exc)):
+                        metrics.inc("net.client.gave_up", host=host)
+                    raise
+                continue
+            self._record(host, request, response)
+            if policy is not None and policy.retriable_status(response.status):
+                if attempt < attempts - 1:
+                    metrics.inc("net.client.retried_statuses", host=host,
+                                status=str(response.status))
+                    if self.breaker is not None:
+                        self.breaker.record_failure(host)
+                    continue
+                # Out of attempts on a retriable status: hand the caller
+                # the response, but account the exhaustion as a failure.
+                metrics.inc("net.client.gave_up", host=host)
+                if self.breaker is not None:
+                    self.breaker.record_failure(host)
+                return response
+            if self.breaker is not None:
+                self.breaker.record_success(host)
+            return response
+        assert response is not None  # loop always returns or raises
+        return response
+
+    def _charge_backoff(self, attempt: int) -> None:
+        """Deterministic backoff: burn op ticks instead of wall time."""
+        policy = self.retry_policy
+        assert policy is not None
+        cost = policy.backoff_ops * attempt
+        for _ in range(cost):
+            self.obs.tick()
+        if cost:
+            self.obs.metrics.inc("net.client.backoff_ops", cost)
+
+    # -- transports ------------------------------------------------------------
+
+    def _send_direct(self, host: str, port: int,
+                     request: HttpRequest) -> HttpResponse:
         connection = self.fabric.connect(self.endpoint, host, port)
         try:
-            response = HttpResponse.from_bytes(
+            session = self._handshake(connection, host)
+            return HttpResponse.from_bytes(session.send(request.to_bytes()))
+        finally:
+            connection.close()
+
+    def _send_plain(self, host: str, port: int,
+                    request: HttpRequest) -> HttpResponse:
+        connection = self.fabric.connect(self.endpoint, host, port)
+        try:
+            return HttpResponse.from_bytes(
                 connection.roundtrip(request.to_bytes()))
         finally:
             connection.close()
-        self._record(host, request, response)
-        return response
 
-    # -- proxy path ------------------------------------------------------------
-
-    def _request_via_proxy(self, host: str, port: int,
-                           request: HttpRequest) -> HttpResponse:
+    def _send_via_proxy(self, host: str, port: int,
+                        request: HttpRequest) -> HttpResponse:
         proxy_host, proxy_port = self.proxy  # type: ignore[misc]
         connection = self.fabric.connect(self.endpoint, proxy_host, proxy_port)
         try:
@@ -121,11 +327,9 @@ class HttpClient:
                 raise HttpProtocolError(
                     f"proxy refused CONNECT to {host}:{port}: {reply.status}")
             session = self._handshake(connection, host)
-            response = HttpResponse.from_bytes(session.send(request.to_bytes()))
+            return HttpResponse.from_bytes(session.send(request.to_bytes()))
         finally:
             connection.close()
-        self._record(host, request, response)
-        return response
 
     # -- instrumentation -------------------------------------------------------
 
@@ -151,4 +355,12 @@ class HttpClient:
                              method=request.method, status=str(response.status))
 
 
-__all__ = ["HttpClient", "TlsError"]
+__all__ = [
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "HttpClient",
+    "RETRIABLE_STATUSES",
+    "RetryPolicy",
+    "TlsError",
+    "TransientNetworkError",
+]

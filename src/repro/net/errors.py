@@ -9,6 +9,18 @@ class ConnectionRefusedFabricError(NetError):
     """No endpoint is listening at the requested (host, port)."""
 
 
+class TransientNetworkError(NetError):
+    """A flaky-transport failure (connection reset, dropped mid-stream).
+
+    The chaos engine raises these for transient connect faults; retry
+    policies treat them as the canonical retriable error.
+    """
+
+
+class CircuitOpenError(NetError):
+    """The client-side circuit breaker has quarantined this host."""
+
+
 class HttpProtocolError(NetError):
     """Malformed HTTP message (bad start line, headers, or framing)."""
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.net.chaos import FaultPlan
 from repro.net.errors import ConnectionRefusedFabricError, NetError
 from repro.net.ip import AsnDatabase, IPv4Address
 from repro.obs import NULL_OBS, Observability
@@ -101,14 +102,15 @@ class Connection:
         reply = self._handler.on_data(data)
         if not isinstance(reply, bytes):
             raise NetError(f"handler returned non-bytes: {type(reply).__name__}")
-        self._fabric._observe(Frame(
+        # The fabric may corrupt response frames under chaos; what the
+        # taps observe is what the client actually receives.
+        return self._fabric._observe(Frame(
             source=self._info.client_address,
             destination_host=self._info.server_host,
             destination_port=self._info.server_port,
             direction="response",
             payload=reply,
         ))
-        return reply
 
     def close(self) -> None:
         if not self._closed:
@@ -140,7 +142,9 @@ class NetworkFabric:
         self._dns: Dict[str, IPv4Address] = {}
         self._listeners: Dict[Tuple[str, int], _Listener] = {}
         self._taps: List[TapCallback] = []
-        self._faults: Dict[Tuple[str, int], Exception] = {}
+        #: The chaos fault plan.  Always present (inert by default);
+        #: ``inject_fault`` and the chaos CLI both schedule through it.
+        self.chaos: FaultPlan = FaultPlan()
 
     # -- DNS ---------------------------------------------------------------
 
@@ -187,7 +191,7 @@ class NetworkFabric:
     # -- connections ---------------------------------------------------------
 
     def connect(self, source: Endpoint, hostname: str, port: int) -> Connection:
-        fault = self._faults.get((hostname, port))
+        fault = self.chaos.connect_fault(hostname, port)
         if fault is not None:
             self.obs.metrics.inc("net.fabric.faults_raised", host=hostname,
                                  error=type(fault).__name__)
@@ -215,22 +219,50 @@ class NetworkFabric:
     def remove_tap(self, callback: TapCallback) -> None:
         self._taps = [tap for tap in self._taps if tap is not callback]
 
-    def _observe(self, frame: Frame) -> None:
+    def _observe(self, frame: Frame) -> bytes:
+        """Record one wire frame; returns the payload actually delivered.
+
+        Response frames consult the chaos plan, which may hand back a
+        truncated copy — the taps then observe the corrupted frame, as a
+        real packet capture would.
+        """
+        if frame.direction == "response":
+            corrupted = self.chaos.corrupt_frame(frame.destination_host,
+                                                 frame.payload)
+            if corrupted is not None:
+                self.obs.metrics.inc("net.fabric.frames_corrupted",
+                                     host=frame.destination_host)
+                frame = Frame(
+                    source=frame.source,
+                    destination_host=frame.destination_host,
+                    destination_port=frame.destination_port,
+                    direction=frame.direction,
+                    payload=corrupted,
+                )
         metrics = self.obs.metrics
         metrics.inc("net.fabric.frames", direction=frame.direction)
         metrics.inc("net.fabric.bytes", len(frame.payload),
                     direction=frame.direction)
         for tap in self._taps:
             tap(frame)
+        return frame.payload
 
     # -- fault injection -------------------------------------------------------
 
+    def set_chaos(self, plan: FaultPlan) -> None:
+        """Install a fault plan, carrying over existing registrations
+        (static faults, VPN exit markers) from the previous plan."""
+        plan.adopt(self.chaos)
+        self.chaos = plan
+
     def inject_fault(self, hostname: str, port: int, error: Exception) -> None:
-        """Make every future connect() to (hostname, port) raise ``error``."""
-        self._faults[(hostname, port)] = error
+        """Make every future connect() to (hostname, port) raise a fresh
+        copy of ``error`` (thin wrapper over the chaos plan's static
+        fault table; the same exception instance is never raised twice)."""
+        self.chaos.inject(hostname, port, error)
 
     def clear_fault(self, hostname: str, port: int) -> None:
-        self._faults.pop((hostname, port), None)
+        self.chaos.clear(hostname, port)
 
 
 class PacketCapture:

@@ -51,17 +51,30 @@ class _TunnelHandler(ConnectionHandler):
     """After CONNECT, relay every round trip verbatim to the upstream."""
 
     def __init__(self, info: ConnectionInfo, fabric: NetworkFabric,
-                 proxy_endpoint: Endpoint) -> None:
+                 proxy_endpoint: Endpoint,
+                 obs: Optional[Observability] = None) -> None:
         super().__init__(info)
         self._fabric = fabric
         self._proxy_endpoint = proxy_endpoint
+        self._obs = obs or fabric.obs
         self._upstream: Optional[Connection] = None
 
     def on_data(self, data: bytes) -> bytes:
         if self._upstream is None:
             request = HttpRequest.from_bytes(data)
             host, port = _parse_connect_target(request)
-            self._upstream = self._fabric.connect(self._proxy_endpoint, host, port)
+            try:
+                self._upstream = self._fabric.connect(
+                    self._proxy_endpoint, host, port)
+            except NetError as exc:
+                # A real CONNECT proxy answers 502 when the upstream is
+                # unreachable; clients then see a refusal they can retry
+                # or degrade on, not a raw exception from inside the
+                # relay.
+                self._obs.metrics.inc("net.proxy.connect_failures",
+                                      host=host, error=type(exc).__name__)
+                return HttpResponse.error(
+                    502, f"upstream unreachable: {exc}").to_bytes()
             return HttpResponse(status=200, reason="Connection Established").to_bytes()
         return self._upstream.roundtrip(data)
 
@@ -84,7 +97,7 @@ class ForwardProxy:
 
         def factory(info: ConnectionInfo) -> ConnectionHandler:
             self.obs.metrics.inc("net.proxy.tunnels", proxy=hostname)
-            return _TunnelHandler(info, fabric, self.endpoint)
+            return _TunnelHandler(info, fabric, self.endpoint, obs=self.obs)
 
         fabric.register_host(hostname, address)
         fabric.listen(hostname, port, factory)
@@ -155,7 +168,17 @@ class _MitmHandler(ConnectionHandler):
         if self._tls is None:
             request = HttpRequest.from_bytes(data)
             host, port = _parse_connect_target(request)
-            self._tls = self._proxy._build_impersonator(self.info, host, port)
+            try:
+                self._tls = self._proxy._build_impersonator(self.info, host, port)
+            except NetError as exc:
+                # Upstream (or the VPN exit on the way there) is down:
+                # answer the CONNECT with 502 so the measurement client
+                # records a proxy refusal instead of crashing mid-fuzz.
+                self._proxy.obs.metrics.inc("net.proxy.intercept_failures",
+                                            host=host,
+                                            error=type(exc).__name__)
+                return HttpResponse.error(
+                    502, f"mitm upstream unreachable: {exc}").to_bytes()
             return HttpResponse(status=200, reason="Connection Established").to_bytes()
         return self._tls.on_data(data)
 

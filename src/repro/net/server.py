@@ -13,6 +13,7 @@ import re
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Pattern, Tuple
 
+from repro.net.chaos import FaultPlan
 from repro.net.errors import HttpProtocolError
 from repro.net.fabric import ConnectionHandler, ConnectionInfo, NetworkFabric
 from repro.net.http import HttpRequest, HttpResponse
@@ -84,10 +85,12 @@ class HttpConnectionHandler(ConnectionHandler):
     """Parses request bytes, dispatches, serialises the response."""
 
     def __init__(self, info: ConnectionInfo, router: Router,
-                 obs: Optional[Observability] = None) -> None:
+                 obs: Optional[Observability] = None,
+                 chaos: Optional[FaultPlan] = None) -> None:
         super().__init__(info)
         self._router = router
         self._obs = obs or NULL_OBS
+        self._chaos = chaos
 
     def on_data(self, data: bytes) -> bytes:
         try:
@@ -96,10 +99,29 @@ class HttpConnectionHandler(ConnectionHandler):
             self._obs.metrics.inc("net.server.bad_requests",
                                   host=self.info.server_host)
             return HttpResponse.error(400, str(exc)).to_bytes()
+        fault = (self._chaos.http_fault(self.info.server_host)
+                 if self._chaos is not None else None)
+        if fault is not None and fault.kind == "status":
+            # Injected rate-limit / server error, before any routing.
+            response = HttpResponse.error(
+                fault.status, "injected fault (chaos)")
+            self._obs.metrics.inc("net.server.chaos_errors",
+                                  host=self.info.server_host,
+                                  status=str(fault.status))
+            self._obs.metrics.inc("net.server.requests",
+                                  host=self.info.server_host,
+                                  method=request.method,
+                                  status=str(response.status))
+            return response.to_bytes()
         try:
             response = self._router.dispatch(request, self.info)
         except Exception as exc:  # noqa: BLE001 - server boundary
             response = HttpResponse.error(500, f"{type(exc).__name__}: {exc}")
+        if fault is not None and fault.kind == "corrupt" and response.body:
+            # Garbage API output: valid HTTP framing, malformed payload.
+            response.body = FaultPlan.corrupt_json_body(response.body)
+            self._obs.metrics.inc("net.server.chaos_corrupted",
+                                  host=self.info.server_host)
         self._obs.metrics.inc("net.server.requests",
                               host=self.info.server_host,
                               method=request.method,
@@ -126,7 +148,8 @@ class HttpServer:
         fabric.register_host(hostname, address)
         fabric.listen(hostname, port,
                       lambda info: HttpConnectionHandler(info, self.router,
-                                                         self.obs))
+                                                         self.obs,
+                                                         chaos=fabric.chaos))
 
 
 class HttpsServer:
@@ -156,7 +179,8 @@ class HttpsServer:
                 info,
                 identity,
                 lambda inner_info: HttpConnectionHandler(inner_info, self.router,
-                                                         self.obs),
+                                                         self.obs,
+                                                         chaos=fabric.chaos),
                 rng,
             ),
         )

@@ -48,6 +48,9 @@ class VpnExitPool:
         asn = candidates[0]
         address = asn_db.allocate(asn.number, rng)
         hostname = f"exit-{country.lower()}.{self.provider}"
+        # The chaos engine models VPN exits dropping for whole days;
+        # marking the exit lets the fault plan target it specifically.
+        self.fabric.chaos.mark_vpn_exit(hostname)
         return ForwardProxy(self.fabric, hostname, address)
 
     def countries(self) -> List[str]:

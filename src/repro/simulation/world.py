@@ -19,7 +19,8 @@ from repro.iip.accounting import MoneyLedger
 from repro.iip.mediator import AttributionMediator
 from repro.iip.offerwall import OfferWallServer
 from repro.iip.registry import build_platforms
-from repro.net.client import HttpClient
+from repro.net.chaos import ChaosScenario, FaultPlan
+from repro.net.client import HttpClient, RetryPolicy
 from repro.net.fabric import Endpoint, NetworkFabric
 from repro.net.ip import MILKER_COUNTRIES
 from repro.net.proxy import MitmProxy
@@ -39,7 +40,8 @@ class World:
 
     def __init__(self, seed: int = 2019,
                  vpn_countries=MILKER_COUNTRIES,
-                 obs: Optional[Observability] = None) -> None:
+                 obs: Optional[Observability] = None,
+                 chaos: Optional[ChaosScenario] = None) -> None:
         self.seeds = SeedSequence(seed)
         self.clock = SimulationClock()
         #: Observability context shared by every component on this
@@ -48,6 +50,11 @@ class World:
         self.obs = obs or Observability()
         self.obs.bind_clock(self.clock.now)
         self.fabric = NetworkFabric(obs=self.obs)
+        #: Chaos config for this world; the fault plan schedules every
+        #: injected failure on the simulation day clock so same-seed
+        #: chaos runs are byte-identical.
+        self.chaos = chaos or ChaosScenario.off()
+        self.fabric.set_chaos(FaultPlan(self.chaos, clock=self.clock.now))
         ca_rng = self.seeds.rng("ca")
         self.root_ca = CertificateAuthority("GlobalTrust Root CA", ca_rng)
         self.public_trust = TrustStore()
@@ -95,13 +102,15 @@ class World:
                           rng or self.seeds.rng(f"client:{device.device_id}"),
                           today=self.clock.day)
 
-    def measurement_client(self, rng: Optional[random.Random] = None) -> HttpClient:
+    def measurement_client(self, rng: Optional[random.Random] = None,
+                           retry_policy: Optional[RetryPolicy] = None) -> HttpClient:
         """A well-connected client for crawlers (university network)."""
         crawler_rng = rng or self.seeds.rng("crawler-client")
         asn = self.fabric.asn_db.asns_in_country("US", kind="eyeball")[0]
         address = self.fabric.asn_db.allocate(asn.number, crawler_rng)
         return HttpClient(self.fabric, Endpoint(address=address),
-                          self.public_trust, crawler_rng)
+                          self.public_trust, crawler_rng,
+                          retry_policy=retry_policy)
 
     def build_mitm(self, hostname: str = "mitm.lab.example") -> MitmProxy:
         rng = self.seeds.rng("mitm")

@@ -26,6 +26,22 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["report"])
 
+    def test_wild_chaos_arguments(self):
+        args = build_parser().parse_args(
+            ["wild", "--chaos-profile", "paper", "--chaos-seed", "7"])
+        assert args.chaos_profile == "paper"
+        assert args.chaos_seed == 7
+
+    def test_wild_chaos_defaults_off(self):
+        args = build_parser().parse_args(["wild"])
+        assert args.chaos_profile == "off"
+        assert args.chaos_seed is None
+
+    def test_unknown_chaos_profile_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["wild", "--chaos-profile", "catastrophic"])
+
 
 class TestCommands:
     def test_tables(self, capsys):
@@ -66,6 +82,21 @@ class TestCommands:
         assert "loaded" in out
         assert "Table 3" in out
         assert "Table 4" in out
+
+    @pytest.mark.chaos
+    def test_wild_chaos_run_prints_coverage_loss(self, capsys):
+        assert main(["wild", "--scale", "0.05", "--days", "10",
+                     "--chaos-profile", "paper", "--chaos-seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 3" in out
+        assert "chaos profile: paper (seed 7)" in out
+        assert "faults injected" in out
+        assert "survived" in out
+
+    def test_wild_without_chaos_omits_coverage_loss(self, capsys):
+        assert main(["wild", "--scale", "0.05", "--days", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "chaos profile" not in out
 
     def test_report_missing_file_fails_cleanly(self, capsys, tmp_path):
         assert main(["report", "--offers", str(tmp_path / "nope.json")]) == 2

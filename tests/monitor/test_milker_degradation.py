@@ -1,0 +1,119 @@
+"""Milker degradation under injected faults, asserted via obs counters.
+
+These tests close the ROADMAP item about wiring fault-injection tests to
+the observability layer: the assertions read ``net.fabric.faults_raised``,
+``net.client.proxy_refusals`` and the monitor's corruption counters
+instead of hand-rolled bookkeeping.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.affiliates.app import AffiliateAppRuntime
+from repro.monitor.milker import MilkRun
+from repro.net.chaos import ChaosScenario, FaultPlan
+from repro.net.client import HttpClient
+from repro.net.errors import (
+    CertificatePinningError,
+    ConnectionRefusedFabricError,
+)
+from repro.net.fabric import NetworkFabric
+from repro.obs import Observability
+
+from tests.monitor.test_fuzzer_milker import rig  # fixture reuse
+
+pytestmark = pytest.mark.chaos
+
+
+@pytest.fixture()
+def fabric():
+    """Overrides the conftest fabric: this module asserts real counters."""
+    return NetworkFabric(obs=Observability())
+
+
+class TestWallOutageCounters:
+    def test_dead_wall_counted_in_fabric_and_proxy_metrics(self, rig, fabric):
+        milker, spec, walls = rig
+        host = walls["Fyber"].hostname
+        fabric.inject_fault(host, 443,
+                            ConnectionRefusedFabricError("wall down"))
+        run = milker.milk(spec, day=3, country=None)
+        metrics = fabric.obs.metrics
+        # The fabric raised the injected fault...
+        assert metrics.counter_value(
+            "net.fabric.faults_raised", host=host,
+            error="ConnectionRefusedFabricError") >= 1
+        # ...the mitm proxy answered the CONNECT with an error...
+        assert metrics.counter_value(
+            "net.client.proxy_refusals", host=host) >= 1
+        # ...and the run degraded instead of dying.
+        assert run.degraded
+        assert run.walls_lost == ["Fyber"]
+        assert metrics.counter_value("monitor.milk_partial",
+                                     app=spec.package) == 1
+        assert metrics.counter_value("monitor.walls_lost", iip="Fyber",
+                                     app=spec.package) == 1
+        assert any(o.iip_name == "ayeT-Studios" for o in run.offers)
+
+    def test_lost_wall_recovers_and_metrics_stop_growing(self, rig, fabric):
+        milker, spec, walls = rig
+        host = walls["Fyber"].hostname
+        fabric.inject_fault(host, 443,
+                            ConnectionRefusedFabricError("wall down"))
+        milker.milk(spec, day=3, country=None)
+        fabric.clear_fault(host, 443)
+        run = milker.milk(spec, day=5, country=None)
+        assert not run.degraded
+        metrics = fabric.obs.metrics
+        assert metrics.counter_total("monitor.milk_partial") == 1
+
+
+class TestPinningFailureCounters:
+    def test_pinned_wall_counts_pinning_and_request_failures(self, rig, fabric):
+        milker, spec, walls = rig
+        host = walls["Fyber"].hostname
+        pins = {host: walls["Fyber"]._server.identity.leaf.fingerprint()}
+        client = HttpClient(fabric, milker.phone.endpoint,
+                            milker.phone.trust_store, milker._rng,
+                            proxy=(milker.mitm.hostname, milker.mitm.port),
+                            pinned_fingerprints=pins)
+        milker.mitm.upstream_proxy = None
+        runtime = AffiliateAppRuntime(spec, client, walls)
+        runtime.open()
+        with pytest.raises(CertificatePinningError):
+            runtime.select_tab("Fyber")
+        metrics = fabric.obs.metrics
+        assert metrics.counter_value("net.client.pinning_failures",
+                                     host=host) == 1
+        assert metrics.counter_value(
+            "net.client.request_failures", host=host,
+            error="CertificatePinningError") == 1
+
+
+class TestCorruptOfferJson:
+    def test_malformed_wall_json_counted_not_fatal(self, rig, fabric):
+        milker, spec, _ = rig
+        plan = FaultPlan(
+            ChaosScenario(name="t", seed=1, corrupt_json_rate=1.0),
+            clock=lambda: 3)
+        fabric.set_chaos(plan)
+        run = milker.milk(spec, day=3, country=None)
+        assert isinstance(run, MilkRun)  # the pipeline survived
+        assert run.offers == []
+        metrics = fabric.obs.metrics
+        corrupted = (metrics.counter_total("monitor.corrupt_wall_responses")
+                     + metrics.counter_total("monitor.corrupt_offer_entries"))
+        assert corrupted >= 1
+        assert metrics.counter_total("net.server.chaos_corrupted") >= 1
+
+    def test_clean_run_after_chaos_cleared(self, rig, fabric):
+        milker, spec, _ = rig
+        fabric.set_chaos(FaultPlan(
+            ChaosScenario(name="t", seed=1, corrupt_json_rate=1.0),
+            clock=lambda: 3))
+        milker.milk(spec, day=3, country=None)
+        fabric.set_chaos(FaultPlan(ChaosScenario.off()))
+        run = milker.milk(spec, day=5, country=None)
+        assert len(run.offers) == 30
+        assert run.errors == []

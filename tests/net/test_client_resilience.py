@@ -1,0 +1,261 @@
+"""Retry policy + circuit breaker on the HTTP client."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.client import (
+    RETRIABLE_STATUSES,
+    CircuitBreaker,
+    HttpClient,
+    RetryPolicy,
+)
+from repro.net.errors import (
+    CircuitOpenError,
+    ConnectionRefusedFabricError,
+    TransientNetworkError,
+)
+from repro.net.fabric import Endpoint
+from repro.net.http import HttpResponse
+from repro.obs import Observability
+
+from tests.conftest import make_client, make_https_server
+
+pytestmark = pytest.mark.chaos
+
+HOST = "api.example.com"
+
+
+@pytest.fixture()
+def obs():
+    return Observability()
+
+
+def make_retry_client(fabric, trust_store, rng, obs, **kwargs):
+    client = make_client(fabric, trust_store, rng)
+    client.obs = obs
+    client.retry_policy = kwargs.pop("retry_policy", RetryPolicy())
+    breaker = kwargs.pop("breaker", None)
+    if breaker is not None:
+        client.breaker = breaker
+        if breaker.obs is None:
+            breaker.obs = obs
+    assert not kwargs
+    return client
+
+
+# -- RetryPolicy decisions ---------------------------------------------------
+
+
+def test_policy_rejects_bad_config():
+    with pytest.raises(ValueError):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(ValueError):
+        RetryPolicy(backoff_ops=-1)
+
+
+def test_policy_classifies_errors():
+    policy = RetryPolicy()
+    assert policy.retriable_error(TransientNetworkError("reset"))
+    assert policy.retriable_error(ConnectionRefusedFabricError("down"))
+    assert not policy.retriable_error(CircuitOpenError("open"))
+    assert not policy.retriable_error(ValueError("not a net error"))
+    for status in RETRIABLE_STATUSES:
+        assert policy.retriable_status(status)
+    assert not policy.retriable_status(404)
+
+
+# -- retries over a real server ----------------------------------------------
+
+
+def test_retry_recovers_from_transient_connect_failure(
+        fabric, root_ca, trust_store, rng, obs):
+    make_https_server(fabric, root_ca, rng, hostname=HOST)
+    client = make_retry_client(fabric, trust_store, rng, obs)
+
+    def fail_once():
+        fabric.clear_fault(HOST, 443)  # heal after the first raise
+        return TransientNetworkError("reset")
+
+    fabric.inject_fault(HOST, 443, fail_once)
+    response = client.get(HOST, "/json")
+    assert response.ok
+    metrics = obs.metrics
+    assert metrics.counter_value("net.client.retries", host=HOST) == 1
+    assert metrics.counter_value("net.client.request_failures", host=HOST,
+                                 error="TransientNetworkError") == 1
+    assert metrics.counter_total("net.client.gave_up") == 0
+
+
+def test_retry_exhaustion_raises_and_counts_gave_up(
+        fabric, root_ca, trust_store, rng, obs):
+    make_https_server(fabric, root_ca, rng, hostname=HOST)
+    client = make_retry_client(fabric, trust_store, rng, obs,
+                               retry_policy=RetryPolicy(max_attempts=3))
+    fabric.inject_fault(HOST, 443, TransientNetworkError("reset"))
+    with pytest.raises(TransientNetworkError):
+        client.get(HOST, "/json")
+    metrics = obs.metrics
+    assert metrics.counter_value("net.client.retries", host=HOST) == 2
+    assert metrics.counter_value("net.client.request_failures", host=HOST,
+                                 error="TransientNetworkError") == 3
+    assert metrics.counter_value("net.client.gave_up", host=HOST) == 1
+
+
+def test_failures_counted_even_without_policy(
+        fabric, root_ca, trust_store, rng, obs):
+    """Regression: the client used to record metrics only on success."""
+    make_https_server(fabric, root_ca, rng, hostname=HOST)
+    client = make_client(fabric, trust_store, rng)
+    client.obs = obs
+    fabric.inject_fault(HOST, 443, TransientNetworkError("reset"))
+    with pytest.raises(TransientNetworkError):
+        client.get(HOST, "/json")
+    assert obs.metrics.counter_value(
+        "net.client.request_failures", host=HOST,
+        error="TransientNetworkError") == 1
+
+
+def test_retriable_status_retried_then_returned(
+        fabric, root_ca, trust_store, rng, obs):
+    server = make_https_server(fabric, root_ca, rng, hostname=HOST)
+    hits = []
+
+    def flaky(request, context):
+        hits.append(1)
+        if len(hits) < 3:
+            return HttpResponse.error(503, "warming up")
+        return HttpResponse.json_response({"ok": True})
+
+    server.router.get("/flaky", flaky)
+    client = make_retry_client(fabric, trust_store, rng, obs,
+                               retry_policy=RetryPolicy(max_attempts=3))
+    response = client.get(HOST, "/flaky")
+    assert response.ok and len(hits) == 3
+    assert obs.metrics.counter_value("net.client.retried_statuses",
+                                     host=HOST, status="503") == 2
+
+
+def test_retriable_status_exhaustion_returns_last_response(
+        fabric, root_ca, trust_store, rng, obs):
+    server = make_https_server(fabric, root_ca, rng, hostname=HOST)
+    server.router.get("/limited",
+                      lambda request, context: HttpResponse.error(429, "slow"))
+    client = make_retry_client(fabric, trust_store, rng, obs,
+                               retry_policy=RetryPolicy(max_attempts=2))
+    response = client.get(HOST, "/limited")
+    assert response.status == 429
+    assert obs.metrics.counter_value("net.client.gave_up", host=HOST) == 1
+
+
+def test_backoff_charged_in_op_ticks(fabric, root_ca, trust_store, rng, obs):
+    make_https_server(fabric, root_ca, rng, hostname=HOST)
+    client = make_retry_client(
+        fabric, trust_store, rng, obs,
+        retry_policy=RetryPolicy(max_attempts=3, backoff_ops=4))
+    fabric.inject_fault(HOST, 443, TransientNetworkError("reset"))
+    with pytest.raises(TransientNetworkError):
+        client.get(HOST, "/json")
+    # attempt 1 charges 4 ops, attempt 2 charges 8.
+    assert obs.metrics.counter_total("net.client.backoff_ops") == 12
+
+
+def test_404_is_not_retried(fabric, root_ca, trust_store, rng, obs):
+    server = make_https_server(fabric, root_ca, rng, hostname=HOST)
+    hits = []
+
+    def missing(request, context):
+        hits.append(1)
+        return HttpResponse.error(404, "no such app")
+
+    server.router.get("/missing", missing)
+    client = make_retry_client(fabric, trust_store, rng, obs)
+    response = client.get(HOST, "/missing")
+    assert response.status == 404 and len(hits) == 1
+
+
+# -- circuit breaker ---------------------------------------------------------
+
+
+def test_breaker_opens_after_threshold():
+    breaker = CircuitBreaker(failure_threshold=3, recovery_ops=100)
+    for _ in range(3):
+        breaker.allow(HOST)
+        breaker.record_failure(HOST)
+    assert breaker.is_open(HOST)
+    with pytest.raises(CircuitOpenError):
+        breaker.allow(HOST)
+
+
+def test_breaker_half_opens_then_closes_on_probe_success():
+    breaker = CircuitBreaker(failure_threshold=1, recovery_ops=3)
+    breaker.allow(HOST)
+    breaker.record_failure(HOST)
+    with pytest.raises(CircuitOpenError):
+        breaker.allow(HOST)
+    # Burn the recovery window on the internal op clock.
+    for _ in range(3):
+        try:
+            breaker.allow(HOST)
+        except CircuitOpenError:
+            pass
+        else:
+            break
+    breaker.record_success(HOST)
+    assert not breaker.is_open(HOST)
+    breaker.allow(HOST)  # closed again: no raise
+
+
+def test_breaker_reopens_on_failed_probe():
+    breaker = CircuitBreaker(failure_threshold=1, recovery_ops=2)
+    breaker.allow(HOST)
+    breaker.record_failure(HOST)
+    probed = False
+    for _ in range(10):
+        try:
+            breaker.allow(HOST)
+        except CircuitOpenError:
+            continue
+        probed = True
+        break
+    assert probed
+    breaker.record_failure(HOST)  # probe failed
+    assert breaker.is_open(HOST)
+    with pytest.raises(CircuitOpenError):
+        breaker.allow(HOST)
+
+
+def test_breaker_quarantines_host_on_client(
+        fabric, root_ca, trust_store, rng, obs):
+    make_https_server(fabric, root_ca, rng, hostname=HOST)
+    breaker = CircuitBreaker(failure_threshold=2, recovery_ops=10_000)
+    client = make_retry_client(fabric, trust_store, rng, obs,
+                               retry_policy=RetryPolicy(max_attempts=2),
+                               breaker=breaker)
+    fabric.inject_fault(HOST, 443, TransientNetworkError("reset"))
+    with pytest.raises(TransientNetworkError):
+        client.get(HOST, "/json")
+    # Both attempts failed -> threshold reached -> circuit open.
+    with pytest.raises(CircuitOpenError):
+        client.get(HOST, "/json")
+    metrics = obs.metrics
+    assert metrics.counter_value("net.client.circuit_opened", host=HOST) == 1
+    assert metrics.counter_value("net.client.circuit_rejected",
+                                 host=HOST) >= 1
+    # The open circuit never touched the network again.
+    assert metrics.counter_value("net.client.request_failures", host=HOST,
+                                 error="TransientNetworkError") == 2
+
+
+def test_breaker_is_per_host(fabric, root_ca, trust_store, rng, obs):
+    make_https_server(fabric, root_ca, rng, hostname=HOST)
+    other = "other.example.com"
+    make_https_server(fabric, root_ca, rng, hostname=other)
+    breaker = CircuitBreaker(failure_threshold=1, recovery_ops=10_000)
+    client = make_retry_client(fabric, trust_store, rng, obs,
+                               retry_policy=None, breaker=breaker)
+    fabric.inject_fault(HOST, 443, TransientNetworkError("reset"))
+    with pytest.raises(TransientNetworkError):
+        client.get(HOST, "/json")
+    assert breaker.is_open(HOST)
+    assert client.get(other, "/json").ok
