@@ -1,0 +1,69 @@
+"""Wild-measurement perf bench: what the crawl cache buys, pinned.
+
+``scripts/export_bench_obs.py`` runs the pipeline with the crawler's
+(package, day) cache on and off at the bench scale; this bench asserts
+the headline claims (fabric requests down >= 20%, a real cache hit
+rate, op-cost histograms populated) and pins the deterministic subset
+against the committed ``benchmarks/snapshots/wild_obs.json`` so a
+request-count regression cannot land silently.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SNAPSHOT = REPO_ROOT / "benchmarks" / "snapshots" / "wild_obs.json"
+
+sys.path.insert(0, str(REPO_ROOT / "scripts"))
+
+from export_bench_obs import (  # noqa: E402
+    DAYS as BENCH_DAYS,
+    build_report,
+    deterministic_subset,
+    render,
+)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return build_report()
+
+
+class TestPerf:
+    def test_cache_cuts_fabric_requests_by_a_fifth(self, report):
+        fabric = report["fabric"]
+        assert fabric["requests"] < fabric["requests_uncached"]
+        assert fabric["reduction"] >= 0.20
+
+    def test_cache_hit_rate_is_real(self, report):
+        cache = report["cache"]
+        assert cache["hits"] > 0
+        assert 0.0 < cache["hit_rate"] < 1.0
+        # Every avoided crawl request is an avoided fabric connection.
+        crawl = report["crawl"]
+        assert (crawl["requests_uncached"] - crawl["requests"]
+                == report["fabric"]["requests_uncached"]
+                - report["fabric"]["requests"])
+
+    def test_op_cost_histograms_cover_every_day_phase(self, report):
+        op_cost = report["op_cost"]
+        milk_days = (BENCH_DAYS + 1) // 2
+        crawl_days = (BENCH_DAYS + 1) // 2
+        assert op_cost["wild.milk_ops"]["count"] == milk_days
+        assert op_cost["wild.crawl_ops"]["count"] == crawl_days
+        assert op_cost["wild.analyse_ops"]["count"] == 1
+        assert (op_cost["wild.milk_ops"]["p99_ops"]
+                >= op_cost["wild.milk_ops"]["p50_ops"])
+
+    def test_matches_committed_snapshot(self, report):
+        assert SNAPSHOT.exists(), (
+            "run PYTHONPATH=src python scripts/export_bench_obs.py")
+        committed = json.loads(SNAPSHOT.read_text())
+        fresh = json.loads(render(deterministic_subset(report)))
+        assert fresh["run"] == committed["run"], (
+            "bench parameters differ from the committed snapshot; "
+            "re-run with matching REPRO_BENCH_* values")
+        assert fresh == committed

@@ -1,0 +1,178 @@
+"""Export the wild-measurement perf bench: ``BENCH_wild.json``.
+
+Runs the Section-4 pipeline twice at the bench scale — once as shipped
+(request cache on) and once with the crawler's (package, day) cache
+disabled, the pre-cache baseline — and reports what the cache bought:
+total fabric requests, the reduction fraction, cache hit rate, and the
+per-stage op-cost histogram quantiles (``wild.milk_ops`` /
+``wild.crawl_ops`` / ``wild.analyse_ops``).
+
+Two outputs:
+
+* ``BENCH_wild.json`` (``--out``): the full report, including wall
+  times — informative, not deterministic, uploaded as a CI artifact.
+* ``benchmarks/snapshots/wild_obs.json`` (``--snapshot-out``): the
+  deterministic subset (no wall times), committed to the repo.
+  ``--check`` fails if a fresh run drifts from it, which gates the
+  fabric request count against silent regressions.
+
+Run from the repo root::
+
+    PYTHONPATH=src python scripts/export_bench_obs.py
+
+Scale/seed come from the same ``REPRO_BENCH_*`` variables the
+benchmarks use; the committed snapshot records them, so a check run
+under different values reports parameter drift rather than corruption.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+from pathlib import Path
+
+from repro import (
+    WildMeasurement,
+    WildMeasurementConfig,
+    WildScenario,
+    WildScenarioConfig,
+    World,
+)
+
+SEED = int(os.environ.get("REPRO_BENCH_SEED", "2019"))
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.35"))
+DAYS = int(os.environ.get("REPRO_BENCH_DAYS", "110"))
+SHARDS = int(os.environ.get("REPRO_BENCH_SHARDS", "1"))
+
+STAGE_HISTOGRAMS = ("wild.milk_ops", "wild.crawl_ops", "wild.analyse_ops")
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUT = REPO_ROOT / "BENCH_wild.json"
+DEFAULT_SNAPSHOT = REPO_ROOT / "benchmarks/snapshots/wild_obs.json"
+
+
+def run_wild(crawl_cache: bool) -> tuple:
+    world = World(seed=SEED)
+    scenario = WildScenario(world, WildScenarioConfig(
+        scale=SCALE, measurement_days=DAYS))
+    scenario.build()
+    measurement = WildMeasurement(world, scenario, WildMeasurementConfig(
+        measurement_days=DAYS, shards=SHARDS, crawl_cache=crawl_cache))
+    started = time.monotonic()
+    results = measurement.run()
+    elapsed = time.monotonic() - started
+    return world, results, elapsed
+
+
+def stage_quantiles(world) -> dict:
+    table = {}
+    for name in STAGE_HISTOGRAMS:
+        state = world.obs.metrics.histogram(name)
+        if state is None:
+            table[name] = {"count": 0}
+            continue
+        table[name] = {
+            "count": state.count,
+            "mean_ops": round(state.mean, 1),
+            "p50_ops": state.quantile(0.50),
+            "p90_ops": state.quantile(0.90),
+            "p99_ops": state.quantile(0.99),
+            "max_ops": state.maximum,
+        }
+    return table
+
+
+def build_report() -> dict:
+    """The full bench report; ``deterministic`` holds the committed
+    subset (everything except wall-clock timings)."""
+    world, results, elapsed = run_wild(crawl_cache=True)
+    base_world, base_results, base_elapsed = run_wild(crawl_cache=False)
+    total = world.obs.metrics.counter_total
+    base_total = base_world.obs.metrics.counter_total
+
+    requests = int(total("net.fabric.connections"))
+    base_requests = int(base_total("net.fabric.connections"))
+    hits = int(total("crawler.cache_hits"))
+    misses = int(total("crawler.cache_misses"))
+    lookups = hits + misses
+    deterministic = {
+        "run": {
+            "seed": SEED,
+            "scale": SCALE,
+            "days": DAYS,
+            "shards": SHARDS,
+        },
+        "fabric": {
+            "requests": requests,
+            "requests_uncached": base_requests,
+            "reduction": round(1.0 - requests / base_requests, 4),
+        },
+        "cache": {
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": round(hits / lookups, 4) if lookups else 0.0,
+        },
+        "crawl": {
+            "requests": results.crawl_requests,
+            "requests_uncached": base_results.crawl_requests,
+        },
+        "dataset": {
+            "offers": results.dataset.offer_count(),
+            "advertised_packages": len(results.dataset.unique_packages()),
+            "milk_runs": results.milk_runs,
+        },
+        "op_cost": stage_quantiles(world),
+    }
+    report = dict(deterministic)
+    report["wall_seconds"] = {
+        "measured": round(elapsed, 2),
+        "baseline_uncached": round(base_elapsed, 2),
+    }
+    return report
+
+
+def deterministic_subset(report: dict) -> dict:
+    return {key: value for key, value in report.items()
+            if key != "wall_seconds"}
+
+
+def render(snapshot: dict) -> str:
+    return json.dumps(snapshot, indent=1, sort_keys=True) + "\n"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT,
+                        help="full bench report (with wall times)")
+    parser.add_argument("--snapshot-out", type=Path, default=DEFAULT_SNAPSHOT,
+                        help="deterministic subset, committed to the repo")
+    parser.add_argument("--check", action="store_true",
+                        help="fail (exit 1) if the committed snapshot "
+                             "does not match a fresh run")
+    args = parser.parse_args()
+    report = build_report()
+    rendered_snapshot = render(deterministic_subset(report))
+    if args.check:
+        committed = (args.snapshot_out.read_text()
+                     if args.snapshot_out.exists() else "")
+        if committed != rendered_snapshot:
+            print(f"wild perf snapshot drift: {args.snapshot_out} does not "
+                  "match this revision "
+                  "(re-run scripts/export_bench_obs.py)")
+            return 1
+        print(f"wild perf snapshot up to date: {args.snapshot_out}")
+        args.out.write_text(render(report))
+        print(f"wrote {args.out}")
+        return 0
+    args.snapshot_out.parent.mkdir(parents=True, exist_ok=True)
+    args.snapshot_out.write_text(rendered_snapshot)
+    args.out.write_text(render(report))
+    print(f"wrote {args.snapshot_out}")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

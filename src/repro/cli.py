@@ -49,6 +49,10 @@ def _add_wild(subparsers) -> None:
     parser.add_argument("--chaos-seed", type=int, default=None,
                         help="seed for the fault schedule (defaults to "
                              "--seed); same seed => identical faults")
+    parser.add_argument("--shards", type=int, default=1,
+                        help="worker shards for milking and crawling; any "
+                             "value yields byte-identical results at the "
+                             "same seed (default: 1, serial)")
 
 
 def _add_report(subparsers) -> None:
@@ -166,7 +170,7 @@ def _cmd_wild(args) -> int:
         scale=args.scale, measurement_days=args.days))
     scenario.build()
     measurement = WildMeasurement(world, scenario, WildMeasurementConfig(
-        measurement_days=args.days))
+        measurement_days=args.days, shards=args.shards))
     results = measurement.run()
     print(f"{results.dataset.offer_count()} offers from "
           f"{len(results.dataset.unique_packages())} apps "

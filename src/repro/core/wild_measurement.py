@@ -6,7 +6,8 @@ Day loop (day 0 = 2019-03-01):
    delivery, enforcement);
 2. on milk days, the milker drives each instrumented affiliate app
    through the mitm proxy from a rotating subset of VPN exit
-   countries, and new offers land in the dataset;
+   countries, new offers land in the dataset, and the crawler captures
+   each observed offer's Play listing at impression time;
 3. on crawl days, the crawler scrapes top charts plus the profile of
    every baseline app and every advertised app *discovered so far*.
 
@@ -24,15 +25,28 @@ from repro.crunchbase.database import CrunchbaseSnapshot
 from repro.iip.registry import UNVETTED_IIPS, VETTED_IIPS
 from repro.monitor.crawler import CrawlArchive, PlayStoreCrawler
 from repro.monitor.dataset import OfferDataset
-from repro.monitor.milker import Milker
+from repro.monitor.milker import Milker, MilkRun
 from repro.net.client import CircuitBreaker, RetryPolicy
 from repro.net.ip import MILKER_COUNTRIES
 from repro.net.tls import TrustStore
+from repro.obs import Observability
+from repro.parallel import ShardScheduler, flow_scope
 from repro.playstore.frontend import PLAY_HOST
 from repro.simulation import paperdata
 from repro.simulation.scenarios import WildScenario
 from repro.simulation.world import World
 from repro.staticanalysis.libradar import LibRadarDetector
+
+#: Bucket bounds (in obs ops) for the per-stage op-cost histograms.
+#: Day-phase costs span roughly three orders of magnitude between the
+#: unit-test scale and the bench scale, hence the log-ish spacing.
+STAGE_OP_BOUNDS: Tuple[float, ...] = (
+    100.0, 300.0, 1_000.0, 3_000.0, 10_000.0, 30_000.0,
+    100_000.0, 300_000.0, 1_000_000.0)
+
+#: The op-cost histogram per pipeline stage.
+STAGE_HISTOGRAMS: Tuple[str, ...] = (
+    "wild.milk_ops", "wild.crawl_ops", "wild.analyse_ops")
 
 
 @dataclass(frozen=True)
@@ -44,6 +58,20 @@ class WildMeasurementConfig:
     countries_per_milk_day: int = 2
     baseline_window: Tuple[int, int] = (
         0, paperdata.AVERAGE_CAMPAIGN_DURATION_DAYS)
+    #: Shard count for the milk/crawl schedulers; 1 = serial in-thread.
+    #: Any value produces byte-identical exports at the same seed.
+    shards: int = 1
+    #: Crawl every charted app's profile too (the paper archived the
+    #: top-chart apps alongside the tracked set); the request cache
+    #: absorbs the overlap with the tracked packages.
+    crawl_chart_profiles: bool = True
+    #: (package, day) / (chart, day) request memoisation in the crawler.
+    crawl_cache: bool = True
+    #: Capture each offer impression's Play listing at observation time
+    #: (the paper pinned installs/price as offers were seen).  The same
+    #: package appears on ~10 walls/countries per day, so the cache
+    #: collapses the impression stream to one fetch per (package, day).
+    capture_offer_pages: bool = True
 
 
 @dataclass(frozen=True)
@@ -133,39 +161,69 @@ class WildResults:
 
 
 class WildMeasurement:
-    """Owns the measurement infrastructure and runs the day loop."""
+    """Owns the measurement infrastructure and runs the day loop.
+
+    The milk and crawl phases run on a :class:`ShardScheduler`.  Milking
+    shards by VPN country: each country gets its own *cell* (mitm proxy,
+    milker RNG stream, circuit breaker), all of a country's runs
+    serialise inside one shard bucket, and the shared phone trusts every
+    cell's CA.  Results and per-task observability contexts are merged
+    back in canonical ``(app, country)`` order, so exports stay
+    byte-identical across shard counts — see DESIGN.md.
+    """
 
     def __init__(self, world: World, scenario: WildScenario,
                  config: Optional[WildMeasurementConfig] = None) -> None:
         self.world = world
         self.scenario = scenario
         self.config = config or WildMeasurementConfig()
-        self.mitm = world.build_mitm()
-        phone_trust = world.device_trust_store()
-        phone_trust.add_root(self.mitm.ca_certificate())
-        self.phone = world.device_factory.real_phone(
-            "US", trust_store=phone_trust)
+        self._scheduler = ShardScheduler(self.config.shards)
         # Resilience for both measurement clients: the paper's milkers
         # and crawler retried flaky fetches rather than losing the day.
-        # The breaker's recovery window runs on the obs op clock when
-        # one is wired (deterministic), or its internal per-call
-        # counter otherwise.
         self.retry_policy = RetryPolicy()
-        op_clock = (lambda: world.obs.ops.value) if world.obs.enabled else None
-        self.breaker = CircuitBreaker(op_clock=op_clock, obs=world.obs)
-        self.milker = Milker(world.fabric, self.phone, self.mitm, world.walls,
-                             world.seeds.rng("milker"), vpn=world.vpn,
-                             obs=world.obs, retry_policy=self.retry_policy,
-                             breaker=self.breaker)
+        # One milk cell per country: the mitm proxy and breaker are
+        # per-country mutable state, so two countries can milk
+        # concurrently without sharing anything but the fabric.  Each
+        # breaker runs on its own internal call counter — a country's
+        # runs always execute in the same order inside their bucket, so
+        # recovery windows are shard-count-invariant.
+        phone_trust = world.device_trust_store()
+        self.cells: Dict[str, Milker] = {}
+        mitms = {}
+        for country in self.config.countries:
+            mitm = world.build_mitm(
+                hostname=f"mitm-{country.lower()}.lab.example")
+            phone_trust.add_root(mitm.ca_certificate())
+            mitms[country] = mitm
+        self.phone = world.device_factory.real_phone(
+            "US", trust_store=phone_trust)
+        for country, mitm in mitms.items():
+            self.cells[country] = Milker(
+                world.fabric, self.phone, mitm, world.walls,
+                world.seeds.rng(f"milker:{country}"), vpn=world.vpn,
+                obs=world.obs, retry_policy=self.retry_policy,
+                breaker=CircuitBreaker(obs=world.obs))
         self.dataset = OfferDataset(AFFILIATE_SPECS, obs=world.obs)
         self.crawler = PlayStoreCrawler(
             world.measurement_client(retry_policy=self.retry_policy),
             PLAY_HOST,
             cadence_days=self.config.crawl_cadence_days,
-            obs=world.obs)
+            obs=world.obs,
+            cache_enabled=self.config.crawl_cache,
+            crawl_chart_profiles=self.config.crawl_chart_profiles,
+            task_seed=world.seeds.seed_for("crawler-tasks"))
         self._milk_errors: List[str] = []
         self._milk_runs = 0
         self._observations: List = []
+        self._declare_stage_histograms()
+
+    def _declare_stage_histograms(self) -> None:
+        metrics = self.world.obs.metrics
+        for name in STAGE_HISTOGRAMS:
+            try:
+                metrics.declare_histogram(name, STAGE_OP_BOUNDS)
+            except ValueError:
+                pass  # an earlier measurement on this world already did
 
     # -- day loop ------------------------------------------------------------
 
@@ -178,17 +236,21 @@ class WildMeasurement:
                 with tracer.span("wild.scenario", day=day):
                     self.scenario.run_day(day)
                 if day % config.milk_cadence_days == 0:
-                    with tracer.span("wild.milk", day=day):
+                    with tracer.span("wild.milk", day=day) as span:
                         self._milk(day)
+                    metrics.observe("wild.milk_ops", span.duration_ops)
                 if self.crawler.should_crawl(day):
                     tracked = (self.scenario.baseline_packages()
                                + self.dataset.unique_packages())
-                    with tracer.span("wild.crawl", day=day):
-                        self.crawler.crawl_everything(tracked)
+                    with tracer.span("wild.crawl", day=day) as span:
+                        self.crawler.crawl_everything(
+                            tracked, day=day, scheduler=self._scheduler)
+                    metrics.observe("wild.crawl_ops", span.duration_ops)
                 metrics.inc("core.wild.days")
                 self.world.clock.advance()
-            with tracer.span("wild.finalize"):
+            with tracer.span("wild.finalize") as span:
                 results = self._finalize()
+            metrics.observe("wild.analyse_ops", span.duration_ops)
         metrics.set_gauge("core.wild.dataset_offers",
                           self.dataset.offer_count())
         metrics.set_gauge("core.wild.advertised_packages",
@@ -202,16 +264,48 @@ class WildMeasurement:
         return [self.config.countries[(start + i) % len(self.config.countries)]
                 for i in range(count)]
 
+    def _make_milk_task(self, day: int, country: str, spec):
+        """One self-contained milk run: its own observability context
+        and chaos flow scope; the cell's mitm/breaker/RNG are touched by
+        no other country."""
+        cell = self.cells[country]
+        flow_key = f"milk:{day}:{country}:{spec.package}"
+
+        def task() -> Tuple[MilkRun, Observability]:
+            task_obs = Observability(clock=self.world.clock.now)
+            with flow_scope(flow_key):
+                run = cell.milk(spec, day, country=country, obs=task_obs)
+            return run, task_obs
+
+        return task
+
     def _milk(self, day: int) -> None:
-        tracer = self.world.obs.tracer
-        for country in self._countries_for(day):
-            with tracer.span("wild.milk.country", country=country, day=day):
-                for spec in AFFILIATE_SPECS.values():
-                    run = self.milker.milk(spec, day, country=country)
-                    self._milk_runs += 1
-                    self._milk_errors.extend(run.errors)
-                    self._observations.extend(run.offers)
-                    self.dataset.ingest_all(run.offers)
+        """Milk every (app, country) pair for the day, sharded by
+        country, then merge results in canonical (app, country) order so
+        the dataset and the obs export never depend on shard timing."""
+        pairs = [(country, spec)
+                 for country in self._countries_for(day)
+                 for spec in AFFILIATE_SPECS.values()]
+        tasks = [(country, self._make_milk_task(day, country, spec))
+                 for country, spec in pairs]
+        results = self._scheduler.run(tasks, salt=f"milk:{day}")
+        merged = sorted(
+            zip(pairs, results),
+            key=lambda item: (item[0][1].package, item[0][0]))
+        impressions: List[str] = []
+        for (_country, _spec), (run, task_obs) in merged:
+            self.world.obs.merge(task_obs)
+            self._milk_runs += 1
+            self._milk_errors.extend(run.errors)
+            self._observations.extend(run.offers)
+            self.dataset.ingest_all(run.offers)
+            impressions.extend(offer.package for offer in run.offers)
+        if self.config.capture_offer_pages:
+            # Pin each impression's store page at observation time; the
+            # impression stream is in canonical merged order, so the
+            # capture — and its cache hits — is shard-count-invariant.
+            self.crawler.capture_offer_pages(
+                impressions, day=day, scheduler=self._scheduler)
 
     def _coverage_loss(self) -> CoverageLossSummary:
         """Roll the obs counters up into the coverage-loss summary."""

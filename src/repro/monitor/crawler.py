@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.net.client import HttpClient
 from repro.net.errors import NetError
 from repro.obs import Observability
+from repro.parallel import ShardScheduler, derive_rng, flow_scope
 from repro.playstore.charts import ChartKind
 
 DEFAULT_CADENCE_DAYS = 2
@@ -106,6 +107,19 @@ class CrawlArchive:
 
     # -- chart queries -------------------------------------------------------
 
+    def chart_packages(self, day: int) -> List[str]:
+        """Unique packages charted on ``day``, in (chart, rank) order."""
+        packages: List[str] = []
+        seen = set()
+        for (chart, chart_day) in sorted(self._chart_days):
+            if chart_day != day:
+                continue
+            for appearance in self._chart_days[(chart, chart_day)]:
+                if appearance.package not in seen:
+                    seen.add(appearance.package)
+                    packages.append(appearance.package)
+        return packages
+
     def chart_appearances(self, package: str) -> List[ChartAppearance]:
         found = []
         for appearances in self._chart_days.values():
@@ -132,13 +146,39 @@ class CrawlArchive:
         return timeline
 
 
+#: A side-effect-free fetch result: (snapshot, failure label, retryable).
+FetchOutcome = Tuple[Optional[ProfileSnapshot], Optional[str], bool]
+
+
 class PlayStoreCrawler:
-    """Scrapes profiles and charts off the HTTPS front end."""
+    """Scrapes profiles and charts off the HTTPS front end.
+
+    Request-level memoisation: successful profile fetches are cached
+    keyed on ``(package, day)`` (charts on ``(chart, day)``), so a
+    profile asked for twice on the same store day costs one wire fetch.
+    Only *successes* populate the cache — a failed fetch never poisons
+    it — and a new day is a new key, so stale data cannot be served.
+    Hits and misses surface as ``crawler.cache_hits/cache_misses``
+    counters.  Cache reads only happen for calls that pass ``day``
+    (the wild pipeline does); legacy call sites without a day keep
+    their exact pre-cache behaviour.
+
+    Sharded crawling: when ``crawl_everything`` is handed a
+    :class:`~repro.parallel.ShardScheduler`, each profile fetch runs as
+    a self-contained task (own derived RNG, own task-local client and
+    observability context, own chaos flow scope) and all side effects —
+    archive writes, retry queue, counters, obs merge — are applied on
+    the calling thread in queue order, keeping exports byte-identical
+    across shard counts.
+    """
 
     def __init__(self, client: HttpClient, play_host: str,
                  archive: Optional[CrawlArchive] = None,
                  cadence_days: int = DEFAULT_CADENCE_DAYS,
-                 obs: Optional[Observability] = None) -> None:
+                 obs: Optional[Observability] = None,
+                 cache_enabled: bool = True,
+                 crawl_chart_profiles: bool = False,
+                 task_seed: int = 0) -> None:
         if cadence_days <= 0:
             raise ValueError("cadence must be positive")
         self._client = client
@@ -151,37 +191,51 @@ class PlayStoreCrawler:
         #: crawl visit (the paper's crawler re-tried gaps on later days).
         self.retry_queue: List[str] = []
         self.obs = obs or client.obs
+        self.cache_enabled = cache_enabled
+        #: When set, every chart entry's profile is crawled too (the
+        #: paper archives charted apps alongside the tracked set); the
+        #: cache absorbs the heavy overlap with the tracked packages.
+        self.crawl_chart_profiles = crawl_chart_profiles
+        self._task_seed = task_seed
+        self._profile_cache: Dict[Tuple[str, int], ProfileSnapshot] = {}
+        self._chart_cache: Dict[Tuple[str, int], List[ChartAppearance]] = {}
+        #: Every package ever seen on a chart, in first-seen order; with
+        #: ``crawl_chart_profiles`` their profiles are re-crawled every
+        #: visit so the archive keeps longitudinal chart-app series.
+        self._followed: List[str] = []
+        self._followed_set: set = set()
 
     def should_crawl(self, day: int, start_day: int = 0) -> bool:
         return day >= start_day and (day - start_day) % self.cadence_days == 0
+
+    @property
+    def cache_hits(self) -> int:
+        return int(self.obs.metrics.counter_total("crawler.cache_hits"))
+
+    @property
+    def cache_misses(self) -> int:
+        return int(self.obs.metrics.counter_total("crawler.cache_misses"))
 
     def _queue_retry(self, package: str) -> None:
         if package not in self.retry_queue:
             self.retry_queue.append(package)
             self.obs.metrics.inc("monitor.crawl_retry_queued")
 
-    def crawl_profile(self, package: str,
-                      is_retry: bool = False) -> Optional[ProfileSnapshot]:
-        self.requests_made += 1
-        self.obs.metrics.inc("monitor.crawl_requests", kind="profile")
+    # -- profile fetching ----------------------------------------------------
+
+    def _fetch_profile(self, client: HttpClient, package: str) -> FetchOutcome:
+        """One wire fetch + parse; touches no crawler state, so it can
+        run on a shard worker (client metrics land in ``client.obs``)."""
         try:
-            response = self._client.get(self._play_host, "/store/apps/details",
-                                        params={"id": package})
+            response = client.get(self._play_host, "/store/apps/details",
+                                  params={"id": package})
         except NetError as exc:
             # Transport-level failure: the profile is not gone, the
             # fetch is.  Queue it for the next crawl day.
-            self.failures += 1
-            self.obs.metrics.inc("monitor.crawl_failures", kind="profile",
-                                 error=type(exc).__name__)
-            self._queue_retry(package)
-            return None
+            return None, type(exc).__name__, True
         if not response.ok:
-            self.failures += 1
-            self.obs.metrics.inc("monitor.crawl_failures", kind="profile",
-                                 error=f"http_{response.status}")
-            if response.status in RETRY_NEXT_VISIT_STATUSES:
-                self._queue_retry(package)
-            return None
+            return (None, f"http_{response.status}",
+                    response.status in RETRY_NEXT_VISIT_STATUSES)
         try:
             payload = response.json()
             snapshot = ProfileSnapshot(
@@ -198,20 +252,68 @@ class PlayStoreCrawler:
             )
         except (NetError, KeyError, TypeError, ValueError):
             # Corrupted profile payload: treat like a transient failure.
+            return None, "corrupt_payload", True
+        return snapshot, None, False
+
+    def _apply_profile_outcome(self, package: str, outcome: FetchOutcome,
+                               is_retry: bool) -> Optional[ProfileSnapshot]:
+        """Apply one fetch's side effects (always on the calling thread)."""
+        snapshot, failure, retryable = outcome
+        if snapshot is None:
             self.failures += 1
             self.obs.metrics.inc("monitor.crawl_failures", kind="profile",
-                                 error="corrupt_payload")
-            self._queue_retry(package)
+                                 error=failure)
+            if retryable:
+                self._queue_retry(package)
             return None
         if is_retry:
             self.obs.metrics.inc("monitor.crawl_retry_recovered")
         self.archive.add_profile(snapshot)
+        if self.cache_enabled:
+            self._profile_cache[(package, snapshot.day)] = snapshot
         return snapshot
 
-    def crawl_charts(self) -> int:
+    def crawl_profile(self, package: str, is_retry: bool = False,
+                      day: Optional[int] = None) -> Optional[ProfileSnapshot]:
+        if self.cache_enabled and day is not None:
+            cached = self._profile_cache.get((package, day))
+            if cached is not None:
+                self.obs.metrics.inc("crawler.cache_hits", kind="profile")
+                return cached
+            self.obs.metrics.inc("crawler.cache_misses", kind="profile")
+        self.requests_made += 1
+        self.obs.metrics.inc("monitor.crawl_requests", kind="profile")
+        outcome = self._fetch_profile(self._client, package)
+        return self._apply_profile_outcome(package, outcome, is_retry)
+
+    def _make_fetch_task(self, package: str, day: Optional[int]):
+        """A self-contained shard task for one profile fetch."""
+        flow_key = f"crawl:{day}:{package}"
+        rng = derive_rng(self._task_seed, "crawl", package, day)
+
+        def task() -> Tuple[FetchOutcome, Observability]:
+            task_obs = Observability()
+            client = self._client.for_task(rng, task_obs)
+            with flow_scope(flow_key):
+                outcome = self._fetch_profile(client, package)
+            return outcome, task_obs
+
+        return task
+
+    # -- charts --------------------------------------------------------------
+
+    def crawl_charts(self, day: Optional[int] = None) -> int:
         """Scrape every chart; returns the day the store reported."""
-        day = -1
+        day_seen = -1
         for kind in ChartKind:
+            if self.cache_enabled and day is not None:
+                cached = self._chart_cache.get((kind.value, day))
+                if cached is not None:
+                    self.obs.metrics.inc("crawler.cache_hits", kind="chart")
+                    self.archive.add_chart(kind.value, day, cached)
+                    day_seen = day
+                    continue
+                self.obs.metrics.inc("crawler.cache_misses", kind="chart")
             self.requests_made += 1
             self.obs.metrics.inc("monitor.crawl_requests", kind="chart")
             try:
@@ -245,31 +347,128 @@ class PlayStoreCrawler:
                 self.obs.metrics.inc("monitor.crawl_failures", kind="chart",
                                      error="corrupt_payload")
                 continue
-            day = chart_day
-            self.archive.add_chart(kind.value, day, appearances)
-        return day
+            day_seen = chart_day
+            self.archive.add_chart(kind.value, day_seen, appearances)
+            if self.cache_enabled:
+                self._chart_cache[(kind.value, chart_day)] = appearances
+        return day_seen
 
-    def crawl_everything(self, packages: Sequence[str]) -> int:
-        """One full crawl visit: all charts, the retry queue from the
-        previous visit, then every tracked profile."""
-        day = self.crawl_charts()
-        pending = set(self.retry_queue)
-        orphaned = [p for p in self.retry_queue if p not in set(packages)]
-        self.retry_queue = []
-        for package in orphaned:
-            # Queued on a previous visit but no longer tracked: retry it
-            # anyway so the archive keeps its longitudinal series.
-            self.obs.metrics.inc("monitor.crawl_retry_drained")
-            snapshot = self.crawl_profile(package, is_retry=True)
-            if snapshot is not None:
-                day = snapshot.day
-        for package in packages:
+    # -- full visits ---------------------------------------------------------
+
+    def _crawl_profiles(self, queue: Sequence[str], pending: set,
+                        day: Optional[int],
+                        scheduler: Optional[ShardScheduler]) -> int:
+        """Fetch a queue of profiles (cache-filtered), serially or on
+        the scheduler; side effects are applied in queue order."""
+        best_day = -1
+        to_fetch: List[Tuple[str, bool]] = []
+        for package in queue:
             is_retry = package in pending
             if is_retry:
                 self.obs.metrics.inc("monitor.crawl_retry_drained")
-            snapshot = self.crawl_profile(package, is_retry=is_retry)
+            if self.cache_enabled and day is not None:
+                cached = self._profile_cache.get((package, day))
+                if cached is not None:
+                    self.obs.metrics.inc("crawler.cache_hits", kind="profile")
+                    best_day = cached.day
+                    continue
+                self.obs.metrics.inc("crawler.cache_misses", kind="profile")
+            to_fetch.append((package, is_retry))
+        if scheduler is None:
+            for package, is_retry in to_fetch:
+                self.requests_made += 1
+                self.obs.metrics.inc("monitor.crawl_requests", kind="profile")
+                outcome = self._fetch_profile(self._client, package)
+                snapshot = self._apply_profile_outcome(package, outcome,
+                                                       is_retry)
+                if snapshot is not None:
+                    best_day = snapshot.day
+            return best_day
+        tasks = [(package, self._make_fetch_task(package, day))
+                 for package, _ in to_fetch]
+        results = scheduler.run(tasks, salt=f"crawl:{day}")
+        for (package, is_retry), (outcome, task_obs) in zip(to_fetch, results):
+            self.requests_made += 1
+            self.obs.metrics.inc("monitor.crawl_requests", kind="profile")
+            self.obs.merge(task_obs)
+            snapshot = self._apply_profile_outcome(package, outcome, is_retry)
             if snapshot is not None:
-                day = snapshot.day
-        if day >= 0:
-            self.archive.note_crawl_day(day)
-        return day
+                best_day = snapshot.day
+        return best_day
+
+    def capture_offer_pages(self, packages: Sequence[str],
+                            day: Optional[int] = None,
+                            scheduler: Optional[ShardScheduler] = None) -> int:
+        """Capture the Play listing of every offer *impression*.
+
+        The paper's monitor logged the store page of each offer as it
+        was seen, to pin installs/price at observation time.  The same
+        package shows up on many walls and countries in one day, so the
+        impression stream is heavily duplicated; with the cache on the
+        duplicates collapse to one wire fetch per ``(package, day)``
+        (the rest count as ``crawler.cache_hits``), while the pre-cache
+        path pays one request per impression.  Returns the impression
+        count.
+        """
+        captured = 0
+        queue: List[str] = []
+        seen_today: set = set()
+        dedupe = self.cache_enabled and day is not None
+        for package in packages:
+            captured += 1
+            self.obs.metrics.inc("monitor.offer_pages")
+            if dedupe:
+                if package in seen_today:
+                    # Served by the (package, day) entry the first
+                    # impression's fetch populated.
+                    self.obs.metrics.inc("crawler.cache_hits",
+                                         kind="offer_page")
+                    continue
+                seen_today.add(package)
+            queue.append(package)
+        self._crawl_profiles(queue, set(), day, scheduler)
+        return captured
+
+    def crawl_everything(self, packages: Sequence[str],
+                         day: Optional[int] = None,
+                         scheduler: Optional[ShardScheduler] = None) -> int:
+        """One full crawl visit: all charts, the retry queue from the
+        previous visit, every tracked profile (deduplicated — a package
+        in both the baseline list and the discovered set costs one
+        fetch), then optionally every charted app's profile (where the
+        cache absorbs the overlap with the tracked set)."""
+        best_day = self.crawl_charts(day=day)
+        tracked_set = set(packages)
+        pending = set(self.retry_queue)
+        # Queued on a previous visit but no longer tracked: retry those
+        # anyway so the archive keeps its longitudinal series.
+        orphaned = [p for p in self.retry_queue if p not in tracked_set]
+        self.retry_queue = []
+        queue: List[str] = []
+        seen = set()
+        for package in list(orphaned) + list(packages):
+            if package in seen:
+                self.obs.metrics.inc("monitor.crawl_deduped")
+                continue
+            seen.add(package)
+            queue.append(package)
+        profile_day = self._crawl_profiles(queue, pending, day, scheduler)
+        if profile_day >= 0:
+            best_day = profile_day
+        if self.crawl_chart_profiles and best_day >= 0:
+            # Follow every app that has *ever* charted: the chart
+            # analyses need profile series that keep going after an app
+            # falls off the charts.  Follow order is first-chart-seen
+            # order, so the queue — and the sharded run — stays
+            # deterministic.
+            for package in self.archive.chart_packages(best_day):
+                if package not in self._followed_set:
+                    self._followed_set.add(package)
+                    self._followed.append(package)
+            chart_day = self._crawl_profiles(self._followed, set(), day,
+                                             scheduler)
+            if chart_day >= 0:
+                best_day = chart_day
+        if best_day >= 0:
+            self.archive.note_crawl_day(best_day)
+        return best_day

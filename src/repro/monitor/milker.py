@@ -85,12 +85,20 @@ class Milker:
             self.mitm.upstream_trust = public_trust
 
     def milk(self, spec: AffiliateAppSpec, day: int,
-             country: Optional[str] = None) -> MilkRun:
-        """Run the full pipeline for one affiliate app."""
-        with self.obs.tracer.span("milk.run", app=spec.package,
-                                  country=country or "-", day=day):
-            run = self._milk_inner(spec, day, country)
-        metrics = self.obs.metrics
+             country: Optional[str] = None,
+             obs: Optional[Observability] = None) -> MilkRun:
+        """Run the full pipeline for one affiliate app.
+
+        ``obs`` overrides the milker's context for this run: the shard
+        scheduler hands every run a task-local context and merges them
+        back in canonical order, so sharded exports stay byte-identical
+        to serial ones.
+        """
+        obs = obs or self.obs
+        with obs.tracer.span("milk.run", app=spec.package,
+                             country=country or "-", day=day):
+            run = self._milk_inner(spec, day, country, obs)
+        metrics = obs.metrics
         metrics.inc("monitor.milk_runs", app=spec.package,
                     country=country or "-")
         for offer in run.offers:
@@ -107,7 +115,9 @@ class Milker:
         return run
 
     def _milk_inner(self, spec: AffiliateAppSpec, day: int,
-                    country: Optional[str]) -> MilkRun:
+                    country: Optional[str],
+                    obs: Optional[Observability] = None) -> MilkRun:
+        obs = obs or self.obs
         run = MilkRun(app_package=spec.package, country=country, day=day)
         if country is not None:
             if self._vpn is None:
@@ -118,7 +128,7 @@ class Milker:
         client = HttpClient(
             self._fabric, self.phone.endpoint, self.phone.trust_store,
             self._rng, proxy=(self.mitm.hostname, self.mitm.port),
-            obs=self.obs, retry_policy=self.retry_policy,
+            obs=obs, retry_policy=self.retry_policy,
             breaker=self.breaker)
         self.mitm.clear()
         try:
@@ -131,7 +141,7 @@ class Milker:
             run.errors.extend(run.fuzz_report.errors)
         except (NetError, TlsError) as exc:
             run.errors.append(f"{type(exc).__name__}: {exc}")
-        run.offers = self._parse_intercepted(spec, day, country, run)
+        run.offers = self._parse_intercepted(spec, day, country, run, obs)
         run.walls_seen = sorted({offer.iip_name for offer in run.offers})
         lost = set(run.fuzz_report.tabs_failed if run.fuzz_report else ())
         if run.fuzz_report is None:
@@ -142,9 +152,10 @@ class Milker:
 
     def _parse_intercepted(self, spec: AffiliateAppSpec, day: int,
                            country: Optional[str],
-                           run: Optional[MilkRun] = None) -> List[ObservedOffer]:
+                           run: Optional[MilkRun] = None,
+                           obs: Optional[Observability] = None) -> List[ObservedOffer]:
         observed: List[ObservedOffer] = []
-        metrics = self.obs.metrics
+        metrics = (obs or self.obs).metrics
         for exchange in self.mitm.intercepted:
             if not exchange.request.path.startswith("/api/"):
                 continue

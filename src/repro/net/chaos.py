@@ -27,6 +27,7 @@ Design:
 from __future__ import annotations
 
 import hashlib
+import threading
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -34,6 +35,7 @@ from repro.net.errors import (
     ConnectionRefusedFabricError,
     TransientNetworkError,
 )
+from repro.parallel.flow import current_flow
 
 DayClock = Callable[[], int]
 FaultFactory = Callable[[], Exception]
@@ -150,6 +152,14 @@ class FaultPlan:
     deterministic per-host sequence counters, so a plan consulted by a
     same-seed run reproduces the exact same fault schedule regardless of
     observability wiring.
+
+    The sequence counters are additionally keyed by the caller's *flow*
+    (:func:`repro.parallel.flow.current_flow`).  Sharded pipelines run
+    each task inside its own flow scope, so a fault decision is a pure
+    function of ``(seed, class, flow, host, day, within-flow seq)`` —
+    never of the order in which concurrent shards reached the fabric.
+    Outside any flow scope the flow is empty and is omitted from the
+    hash, reproducing the pre-flow schedule bit for bit.
     """
 
     def __init__(self, scenario: Optional[ChaosScenario] = None,
@@ -158,9 +168,10 @@ class FaultPlan:
         self._clock = clock or (lambda: 0)
         self._static: Dict[Tuple[str, int], FaultFactory] = {}
         self._vpn_exits: List[str] = []
-        self._connect_seq: Dict[Tuple[str, int], int] = {}
-        self._http_seq: Dict[str, int] = {}
-        self._frame_seq: Dict[str, int] = {}
+        self._lock = threading.Lock()
+        self._connect_seq: Dict[Tuple[str, str, int], int] = {}
+        self._http_seq: Dict[Tuple[str, str], int] = {}
+        self._frame_seq: Dict[Tuple[str, str], int] = {}
         #: Decision log totals (deterministic; exposed for reports).
         self.decisions: Dict[str, int] = {}
 
@@ -218,7 +229,19 @@ class FaultPlan:
         return self._roll(self.scenario.seed, *parts) < rate
 
     def _count(self, kind: str) -> None:
-        self.decisions[kind] = self.decisions.get(kind, 0) + 1
+        with self._lock:
+            self.decisions[kind] = self.decisions.get(kind, 0) + 1
+
+    def _flow_parts(self, flow: str) -> Tuple[str, ...]:
+        """Hash material for the flow (empty flow stays absent, keeping
+        pre-flow fault schedules unchanged)."""
+        return (flow,) if flow else ()
+
+    def _next_seq(self, table: Dict, key) -> int:
+        with self._lock:
+            seq = table.get(key, 0)
+            table[key] = seq + 1
+        return seq
 
     # -- decisions ------------------------------------------------------------
 
@@ -242,11 +265,10 @@ class FaultPlan:
             self._count("vpn_outage")
             return ConnectionRefusedFabricError(
                 f"vpn exit {hostname} dropped (day {day})")
-        key = (hostname, port)
-        seq = self._connect_seq.get(key, 0)
-        self._connect_seq[key] = seq + 1
-        if self._hit(scenario.connect_failure_rate,
-                     "connect", hostname, port, day, seq):
+        flow = current_flow()
+        seq = self._next_seq(self._connect_seq, (flow, hostname, port))
+        if self._hit(scenario.connect_failure_rate, "connect",
+                     *self._flow_parts(flow), hostname, port, day, seq):
             self._count("connect")
             return TransientNetworkError(
                 f"connection reset by {hostname}:{port}")
@@ -258,15 +280,19 @@ class FaultPlan:
         if not scenario.enabled:
             return None
         day = self.day()
-        seq = self._http_seq.get(hostname, 0)
-        self._http_seq[hostname] = seq + 1
-        if self._hit(scenario.http_error_rate, "http", hostname, day, seq):
-            which = self._roll(scenario.seed, "status", hostname, day, seq)
+        flow = current_flow()
+        flow_parts = self._flow_parts(flow)
+        seq = self._next_seq(self._http_seq, (flow, hostname))
+        if self._hit(scenario.http_error_rate, "http",
+                     *flow_parts, hostname, day, seq):
+            which = self._roll(self.scenario.seed, "status",
+                               *flow_parts, hostname, day, seq)
             status = INJECTED_STATUSES[int(which * len(INJECTED_STATUSES))
                                        % len(INJECTED_STATUSES)]
             self._count("http_error")
             return HttpFault(kind="status", status=status)
-        if self._hit(scenario.corrupt_json_rate, "json", hostname, day, seq):
+        if self._hit(scenario.corrupt_json_rate, "json",
+                     *flow_parts, hostname, day, seq):
             self._count("corrupt_json")
             return HttpFault(kind="corrupt")
         return None
@@ -279,9 +305,10 @@ class FaultPlan:
         if len(payload) < 4:
             return None
         day = self.day()
-        seq = self._frame_seq.get(hostname, 0)
-        self._frame_seq[hostname] = seq + 1
-        if not self._hit(scenario.truncate_rate, "wire", hostname, day, seq):
+        flow = current_flow()
+        seq = self._next_seq(self._frame_seq, (flow, hostname))
+        if not self._hit(scenario.truncate_rate, "wire",
+                         *self._flow_parts(flow), hostname, day, seq):
             return None
         self._count("truncate")
         # Drop the trailing third: enough to break TLS records and HTTP

@@ -206,6 +206,24 @@ class HttpClient:
         if breaker is not None and breaker.obs is None:
             breaker.obs = self.obs
 
+    def for_task(self, rng: random.Random,
+                 obs: Optional[Observability] = None,
+                 breaker: Optional[CircuitBreaker] = None) -> "HttpClient":
+        """A task-local clone for sharded execution.
+
+        Shares the endpoint, trust store, proxy, pins, and retry policy
+        (all read-only), but takes its own RNG — typically derived from
+        the task key via :func:`repro.parallel.hashing.derive_rng`, so
+        TLS handshake bytes do not depend on which other tasks ran
+        first — plus its own observability context and (optionally) its
+        own breaker, keeping circuit state shard-local.
+        """
+        return HttpClient(
+            self.fabric, self.endpoint, self.trust_store, rng,
+            proxy=self.proxy, pinned_fingerprints=self.pinned_fingerprints,
+            today=self.today, obs=obs or self.obs,
+            retry_policy=self.retry_policy, breaker=breaker)
+
     # -- public API ----------------------------------------------------------
 
     def get(self, host: str, path: str, params: Optional[Mapping[str, str]] = None,

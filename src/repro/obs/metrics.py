@@ -14,6 +14,7 @@ nothing and never fail.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple, Union
 
@@ -38,18 +39,33 @@ class OpCounter:
     recorded metric and every span boundary ticks it, so a span's
     ``(end_op - start_op)`` is the number of instrumented operations
     that happened inside it — a deterministic stand-in for duration.
+
+    Ticks are guarded by a lock: during a sharded phase the fabric and
+    the servers still record into the world's shared context from
+    worker threads, and a lost update would make the op total depend on
+    thread interleaving.
     """
 
     def __init__(self) -> None:
         self._value = 0
+        self._lock = threading.Lock()
 
     @property
     def value(self) -> int:
         return self._value
 
     def tick(self) -> int:
-        self._value += 1
-        return self._value
+        with self._lock:
+            self._value += 1
+            return self._value
+
+    def advance(self, amount: int) -> int:
+        """Absorb ``amount`` ticks recorded by a merged context."""
+        if amount < 0:
+            raise ValueError("cannot advance the op counter backwards")
+        with self._lock:
+            self._value += amount
+            return self._value
 
 
 def render_key(name: str, labels: LabelItems) -> str:
@@ -91,6 +107,54 @@ class HistogramState:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def copy(self) -> "HistogramState":
+        return HistogramState(
+            bounds=self.bounds,
+            bucket_counts=list(self.bucket_counts),
+            count=self.count,
+            total=self.total,
+            minimum=self.minimum,
+            maximum=self.maximum,
+        )
+
+    def merge(self, other: "HistogramState") -> None:
+        """Fold another state's observations in (bounds must match)."""
+        if self.bounds != other.bounds:
+            raise ValueError(
+                f"cannot merge histograms with different bounds: "
+                f"{self.bounds} != {other.bounds}")
+        for index, count in enumerate(other.bucket_counts):
+            self.bucket_counts[index] += count
+        self.count += other.count
+        self.total += other.total
+        if other.minimum is not None:
+            self.minimum = (other.minimum if self.minimum is None
+                            else min(self.minimum, other.minimum))
+        if other.maximum is not None:
+            self.maximum = (other.maximum if self.maximum is None
+                            else max(self.maximum, other.maximum))
+
+    def quantile(self, q: float) -> float:
+        """Deterministic bucket-resolution quantile estimate.
+
+        Returns the upper bound of the bucket holding the ``q``-th
+        observation (clamped to the recorded min/max); observations in
+        the overflow bucket report the recorded maximum.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be within [0, 1]")
+        if not self.count:
+            return 0.0
+        rank = max(1, int(q * self.count + 0.999999))
+        cumulative = 0
+        for index, bound in enumerate(self.bounds):
+            cumulative += self.bucket_counts[index]
+            if cumulative >= rank:
+                low = self.minimum if self.minimum is not None else bound
+                high = self.maximum if self.maximum is not None else bound
+                return min(max(bound, low), high)
+        return self.maximum if self.maximum is not None else self.bounds[-1]
+
     def to_dict(self) -> Dict[str, object]:
         return {
             "bounds": list(self.bounds),
@@ -111,6 +175,10 @@ class MetricsRegistry:
 
     def __init__(self, counter: Optional[OpCounter] = None) -> None:
         self._counter = counter
+        #: Guards read-modify-write updates: shard workers record into
+        #: the shared world registry (fabric/server/proxy counters), and
+        #: an unlocked ``dict.get``+store pair can lose increments.
+        self._lock = threading.Lock()
         self._counters: Dict[str, Dict[LabelItems, Number]] = {}
         self._gauges: Dict[str, Dict[LabelItems, Number]] = {}
         self._histograms: Dict[str, Dict[LabelItems, HistogramState]] = {}
@@ -128,29 +196,64 @@ class MetricsRegistry:
 
     def inc(self, name: str, value: Number = 1, **labels: object) -> None:
         self._tick()
-        series = self._counters.setdefault(name, {})
         key = label_key(labels)
-        series[key] = series.get(key, 0) + value
+        with self._lock:
+            series = self._counters.setdefault(name, {})
+            series[key] = series.get(key, 0) + value
 
     def set_gauge(self, name: str, value: Number, **labels: object) -> None:
         self._tick()
-        self._gauges.setdefault(name, {})[label_key(labels)] = value
+        with self._lock:
+            self._gauges.setdefault(name, {})[label_key(labels)] = value
 
     def declare_histogram(self, name: str, bounds: Tuple[float, ...]) -> None:
         """Set custom bucket bounds for ``name`` (before first observe)."""
-        if name in self._histograms:
-            raise ValueError(f"histogram {name!r} already has observations")
-        self._histogram_bounds[name] = tuple(bounds)
+        with self._lock:
+            if name in self._histograms:
+                raise ValueError(f"histogram {name!r} already has observations")
+            self._histogram_bounds[name] = tuple(bounds)
 
     def observe(self, name: str, value: Number, **labels: object) -> None:
         self._tick()
-        series = self._histograms.setdefault(name, {})
         key = label_key(labels)
-        state = series.get(key)
-        if state is None:
-            bounds = self._histogram_bounds.get(name, DEFAULT_BUCKETS)
-            state = series[key] = HistogramState(bounds=bounds)
-        state.observe(value)
+        with self._lock:
+            series = self._histograms.setdefault(name, {})
+            state = series.get(key)
+            if state is None:
+                bounds = self._histogram_bounds.get(name, DEFAULT_BUCKETS)
+                state = series[key] = HistogramState(bounds=bounds)
+            state.observe(value)
+
+    # -- merging -------------------------------------------------------------
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry's records into this one.
+
+        Counters and histograms are summed; gauges take the other
+        registry's value (last write wins, matching what inline
+        recording in merge order would have produced).  The op counter
+        is deliberately *not* ticked: merging is bookkeeping, and the
+        merged context's own ticks are absorbed separately by
+        :meth:`Observability.merge`.
+        """
+        if not other.enabled:
+            return
+        with self._lock:
+            for name, series in other._counters.items():
+                mine = self._counters.setdefault(name, {})
+                for key, value in series.items():
+                    mine[key] = mine.get(key, 0) + value
+            for name, series in other._gauges.items():
+                self._gauges.setdefault(name, {}).update(series)
+            for name, bounds in other._histogram_bounds.items():
+                self._histogram_bounds.setdefault(name, bounds)
+            for name, series in other._histograms.items():
+                mine_hist = self._histograms.setdefault(name, {})
+                for key, state in series.items():
+                    if key in mine_hist:
+                        mine_hist[key].merge(state)
+                    else:
+                        mine_hist[key] = state.copy()
 
     # -- queries -------------------------------------------------------------
 
@@ -216,4 +319,7 @@ class NullMetricsRegistry(MetricsRegistry):
         pass
 
     def observe(self, name: str, value: Number, **labels: object) -> None:
+        pass
+
+    def merge(self, other: MetricsRegistry) -> None:
         pass

@@ -35,6 +35,27 @@ class Observability:
         """Next value of the shared monotonic operation counter."""
         return self.ops.tick()
 
+    def merge(self, other: Optional["Observability"]) -> None:
+        """Fold a finished task-local context into this one.
+
+        Used by the shard scheduler's callers: each task records into
+        its own context, and the merge — performed in canonical task
+        order after the barrier — replays the task's counters, spans,
+        and op ticks as if they had been recorded inline.  Merging the
+        per-task contexts of a sharded phase in the same order on every
+        run is what keeps the combined export byte-identical regardless
+        of shard count.
+        """
+        if other is None or other is self or not other.enabled:
+            return
+        if not self.enabled:
+            return
+        base_ops = self.ops.value
+        self.metrics.merge(other.metrics)
+        self.tracer.absorb(other.tracer, op_offset=base_ops,
+                           parent_id=self.tracer.current_span_id)
+        self.ops.advance(other.ops.value)
+
     def snapshot(self) -> Dict[str, object]:
         return {
             "metrics": self.metrics.snapshot(),

@@ -117,6 +117,43 @@ class Tracer:
             self._active.pop()
             self._finished.append(record)
 
+    # -- merging -------------------------------------------------------------
+
+    def absorb(self, other: "Tracer", op_offset: int = 0,
+               parent_id: Optional[str] = None) -> None:
+        """Fold another tracer's finished spans into this one.
+
+        Deterministic re-ordering rule: the absorbed spans are renumbered
+        in their *creation* order (continuing this tracer's id sequence,
+        exactly as if they had been opened inline), appended to the
+        finished list in their *completion* order, and their op
+        timestamps shifted by ``op_offset``.  Absorbed root spans are
+        reparented under ``parent_id`` (typically the span active at
+        merge time), so a shard's ``milk.run`` tree hangs off the day's
+        ``wild.milk`` span just as a serial run's would.
+        """
+        spans = other._finished
+        if not spans:
+            return
+        mapping: Dict[str, str] = {}
+        for span in sorted(spans, key=lambda s: s.span_id):
+            mapping[span.span_id] = f"s{self._next_id:06d}"
+            self._next_id += 1
+        for span in spans:
+            remapped = (mapping.get(span.parent_id, parent_id)
+                        if span.parent_id is not None else parent_id)
+            self._finished.append(SpanRecord(
+                span_id=mapping[span.span_id],
+                name=span.name,
+                labels=span.labels,
+                parent_id=remapped,
+                start_day=span.start_day,
+                start_op=span.start_op + op_offset,
+                end_day=span.end_day,
+                end_op=span.end_op + op_offset if span.finished else span.end_op,
+                status=span.status,
+            ))
+
     # -- queries -------------------------------------------------------------
 
     @property
@@ -169,6 +206,10 @@ class NullTracer(Tracer):
     @contextmanager
     def span(self, name: str, **labels: object) -> Iterator[SpanRecord]:
         yield self._NULL_SPAN
+
+    def absorb(self, other: Tracer, op_offset: int = 0,
+               parent_id: Optional[str] = None) -> None:
+        pass
 
     @property
     def current_span(self) -> Optional[SpanRecord]:

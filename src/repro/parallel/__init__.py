@@ -1,0 +1,34 @@
+"""repro.parallel: deterministic sharded execution.
+
+The shard scheduler lets the Section-4 pipeline fan its per-day
+workload (affiliate app x country milk runs, profile-fetch queues)
+across a thread pool while keeping every export byte-identical to the
+serial run:
+
+* work is partitioned by a **stable hash** of each task's shard key
+  (same SHA-256 scheme the chaos engine uses for fault decisions), so
+  the same key always lands on the same shard;
+* each task derives its own RNG from ``(seed, *key parts)`` instead of
+  drawing from a shared stream, so TLS nonces and key material do not
+  depend on cross-task interleaving;
+* tasks run inside a **flow scope** (a contextvar naming the logical
+  task), which the chaos engine folds into its per-host sequence
+  counters so fault decisions are a function of the task, not of the
+  global arrival order;
+* results come back in **input order** regardless of which worker ran
+  them, and callers merge side effects (dataset ingestion,
+  per-task ``Observability`` contexts) in a canonical order.
+"""
+
+from repro.parallel.flow import current_flow, flow_scope
+from repro.parallel.hashing import derive_rng, derive_seed, stable_hash
+from repro.parallel.scheduler import ShardScheduler
+
+__all__ = [
+    "ShardScheduler",
+    "current_flow",
+    "derive_rng",
+    "derive_seed",
+    "flow_scope",
+    "stable_hash",
+]

@@ -1,0 +1,82 @@
+"""The deterministic shard scheduler.
+
+``ShardScheduler.run`` takes ``(shard_key, thunk)`` pairs, partitions
+them into ``shards`` buckets by :func:`stable_hash` of the key, runs
+each bucket's thunks **in input order** (buckets execute concurrently
+on a thread pool when ``shards > 1``, serially otherwise), and returns
+the results in input order.
+
+Determinism contract — why a sharded run equals the serial run:
+
+* shard assignment is a pure function of the key, so the *set* of
+  tasks sharing a bucket never depends on the shard count being 1 or N
+  — only on which keys exist;
+* tasks that share mutable state (e.g. all milk runs through one
+  country's mitm cell) must share a shard key, which serialises them
+  in input order exactly as the serial fallback would;
+* tasks that do not share state must be self-contained: own RNG
+  (:func:`repro.parallel.hashing.derive_rng`), own client, own
+  per-task ``Observability`` — the caller merges those in canonical
+  order after ``run`` returns, at which point thread interleaving has
+  no surviving trace.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, List, Sequence, Tuple, TypeVar
+
+from repro.parallel.hashing import stable_hash
+
+T = TypeVar("T")
+
+Task = Tuple[object, Callable[[], T]]
+
+
+class ShardScheduler:
+    """Partitions keyed tasks into stable-hash shards and runs them."""
+
+    def __init__(self, shards: int = 1) -> None:
+        if shards < 1:
+            raise ValueError("shards must be at least 1")
+        self.shards = shards
+
+    def shard_of(self, key: object, salt: str = "") -> int:
+        """The shard index a key lands on (stable across runs)."""
+        return stable_hash("shard", salt, key) % self.shards
+
+    def run(self, tasks: Sequence[Task], salt: str = "") -> List[T]:
+        """Execute the tasks; results come back in input order.
+
+        A raised exception in any task propagates to the caller after
+        every shard has drained (tasks are expected to capture their
+        own failures as return values).
+        """
+        results: List[T] = [None] * len(tasks)  # type: ignore[list-item]
+
+        if self.shards == 1 or len(tasks) <= 1:
+            for index, (_, thunk) in enumerate(tasks):
+                results[index] = thunk()
+            return results
+
+        buckets: List[List[Tuple[int, Callable[[], T]]]] = [
+            [] for _ in range(self.shards)]
+        for index, (key, thunk) in enumerate(tasks):
+            buckets[self.shard_of(key, salt)].append((index, thunk))
+
+        def drain(bucket: List[Tuple[int, Callable[[], T]]]) -> None:
+            for index, thunk in bucket:
+                results[index] = thunk()
+
+        occupied = [bucket for bucket in buckets if bucket]
+        with ThreadPoolExecutor(max_workers=self.shards) as pool:
+            futures = [pool.submit(drain, bucket) for bucket in occupied]
+            errors = []
+            for future in futures:
+                try:
+                    future.result()
+                except Exception as exc:  # noqa: BLE001 - re-raised below
+                    errors.append(exc)
+        if errors:
+            raise errors[0]
+        return results

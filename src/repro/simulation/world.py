@@ -113,7 +113,9 @@ class World:
                           retry_policy=retry_policy)
 
     def build_mitm(self, hostname: str = "mitm.lab.example") -> MitmProxy:
-        rng = self.seeds.rng("mitm")
+        # Seeded per hostname so several mitm proxies (one per milk
+        # cell) get independent, stable RNG streams.
+        rng = self.seeds.rng(f"mitm:{hostname}")
         address = self.fabric.asn_db.allocate(14061, rng)
         return MitmProxy(self.fabric, hostname, address, rng,
                          upstream_trust=self.public_trust,

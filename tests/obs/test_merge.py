@@ -1,0 +1,149 @@
+"""Observability.merge: the shard scheduler's determinism keystone.
+
+The wild pipeline records each sharded task into a task-local context
+and folds the contexts back in canonical order.  The contract pinned
+here is *replay equivalence*: merging task contexts in order X is
+byte-identical (via ``to_json``) to having recorded the same tasks
+inline in order X — same span ids, same parents, same op timestamps,
+same metric series.
+"""
+
+import pytest
+
+from repro.obs import NULL_OBS, Observability
+from repro.obs.export import to_json
+from repro.obs.metrics import HistogramState, MetricsRegistry
+
+
+def record_task(obs: Observability, idx: int) -> None:
+    """A representative task: a span with nested work, counters, a
+    histogram observation, and a gauge write."""
+    with obs.tracer.span("task.run", idx=idx):
+        obs.metrics.inc("task.count", idx=idx)
+        with obs.tracer.span("task.inner", idx=idx):
+            obs.metrics.inc("task.inner_ops", 2)
+        obs.metrics.observe("task.cost", 5.0 * (idx + 1))
+    obs.metrics.set_gauge("task.last_idx", idx)
+
+
+class TestReplayEquivalence:
+    def test_merge_of_parts_equals_serial_inline_export(self):
+        serial = Observability()
+        with serial.tracer.span("phase"):
+            for idx in range(3):
+                record_task(serial, idx)
+
+        parts = []
+        for idx in range(3):
+            part = Observability()
+            record_task(part, idx)
+            parts.append(part)
+        merged = Observability()
+        with merged.tracer.span("phase"):
+            for part in parts:
+                merged.merge(part)
+
+        assert to_json(merged) == to_json(serial)
+
+    def test_merge_order_controls_the_export(self):
+        parts = []
+        for idx in range(2):
+            part = Observability()
+            record_task(part, idx)
+            parts.append(part)
+        forward, backward = Observability(), Observability()
+        with forward.tracer.span("phase"):
+            for part in parts:
+                forward.merge(part)
+        with backward.tracer.span("phase"):
+            for part in reversed(parts):
+                backward.merge(part)
+        # Same totals, different replay order => different span layout.
+        assert (forward.metrics.counter_total("task.count")
+                == backward.metrics.counter_total("task.count"))
+        assert to_json(forward) != to_json(backward)
+
+    def test_absorbed_roots_hang_off_the_active_span(self):
+        part = Observability()
+        record_task(part, 0)
+        merged = Observability()
+        with merged.tracer.span("wild.milk", day=4) as phase:
+            merged.merge(part)
+        runs = merged.tracer.spans("task.run")
+        assert len(runs) == 1
+        assert runs[0].parent_id == phase.span_id
+        inner = merged.tracer.spans("task.inner")
+        assert inner[0].parent_id == runs[0].span_id
+
+    def test_op_counter_advances_by_the_part_total(self):
+        part = Observability()
+        record_task(part, 0)
+        merged = Observability()
+        before = merged.ops.value
+        merged.merge(part)
+        assert merged.ops.value == before + part.ops.value
+
+    def test_merge_into_null_obs_is_a_noop(self):
+        part = Observability()
+        record_task(part, 0)
+        NULL_OBS.merge(part)  # must not raise or record
+        assert NULL_OBS.metrics.counters() == {}
+
+    def test_merge_none_and_self_are_noops(self):
+        obs = Observability()
+        record_task(obs, 0)
+        snapshot = to_json(obs)
+        obs.merge(None)
+        obs.merge(obs)
+        assert to_json(obs) == snapshot
+
+
+class TestMetricsMerge:
+    def test_gauges_last_write_wins(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.set_gauge("g", 1)
+        b.set_gauge("g", 2)
+        target = MetricsRegistry()
+        target.merge(a)
+        target.merge(b)
+        assert target.gauges()["g"] == 2
+
+    def test_counters_sum(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.inc("c", 3, kind="x")
+        b.inc("c", 4, kind="x")
+        b.inc("c", 1, kind="y")
+        target = MetricsRegistry()
+        target.merge(a)
+        target.merge(b)
+        assert target.counter_total("c") == 8
+
+    def test_histograms_merge_counts_and_extrema(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        for value in (1.0, 100.0):
+            a.observe("h", value)
+        b.observe("h", 7.0)
+        target = MetricsRegistry()
+        target.merge(a)
+        target.merge(b)
+        state = target.histogram("h")
+        assert state.count == 3
+        assert state.minimum == 1.0 and state.maximum == 100.0
+        assert state.total == 108.0
+
+    def test_histogram_bounds_mismatch_raises(self):
+        a = HistogramState(bounds=(1.0, 2.0))
+        b = HistogramState(bounds=(1.0, 3.0))
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_quantiles_after_merge(self):
+        a, b = HistogramState(bounds=(10.0, 100.0)), HistogramState(
+            bounds=(10.0, 100.0))
+        for value in (5.0, 6.0, 7.0):
+            a.observe(value)
+        b.observe(90.0)
+        a.merge(b)
+        assert a.quantile(0.5) == 10.0  # bucket upper bound
+        assert a.quantile(1.0) == 90.0  # clamped to the recorded max
+        assert HistogramState(bounds=(1.0,)).quantile(0.5) == 0.0
