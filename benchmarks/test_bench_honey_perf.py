@@ -1,0 +1,69 @@
+"""Honey-pipeline perf bench: what TLS session resumption buys, pinned.
+
+``scripts/export_bench_obs.py`` runs the Section-3 experiment with TLS
+session resumption on and off at the bench scale; this bench asserts
+the headline claims (fabric round trips down >= 30%, resumptions
+actually happening, op-cost histograms populated, results unchanged by
+the transport) and pins the deterministic subset against the committed
+``benchmarks/snapshots/honey_obs.json`` so a round-trip regression
+cannot land silently.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SNAPSHOT = REPO_ROOT / "benchmarks" / "snapshots" / "honey_obs.json"
+
+sys.path.insert(0, str(REPO_ROOT / "scripts"))
+
+from export_bench_obs import (  # noqa: E402
+    build_honey_report,
+    deterministic_subset,
+    render,
+)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return build_honey_report()
+
+
+class TestHoneyPerf:
+    def test_resumption_cuts_round_trips_by_a_third(self, report):
+        fabric = report["fabric"]
+        assert fabric["round_trips"] < fabric["round_trips_no_resumption"]
+        assert fabric["reduction"] >= 0.30
+
+    def test_sessions_actually_resume(self, report):
+        tls = report["tls"]
+        assert tls["resumptions"] > 0
+        assert tls["handshakes"] > 0
+        assert tls["handshakes"] < tls["handshakes_no_resumption"]
+        # At bench scale the clean fabric never breaks a session.
+        assert tls["resume_failures"] == 0
+
+    def test_transport_does_not_change_results(self, report):
+        experiment = report["experiment"]
+        assert (experiment["total_installs"]
+                == experiment["total_installs_no_resumption"])
+
+    def test_op_cost_histograms_cover_every_stage(self, report):
+        op_cost = report["op_cost"]
+        assert op_cost["honey.campaign_ops"]["count"] == 3
+        assert op_cost["honey.analysis_ops"]["count"] == 1
+        assert (op_cost["honey.campaign_ops"]["p99_ops"]
+                >= op_cost["honey.campaign_ops"]["p50_ops"])
+
+    def test_matches_committed_snapshot(self, report):
+        assert SNAPSHOT.exists(), (
+            "run PYTHONPATH=src python scripts/export_bench_obs.py")
+        committed = json.loads(SNAPSHOT.read_text())
+        fresh = json.loads(render(deterministic_subset(report)))
+        assert fresh["run"] == committed["run"], (
+            "bench parameters differ from the committed snapshot; "
+            "re-run with matching REPRO_BENCH_* values")
+        assert fresh == committed

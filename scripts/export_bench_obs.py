@@ -1,27 +1,36 @@
-"""Export the wild-measurement perf bench: ``BENCH_wild.json``.
+"""Export the perf benches: ``BENCH_wild.json`` and ``BENCH_honey.json``.
 
-Runs the Section-4 pipeline twice at the bench scale — once as shipped
-(request cache on) and once with the crawler's (package, day) cache
-disabled, the pre-cache baseline — and reports what the cache bought:
-total fabric requests, the reduction fraction, cache hit rate, and the
-per-stage op-cost histogram quantiles (``wild.milk_ops`` /
+Wild (Section 4): runs the pipeline twice at the bench scale — once as
+shipped (request cache on) and once with the crawler's (package, day)
+cache disabled, the pre-cache baseline — and reports what the cache
+bought: total fabric requests, the reduction fraction, cache hit rate,
+and the per-stage op-cost histogram quantiles (``wild.milk_ops`` /
 ``wild.crawl_ops`` / ``wild.analyse_ops``).
 
-Two outputs:
+Honey (Section 3): runs the honey-app experiment twice — once with TLS
+session resumption on (shipped) and once with it off, the
+full-handshake baseline — and reports what resumption bought: fabric
+round trips, the reduction fraction, handshake vs resumption counts,
+and the ``honey.campaign_ops`` / ``honey.analysis_ops`` quantiles.
 
-* ``BENCH_wild.json`` (``--out``): the full report, including wall
-  times — informative, not deterministic, uploaded as a CI artifact.
-* ``benchmarks/snapshots/wild_obs.json`` (``--snapshot-out``): the
-  deterministic subset (no wall times), committed to the repo.
-  ``--check`` fails if a fresh run drifts from it, which gates the
-  fabric request count against silent regressions.
+Four outputs:
+
+* ``BENCH_wild.json`` / ``BENCH_honey.json`` (``--out`` /
+  ``--honey-out``): the full reports, including wall times —
+  informative, not deterministic, uploaded as CI artifacts.
+* ``benchmarks/snapshots/wild_obs.json`` /
+  ``benchmarks/snapshots/honey_obs.json`` (``--snapshot-out`` /
+  ``--honey-snapshot-out``): the deterministic subsets (no wall
+  times), committed to the repo.  ``--check`` fails if a fresh run
+  drifts from either, which gates the request counts against silent
+  regressions.
 
 Run from the repo root::
 
     PYTHONPATH=src python scripts/export_bench_obs.py
 
 Scale/seed come from the same ``REPRO_BENCH_*`` variables the
-benchmarks use; the committed snapshot records them, so a check run
+benchmarks use; the committed snapshots record them, so a check run
 under different values reports parameter drift rather than corruption.
 """
 
@@ -40,17 +49,23 @@ from repro import (
     WildScenarioConfig,
     World,
 )
+from repro.core import HoneyAppExperiment
 
 SEED = int(os.environ.get("REPRO_BENCH_SEED", "2019"))
 SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.35"))
 DAYS = int(os.environ.get("REPRO_BENCH_DAYS", "110"))
 SHARDS = int(os.environ.get("REPRO_BENCH_SHARDS", "1"))
+HONEY_INSTALLS = int(os.environ.get("REPRO_BENCH_HONEY_INSTALLS", "500"))
+HONEY_SHARDS = int(os.environ.get("REPRO_BENCH_HONEY_SHARDS", "1"))
 
 STAGE_HISTOGRAMS = ("wild.milk_ops", "wild.crawl_ops", "wild.analyse_ops")
+HONEY_STAGE_HISTOGRAMS = ("honey.campaign_ops", "honey.analysis_ops")
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_OUT = REPO_ROOT / "BENCH_wild.json"
 DEFAULT_SNAPSHOT = REPO_ROOT / "benchmarks/snapshots/wild_obs.json"
+DEFAULT_HONEY_OUT = REPO_ROOT / "BENCH_honey.json"
+DEFAULT_HONEY_SNAPSHOT = REPO_ROOT / "benchmarks/snapshots/honey_obs.json"
 
 
 def run_wild(crawl_cache: bool) -> tuple:
@@ -66,9 +81,20 @@ def run_wild(crawl_cache: bool) -> tuple:
     return world, results, elapsed
 
 
-def stage_quantiles(world) -> dict:
+def run_honey(tls_resumption: bool) -> tuple:
+    world = World(seed=SEED)
+    experiment = HoneyAppExperiment(world, installs_per_iip=HONEY_INSTALLS,
+                                    shards=HONEY_SHARDS,
+                                    tls_resumption=tls_resumption)
+    started = time.monotonic()
+    results = experiment.run()
+    elapsed = time.monotonic() - started
+    return world, results, elapsed
+
+
+def stage_quantiles(world, names=STAGE_HISTOGRAMS) -> dict:
     table = {}
-    for name in STAGE_HISTOGRAMS:
+    for name in names:
         state = world.obs.metrics.histogram(name)
         if state is None:
             table[name] = {"count": 0}
@@ -133,6 +159,52 @@ def build_report() -> dict:
     return report
 
 
+def build_honey_report() -> dict:
+    """The honey bench report: resumption on (shipped) vs off."""
+    world, results, elapsed = run_honey(tls_resumption=True)
+    base_world, base_results, base_elapsed = run_honey(tls_resumption=False)
+    total = world.obs.metrics.counter_total
+    base_total = base_world.obs.metrics.counter_total
+
+    # Every fabric round trip is one client frame plus one response.
+    round_trips = int(total("net.fabric.frames")) // 2
+    base_round_trips = int(base_total("net.fabric.frames")) // 2
+    handshakes = int(total("net.client.tls_handshakes"))
+    resumptions = int(total("net.client.tls_resumptions"))
+    deterministic = {
+        "run": {
+            "seed": SEED,
+            "installs_per_iip": HONEY_INSTALLS,
+            "shards": HONEY_SHARDS,
+        },
+        "fabric": {
+            "round_trips": round_trips,
+            "round_trips_no_resumption": base_round_trips,
+            "reduction": round(1.0 - round_trips / base_round_trips, 4),
+        },
+        "tls": {
+            "handshakes": handshakes,
+            "resumptions": resumptions,
+            "resume_failures": int(total("net.client.tls_resume_failures")),
+            "handshakes_no_resumption":
+                int(base_total("net.client.tls_handshakes")),
+        },
+        "experiment": {
+            "total_installs": results.total_installs(),
+            "displayed_installs_after": results.displayed_installs_after,
+            "enforcement_actions": results.enforcement_actions,
+            "total_installs_no_resumption": base_results.total_installs(),
+        },
+        "op_cost": stage_quantiles(world, HONEY_STAGE_HISTOGRAMS),
+    }
+    report = dict(deterministic)
+    report["wall_seconds"] = {
+        "measured": round(elapsed, 2),
+        "baseline_no_resumption": round(base_elapsed, 2),
+    }
+    return report
+
+
 def deterministic_subset(report: dict) -> dict:
     return {key: value for key, value in report.items()
             if key != "wall_seconds"}
@@ -142,36 +214,51 @@ def render(snapshot: dict) -> str:
     return json.dumps(snapshot, indent=1, sort_keys=True) + "\n"
 
 
-def main() -> int:
-    parser = argparse.ArgumentParser()
-    parser.add_argument("--out", type=Path, default=DEFAULT_OUT,
-                        help="full bench report (with wall times)")
-    parser.add_argument("--snapshot-out", type=Path, default=DEFAULT_SNAPSHOT,
-                        help="deterministic subset, committed to the repo")
-    parser.add_argument("--check", action="store_true",
-                        help="fail (exit 1) if the committed snapshot "
-                             "does not match a fresh run")
-    args = parser.parse_args()
-    report = build_report()
+def _emit(label: str, report: dict, out: Path, snapshot_out: Path,
+          check: bool) -> int:
     rendered_snapshot = render(deterministic_subset(report))
-    if args.check:
-        committed = (args.snapshot_out.read_text()
-                     if args.snapshot_out.exists() else "")
+    if check:
+        committed = snapshot_out.read_text() if snapshot_out.exists() else ""
         if committed != rendered_snapshot:
-            print(f"wild perf snapshot drift: {args.snapshot_out} does not "
+            print(f"{label} perf snapshot drift: {snapshot_out} does not "
                   "match this revision "
                   "(re-run scripts/export_bench_obs.py)")
             return 1
-        print(f"wild perf snapshot up to date: {args.snapshot_out}")
-        args.out.write_text(render(report))
-        print(f"wrote {args.out}")
-        return 0
-    args.snapshot_out.parent.mkdir(parents=True, exist_ok=True)
-    args.snapshot_out.write_text(rendered_snapshot)
-    args.out.write_text(render(report))
-    print(f"wrote {args.snapshot_out}")
-    print(f"wrote {args.out}")
+        print(f"{label} perf snapshot up to date: {snapshot_out}")
+    else:
+        snapshot_out.parent.mkdir(parents=True, exist_ok=True)
+        snapshot_out.write_text(rendered_snapshot)
+        print(f"wrote {snapshot_out}")
+    out.write_text(render(report))
+    print(f"wrote {out}")
     return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT,
+                        help="full wild bench report (with wall times)")
+    parser.add_argument("--snapshot-out", type=Path, default=DEFAULT_SNAPSHOT,
+                        help="deterministic wild subset, committed")
+    parser.add_argument("--honey-out", type=Path, default=DEFAULT_HONEY_OUT,
+                        help="full honey bench report (with wall times)")
+    parser.add_argument("--honey-snapshot-out", type=Path,
+                        default=DEFAULT_HONEY_SNAPSHOT,
+                        help="deterministic honey subset, committed")
+    parser.add_argument("--check", action="store_true",
+                        help="fail (exit 1) if a committed snapshot "
+                             "does not match a fresh run")
+    parser.add_argument("--only", choices=("wild", "honey"),
+                        help="export just one bench")
+    args = parser.parse_args()
+    status = 0
+    if args.only in (None, "wild"):
+        status |= _emit("wild", build_report(), args.out,
+                        args.snapshot_out, args.check)
+    if args.only in (None, "honey"):
+        status |= _emit("honey", build_honey_report(), args.honey_out,
+                        args.honey_snapshot_out, args.check)
+    return status
 
 
 if __name__ == "__main__":

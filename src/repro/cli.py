@@ -29,6 +29,23 @@ def _add_honey(subparsers) -> None:
     parser = subparsers.add_parser(
         "honey", help="run the Section-3 honey-app experiment")
     parser.add_argument("--seed", type=int, default=2019)
+    parser.add_argument("--installs-per-iip", type=int, default=None,
+                        help="installs to purchase from each IIP "
+                             "(default: the paper's 500)")
+    parser.add_argument("--shards", type=int, default=1,
+                        help="worker shards for the three IIP campaigns; "
+                             "any value yields byte-identical results at "
+                             "the same seed (default: 1, serial)")
+    parser.add_argument("--no-tls-resumption", action="store_true",
+                        help="disable the TLS session cache (every "
+                             "telemetry upload pays a full handshake)")
+    parser.add_argument("--chaos-profile", default="off",
+                        choices=("off", "mild", "paper", "harsh"),
+                        help="inject deterministic network faults at the "
+                             "named intensity (default: off)")
+    parser.add_argument("--chaos-seed", type=int, default=None,
+                        help="seed for the fault schedule (defaults to "
+                             "--seed); same seed => identical faults")
 
 
 def _add_wild(subparsers) -> None:
@@ -139,8 +156,17 @@ def _cmd_tables() -> int:
 
 def _cmd_honey(args) -> int:
     from repro import HoneyAppExperiment, World
-    world = World(seed=args.seed)
-    results = HoneyAppExperiment(world).run()
+    from repro.net.chaos import ChaosScenario
+    from repro.simulation import paperdata
+    chaos_seed = args.chaos_seed if args.chaos_seed is not None else args.seed
+    chaos = ChaosScenario.profile(args.chaos_profile, seed=chaos_seed)
+    world = World(seed=args.seed, chaos=chaos)
+    installs = (args.installs_per_iip if args.installs_per_iip is not None
+                else paperdata.HONEY_INSTALLS_PURCHASED)
+    experiment = HoneyAppExperiment(
+        world, installs_per_iip=installs, shards=args.shards,
+        tls_resumption=not args.no_tls_resumption)
+    results = experiment.run()
     print(reports.render_honey_report(results))
     return _maybe_dump_metrics(args, world.obs)
 

@@ -7,6 +7,14 @@ each in non-overlapping windows, and lets the sampled crowd-worker
 populations work the offers.  Every open/click travels as real HTTPS
 telemetry to the collection server; the analysis then joins telemetry
 with developer-console analytics exactly as the paper does.
+
+The three campaigns run as :class:`~repro.parallel.ShardScheduler`
+tasks keyed by IIP name.  Each campaign owns a *cell* — its derived RNG
+streams, its namespaced :class:`PopulationBuilder`, and its TLS session
+cache — plus a task-local observability context, so campaigns share
+nothing mutable but the locked ledgers.  Results and obs are merged
+post-barrier in ``_CAMPAIGN_ORDER``, which keeps ``repro honey
+--shards N`` byte-identical to the serial run at the same seed.
 """
 
 from __future__ import annotations
@@ -19,6 +27,9 @@ from repro.honeyapp.analysis import CampaignWindow, HoneyExperimentAnalysis
 from repro.honeyapp.app import HONEY_PACKAGE, HONEY_TITLE, HoneyApp
 from repro.iip.offers import OfferCategory, tasks_for
 from repro.iip.platform import DeveloperCredentials
+from repro.net.client import TlsSessionCache
+from repro.obs import Observability
+from repro.parallel import ShardScheduler, derive_rng, flow_scope
 from repro.playstore.catalog import AppListing, Developer
 from repro.playstore.ledger import InstallSource
 from repro.playstore.policy import CampaignSignals
@@ -35,9 +46,27 @@ _START_DAYS = {"Fyber": 2, "ayeT-Studios": 8, "RankApp": 14}
 _WINDOW_DAYS = {"Fyber": 4, "ayeT-Studios": 4, "RankApp": 5}
 _PAYOUTS = {"Fyber": 0.10, "ayeT-Studios": 0.05, "RankApp": 0.02}
 
+#: Bucket bounds (in obs ops) for the honey op-cost histograms — same
+#: log-ish spacing as the wild stage histograms, for the same reason:
+#: campaign costs span orders of magnitude between test and bench scale.
+STAGE_OP_BOUNDS: Tuple[float, ...] = (
+    100.0, 300.0, 1_000.0, 3_000.0, 10_000.0, 30_000.0,
+    100_000.0, 300_000.0, 1_000_000.0)
+
+#: The op-cost histogram per pipeline stage.
+STAGE_HISTOGRAMS: Tuple[str, ...] = ("honey.campaign_ops", "honey.analysis_ops")
+
+
+def _campaign_slug(iip_name: str) -> str:
+    """A lowercase id-safe namespace for one campaign cell."""
+    return "".join(ch if ch.isalnum() or ch == "-" else "-"
+                   for ch in iip_name.lower())
+
 
 def _mix_for(iip_name: str, delivered: int) -> IIPUserMix:
     """Behaviour/device mixture calibrated from Section 3's findings."""
+    if delivered <= 0:
+        raise ValueError("mix requires at least one delivered install")
     click_rate = paperdata.HONEY_CLICK_RATE[iip_name]
     open_rate = 1.0 - paperdata.HONEY_MISSING_TELEMETRY[iip_name]
     behavior = WorkerBehavior(
@@ -77,6 +106,32 @@ class HoneyCampaignRecord:
     total_cost_usd: float
 
 
+class _CampaignCell:
+    """Everything mutable that exactly one campaign touches.
+
+    RNG streams are derived from ``(campaign seed, slug, part)`` rather
+    than drawn from a shared sequence, so a campaign's behaviour, its
+    population, and its TLS handshake bytes depend only on its own key
+    — never on which other campaigns ran first or concurrently.  The
+    TLS stream is split from the behaviour stream so that toggling
+    session resumption (which changes how many handshake draws happen)
+    cannot perturb worker behaviour.
+    """
+
+    def __init__(self, world: World, iip_name: str,
+                 tls_resumption: bool) -> None:
+        self.iip_name = iip_name
+        slug = _campaign_slug(iip_name)
+        base = world.seeds.seed_for("honey-campaign")
+        self.rng = derive_rng(base, slug, "behavior")
+        self.tls_rng = derive_rng(base, slug, "tls")
+        self.population = PopulationBuilder(
+            world.fabric.asn_db, derive_rng(base, slug, "population"),
+            affiliate_catalog=ALL_AFFILIATE_PACKAGES, namespace=slug)
+        self.sessions: Optional[TlsSessionCache] = (
+            TlsSessionCache() if tls_resumption else None)
+
+
 @dataclass
 class HoneyExperimentResults:
     analysis: HoneyExperimentAnalysis
@@ -91,18 +146,35 @@ class HoneyExperimentResults:
 
 
 class HoneyAppExperiment:
-    """Runs the whole Section-3 experiment inside a world."""
+    """Runs the whole Section-3 experiment inside a world.
+
+    ``shards`` fans the three IIP campaigns across a thread pool (1 =
+    serial in-thread; any value is byte-identical at the same seed).
+    ``tls_resumption`` gives each campaign cell a TLS session cache so
+    repeat telemetry uploads skip the handshake round trips.
+    """
 
     def __init__(self, world: World,
-                 installs_per_iip: int = paperdata.HONEY_INSTALLS_PURCHASED
+                 installs_per_iip: int = paperdata.HONEY_INSTALLS_PURCHASED,
+                 shards: int = 1,
+                 tls_resumption: bool = True,
                  ) -> None:
         self.world = world
         self.installs_per_iip = installs_per_iip
-        self._rng = world.seeds.rng("honey-experiment")
-        self._population = PopulationBuilder(
-            world.fabric.asn_db, world.seeds.rng("honey-population"),
-            affiliate_catalog=ALL_AFFILIATE_PACKAGES)
+        self.shards = shards
+        self._scheduler = ShardScheduler(shards)
+        self._cells = {iip_name: _CampaignCell(world, iip_name, tls_resumption)
+                       for iip_name in _CAMPAIGN_ORDER}
+        self._declare_stage_histograms()
         self._publish_listing()
+
+    def _declare_stage_histograms(self) -> None:
+        metrics = self.world.obs.metrics
+        for name in STAGE_HISTOGRAMS:
+            try:
+                metrics.declare_histogram(name, STAGE_OP_BOUNDS)
+            except ValueError:
+                pass  # an earlier experiment on this world already did
 
     def _publish_listing(self) -> None:
         developer = Developer(
@@ -127,9 +199,16 @@ class HoneyAppExperiment:
         console_installs: Dict[str, int] = {}
         install_days: Dict[str, List[Tuple[int, float]]] = {}
         with tracer.span("honey.run"):
-            for iip_name in _CAMPAIGN_ORDER:
-                with tracer.span("honey.campaign", iip=iip_name):
-                    record, timestamps = self._run_campaign(iip_name)
+            tasks = [(iip_name, self._make_campaign_task(iip_name))
+                     for iip_name in _CAMPAIGN_ORDER]
+            results = self._scheduler.run(tasks, salt="honey")
+            # Merge in canonical campaign order: task obs absorb under
+            # the honey.run span, then the per-campaign roll-ups — no
+            # trace of shard timing survives the barrier.
+            for iip_name, outcome in zip(_CAMPAIGN_ORDER, results):
+                record, timestamps, task_obs, campaign_ops = outcome
+                self.world.obs.merge(task_obs)
+                metrics.observe("honey.campaign_ops", campaign_ops)
                 metrics.inc("core.honey.installs_delivered",
                             record.delivered, iip=iip_name)
                 metrics.inc("core.honey.completions_paid",
@@ -140,10 +219,11 @@ class HoneyAppExperiment:
                 install_days[record.campaign_id] = timestamps
             last_day = max(w.end_day for w in windows) + 1
             after = store.displayed_installs(HONEY_PACKAGE, last_day + 30)
-            with tracer.span("honey.analysis"):
+            with tracer.span("honey.analysis") as span:
                 analysis = HoneyExperimentAnalysis(
                     windows, self.world.telemetry, console_installs,
                     install_days)
+            metrics.observe("honey.analysis_ops", span.duration_ops)
         total_cost = sum(record.total_cost_usd for record in records)
         total_installs = sum(record.delivered for record in records)
         return HoneyExperimentResults(
@@ -158,10 +238,29 @@ class HoneyAppExperiment:
 
     # ------------------------------------------------------------------
 
-    def _run_campaign(self, iip_name: str
+    def _make_campaign_task(self, iip_name: str):
+        """One self-contained campaign run: its own cell, observability
+        context, and chaos flow scope.  Returns the campaign record, the
+        install timestamps, the task obs (merged post-barrier), and the
+        campaign's op cost."""
+        cell = self._cells[iip_name]
+
+        def task():
+            task_obs = Observability(clock=self.world.clock.now)
+            with flow_scope(f"honey:{iip_name}"):
+                with task_obs.tracer.span("honey.campaign",
+                                          iip=iip_name) as span:
+                    record, timestamps = self._run_campaign(
+                        iip_name, cell, task_obs)
+            return record, timestamps, task_obs, span.duration_ops
+
+        return task
+
+    def _run_campaign(self, iip_name: str, cell: _CampaignCell,
+                      task_obs: Observability
                       ) -> Tuple[HoneyCampaignRecord, List[Tuple[int, float]]]:
         world = self.world
-        rng = self._rng
+        rng = cell.rng
         platform = world.platforms[iip_name]
         start_day = _START_DAYS[iip_name]
         end_day = start_day + _WINDOW_DAYS[iip_name] - 1
@@ -193,54 +292,64 @@ class HoneyAppExperiment:
         delivered = round(purchased
                           * paperdata.HONEY_DELIVERED[iip_name]
                           / paperdata.HONEY_INSTALLS_PURCHASED)
-        mix = _mix_for(iip_name, delivered)
-        sample = self._population.build(mix, delivered,
-                                        trust_store=world.device_trust_store())
         delivery_hours = paperdata.HONEY_DELIVERY_HOURS[iip_name]
         affiliate = platform.affiliate_ids[0] if platform.affiliate_ids else "direct"
         timestamps: List[Tuple[int, float]] = []
         opened = 0
         paid = 0
-        for worker in sample.workers:
-            offset = rng.uniform(0.0, delivery_hours)
-            day = start_day + int((8.0 + offset) // 24.0)
-            hour = (8.0 + offset) % 24.0
-            result = worker.work_offer(campaign.offer, day, rng)
-            world.store.record_install(HONEY_PACKAGE, day,
-                                       InstallSource.INCENTIVIZED,
-                                       campaign_id=campaign.campaign_id)
-            timestamps.append((day, hour))
-            if result.opened:
-                opened += 1
-                app = HoneyApp(worker.device,
-                               world.client_for(worker.device, rng))
-                app.open(day, hour)
-                if result.engaged_beyond_task:
-                    app.click_record(day, min(23.99, hour + 0.05))
-                if result.returned_next_day:
-                    return_hour = rng.uniform(8.0, 20.0)
-                    app.open(day + 1, return_hour)
-                    app.click_record(day + 1, min(23.99, return_hour + 0.02))
-            if result.completed:
-                disbursement = platform.complete_offer(
-                    campaign.offer.offer_id, worker.device.device_id, day,
-                    affiliate_id=affiliate, user_id=worker.worker_id,
-                    tasks_completed=result.tasks_completed)
-                if disbursement is not None:
-                    paid += 1
-        emulator_count = sum(
-            worker.device.profile.is_emulator for worker in sample.workers)
-        signals = CampaignSignals(
-            campaign_id=campaign.campaign_id,
-            package=HONEY_PACKAGE,
-            installs_delivered=delivered,
-            open_rate=opened / delivered if delivered else 1.0,
-            emulator_rate=emulator_count / delivered if delivered else 0.0,
-            delivery_hours=delivery_hours,
-            end_day=end_day,
-        )
-        world.store.review_campaign(signals, end_day + 3,
-                                    world.seeds.rng(f"honey-enforce:{iip_name}"))
+        emulator_count = 0
+        # A tiny purchase can round to zero delivered installs; there is
+        # then no population to build (the builder rejects count == 0),
+        # no open rate to measure, and nothing for policy to review.
+        if delivered > 0:
+            mix = _mix_for(iip_name, delivered)
+            sample = cell.population.build(
+                mix, delivered, trust_store=world.device_trust_store())
+            for worker in sample.workers:
+                offset = rng.uniform(0.0, delivery_hours)
+                day = start_day + int((8.0 + offset) // 24.0)
+                hour = (8.0 + offset) % 24.0
+                result = worker.work_offer(campaign.offer, day, rng)
+                world.store.record_install(HONEY_PACKAGE, day,
+                                           InstallSource.INCENTIVIZED,
+                                           campaign_id=campaign.campaign_id)
+                timestamps.append((day, hour))
+                if result.opened:
+                    opened += 1
+                    app = HoneyApp(worker.device,
+                                   world.client_for(
+                                       worker.device, rng=cell.tls_rng,
+                                       obs=task_obs,
+                                       session_cache=cell.sessions,
+                                       today=day))
+                    app.open(day, hour)
+                    if result.engaged_beyond_task:
+                        app.click_record(day, min(23.99, hour + 0.05))
+                    if result.returned_next_day:
+                        return_hour = rng.uniform(8.0, 20.0)
+                        app.open(day + 1, return_hour)
+                        app.click_record(day + 1, min(23.99, return_hour + 0.02))
+                if result.completed:
+                    disbursement = platform.complete_offer(
+                        campaign.offer.offer_id, worker.device.device_id, day,
+                        affiliate_id=affiliate, user_id=worker.worker_id,
+                        tasks_completed=result.tasks_completed)
+                    if disbursement is not None:
+                        paid += 1
+            emulator_count = sum(
+                worker.device.profile.is_emulator for worker in sample.workers)
+            signals = CampaignSignals(
+                campaign_id=campaign.campaign_id,
+                package=HONEY_PACKAGE,
+                installs_delivered=delivered,
+                open_rate=opened / delivered,
+                emulator_rate=emulator_count / delivered,
+                delivery_hours=delivery_hours,
+                end_day=end_day,
+            )
+            world.store.review_campaign(
+                signals, end_day + 3,
+                world.seeds.rng(f"honey-enforce:{iip_name}"))
         total_cost = cost * paid
         record = HoneyCampaignRecord(
             iip_name=iip_name,

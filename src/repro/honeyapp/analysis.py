@@ -120,9 +120,20 @@ class HoneyExperimentAnalysis:
         return None
 
     def _assign_devices(self) -> None:
-        """Attribute each telemetry device to the window of its first event."""
+        """Attribute each telemetry device to the window of its first event.
+
+        Events are walked in canonical ``(day, hour, device, event)``
+        order, not server arrival order: concurrent campaign shards
+        interleave uploads nondeterministically, and the analysis must
+        not depend on which shard's packet landed first.
+        """
         first_event: Dict[str, StoredEvent] = {}
-        for stored in self._telemetry.events:
+        ordered = sorted(
+            self._telemetry.events,
+            key=lambda stored: (stored.payload.day, stored.payload.hour,
+                                stored.payload.device_id,
+                                stored.payload.event))
+        for stored in ordered:
             device_id = stored.payload.device_id
             self._device_events[device_id].append(stored)
             current = first_event.get(device_id)

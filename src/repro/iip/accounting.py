@@ -9,6 +9,7 @@ exactly that waterfall and the tests assert conservation.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, List
 
@@ -59,13 +60,23 @@ class Disbursement:
 
 
 class MoneyLedger:
-    """All wallets plus an append-only transfer log."""
+    """All wallets plus an append-only transfer log.
+
+    Transfers are serialised under a lock: campaign cells running on
+    different shards share the developer and mediator wallets, and
+    balances are float read-modify-writes.
+    """
 
     def __init__(self) -> None:
+        self._lock = threading.Lock()
         self._wallets: Dict[str, Wallet] = {}
         self.entries: List[LedgerEntry] = []
 
     def wallet(self, owner: str) -> Wallet:
+        with self._lock:
+            return self._wallet_locked(owner)
+
+    def _wallet_locked(self, owner: str) -> Wallet:
         found = self._wallets.get(owner)
         if found is None:
             found = Wallet(owner=owner)
@@ -74,20 +85,22 @@ class MoneyLedger:
 
     def mint(self, owner: str, amount: float, day: int, memo: str = "external deposit") -> None:
         """Money entering the system from outside (developer's bank)."""
-        self.wallet(owner).deposit(amount)
-        self.entries.append(LedgerEntry(day=day, source="<external>",
-                                        destination=owner,
-                                        amount_usd=amount, memo=memo))
+        with self._lock:
+            self._wallet_locked(owner).deposit(amount)
+            self.entries.append(LedgerEntry(day=day, source="<external>",
+                                            destination=owner,
+                                            amount_usd=amount, memo=memo))
 
     def transfer(self, source: str, destination: str, amount: float,
                  day: int, memo: str) -> None:
         if amount < 0:
             raise ValueError("negative transfer")
-        self.wallet(source).withdraw(amount)
-        self.wallet(destination).deposit(amount)
-        self.entries.append(LedgerEntry(day=day, source=source,
-                                        destination=destination,
-                                        amount_usd=amount, memo=memo))
+        with self._lock:
+            self._wallet_locked(source).withdraw(amount)
+            self._wallet_locked(destination).deposit(amount)
+            self.entries.append(LedgerEntry(day=day, source=source,
+                                            destination=destination,
+                                            amount_usd=amount, memo=memo))
 
     def total_received(self, owner: str) -> float:
         return sum(entry.amount_usd for entry in self.entries

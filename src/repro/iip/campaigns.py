@@ -30,8 +30,8 @@ class Campaign:
     launch_day: Optional[int] = None
 
     def __post_init__(self) -> None:
-        if self.installs_purchased <= 0:
-            raise ValueError("must purchase at least one install")
+        if self.installs_purchased < 0:
+            raise ValueError("cannot purchase a negative install count")
         if self.advertiser_cost_per_install_usd < self.offer.payout_usd:
             raise ValueError("advertiser cost below user payout")
 

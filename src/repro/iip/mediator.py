@@ -9,6 +9,7 @@ the default fee here.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
@@ -32,20 +33,24 @@ class AttributionMediator:
                  fee_per_user_usd: float = DEFAULT_FEE_PER_USER_USD) -> None:
         self.name = name
         self.fee_per_user_usd = fee_per_user_usd
+        self._lock = threading.Lock()
         self._conversions: List[Conversion] = []
         self._seen: Set[Tuple[str, str]] = set()  # (offer, device) dedup
 
     def report_completion(self, offer_id: str, device_id: str, day: int,
                           tasks_completed: Tuple[str, ...]) -> Optional[Conversion]:
         """SDK postback.  Duplicate (offer, device) pairs are rejected --
-        attribution services dedup so one device cannot be paid twice."""
+        attribution services dedup so one device cannot be paid twice.
+        The check-then-add runs under a lock: postbacks arrive from
+        concurrent campaign shards."""
         key = (offer_id, device_id)
-        if key in self._seen:
-            return None
-        self._seen.add(key)
-        conversion = Conversion(offer_id=offer_id, device_id=device_id,
-                                day=day, tasks_completed=tasks_completed)
-        self._conversions.append(conversion)
+        with self._lock:
+            if key in self._seen:
+                return None
+            self._seen.add(key)
+            conversion = Conversion(offer_id=offer_id, device_id=device_id,
+                                    day=day, tasks_completed=tasks_completed)
+            self._conversions.append(conversion)
         return conversion
 
     def certify(self, offer_id: str, device_id: str) -> bool:

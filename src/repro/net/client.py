@@ -15,6 +15,7 @@ off, so un-wired call sites behave exactly as before.
 from __future__ import annotations
 
 import random
+import threading
 from typing import Dict, Mapping, Optional, Tuple
 
 from repro.net.errors import (
@@ -31,6 +32,7 @@ from repro.net.http import HttpRequest, HttpResponse
 from repro.net.server import HTTPS_PORT
 from repro.net.tls import TlsClientSession, TrustStore
 from repro.obs import Observability
+from repro.parallel.flow import current_flow
 
 #: Response statuses worth retrying (rate limits and server-side faults).
 RETRIABLE_STATUSES: Tuple[int, ...] = (429, 500, 502, 503, 504)
@@ -149,6 +151,75 @@ class CircuitBreaker:
                 metrics.inc("net.client.circuit_opened", host=host)
 
 
+class _SessionEntry:
+    __slots__ = ("day", "ticket", "enc_key", "mac_key", "uses")
+
+    def __init__(self, day: int, ticket: bytes,
+                 enc_key: bytes, mac_key: bytes) -> None:
+        self.day = day
+        self.ticket = ticket
+        self.enc_key = enc_key
+        self.mac_key = mac_key
+        self.uses = 0
+
+
+class TlsSessionCache:
+    """Deterministic TLS session-ticket cache keyed ``(host, day, flow)``.
+
+    The first request to a host performs the full two-round-trip
+    handshake and deposits the minted ticket plus the derived base
+    record keys; later same-day requests under the same flow resume in
+    a single flight.  Entries roll over with the simulation day and are
+    dropped on connection faults, failed resumptions, and circuit
+    opens, so chaos profiles still exercise fresh handshakes.
+
+    Keys (never wall-clock state) come from the original handshake
+    transcript, so a cache shared across shard tasks — each task keyed
+    by its own flow — cannot leak bytes between tasks.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._entries: Dict[Tuple[str, str], _SessionEntry] = {}
+
+    def checkout(self, host: str, day: int,
+                 flow: str) -> Optional[Tuple[bytes, bytes, bytes, int]]:
+        """Claim one resumption: ``(ticket, enc_key, mac_key, counter)``.
+
+        A day mismatch evicts the entry (rollover invalidation) and
+        returns ``None`` so the caller re-handshakes.
+        """
+        key = (host, flow)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return None
+            if entry.day != day:
+                del self._entries[key]
+                return None
+            entry.uses += 1
+            return (entry.ticket, entry.enc_key, entry.mac_key, entry.uses)
+
+    def store(self, host: str, day: int, flow: str, ticket: bytes,
+              enc_key: bytes, mac_key: bytes) -> None:
+        with self._lock:
+            self._entries[(host, flow)] = _SessionEntry(
+                day, ticket, enc_key, mac_key)
+
+    def invalidate(self, host: str, flow: str) -> None:
+        with self._lock:
+            self._entries.pop((host, flow), None)
+
+    def invalidate_host(self, host: str) -> None:
+        with self._lock:
+            for key in [k for k in self._entries if k[0] == host]:
+                del self._entries[key]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
 class HttpClient:
     """One logical client device/process on the network.
 
@@ -178,6 +249,11 @@ class HttpClient:
     breaker:
         Optional :class:`CircuitBreaker` shared across requests (and
         possibly across clients) to quarantine failing hosts.
+    session_cache:
+        Optional :class:`TlsSessionCache`; when set, repeat HTTPS
+        requests to a host resume the TLS session (one round trip)
+        instead of re-handshaking (two).  Defaults to off, preserving
+        the exact wire behaviour of un-wired call sites.
     """
 
     def __init__(
@@ -192,6 +268,7 @@ class HttpClient:
         obs: Optional[Observability] = None,
         retry_policy: Optional[RetryPolicy] = None,
         breaker: Optional[CircuitBreaker] = None,
+        session_cache: Optional[TlsSessionCache] = None,
     ) -> None:
         self.fabric = fabric
         self.endpoint = endpoint
@@ -203,12 +280,14 @@ class HttpClient:
         self.obs = obs or fabric.obs
         self.retry_policy = retry_policy
         self.breaker = breaker
+        self.session_cache = session_cache
         if breaker is not None and breaker.obs is None:
             breaker.obs = self.obs
 
     def for_task(self, rng: random.Random,
                  obs: Optional[Observability] = None,
-                 breaker: Optional[CircuitBreaker] = None) -> "HttpClient":
+                 breaker: Optional[CircuitBreaker] = None,
+                 session_cache: Optional[TlsSessionCache] = None) -> "HttpClient":
         """A task-local clone for sharded execution.
 
         Shares the endpoint, trust store, proxy, pins, and retry policy
@@ -216,13 +295,15 @@ class HttpClient:
         the task key via :func:`repro.parallel.hashing.derive_rng`, so
         TLS handshake bytes do not depend on which other tasks ran
         first — plus its own observability context and (optionally) its
-        own breaker, keeping circuit state shard-local.
+        own breaker and session cache, keeping circuit and resumption
+        state shard-local.
         """
         return HttpClient(
             self.fabric, self.endpoint, self.trust_store, rng,
             proxy=self.proxy, pinned_fingerprints=self.pinned_fingerprints,
             today=self.today, obs=obs or self.obs,
-            retry_policy=self.retry_policy, breaker=breaker)
+            retry_policy=self.retry_policy, breaker=breaker,
+            session_cache=session_cache or self.session_cache)
 
     # -- public API ----------------------------------------------------------
 
@@ -269,7 +350,7 @@ class HttpClient:
                 metrics.inc("net.client.request_failures", host=host,
                             error=type(exc).__name__)
                 if self.breaker is not None:
-                    self.breaker.record_failure(host)
+                    self._breaker_failure(host)
                 last_attempt = attempt == attempts - 1
                 if (policy is None or last_attempt
                         or not policy.retriable_error(exc)):
@@ -284,19 +365,27 @@ class HttpClient:
                     metrics.inc("net.client.retried_statuses", host=host,
                                 status=str(response.status))
                     if self.breaker is not None:
-                        self.breaker.record_failure(host)
+                        self._breaker_failure(host)
                     continue
                 # Out of attempts on a retriable status: hand the caller
                 # the response, but account the exhaustion as a failure.
                 metrics.inc("net.client.gave_up", host=host)
                 if self.breaker is not None:
-                    self.breaker.record_failure(host)
+                    self._breaker_failure(host)
                 return response
             if self.breaker is not None:
                 self.breaker.record_success(host)
             return response
         assert response is not None  # loop always returns or raises
         return response
+
+    def _breaker_failure(self, host: str) -> None:
+        """Record a breaker failure; an open quarantine flushes the
+        host's resumption state so the eventual probe re-handshakes."""
+        assert self.breaker is not None
+        self.breaker.record_failure(host)
+        if self.session_cache is not None and self.breaker.is_open(host):
+            self.session_cache.invalidate_host(host)
 
     def _charge_backoff(self, attempt: int) -> None:
         """Deterministic backoff: burn op ticks instead of wall time."""
@@ -312,10 +401,14 @@ class HttpClient:
 
     def _send_direct(self, host: str, port: int,
                      request: HttpRequest) -> HttpResponse:
-        connection = self.fabric.connect(self.endpoint, host, port)
         try:
-            session = self._handshake(connection, host)
-            return HttpResponse.from_bytes(session.send(request.to_bytes()))
+            connection = self.fabric.connect(self.endpoint, host, port)
+        except NetError:
+            if self.session_cache is not None:
+                self.session_cache.invalidate_host(host)
+            raise
+        try:
+            return self._secure_send(connection, host, request)
         finally:
             connection.close()
 
@@ -344,10 +437,49 @@ class HttpClient:
                 self.obs.metrics.inc("net.client.proxy_refusals", host=host)
                 raise HttpProtocolError(
                     f"proxy refused CONNECT to {host}:{port}: {reply.status}")
-            session = self._handshake(connection, host)
-            return HttpResponse.from_bytes(session.send(request.to_bytes()))
+            return self._secure_send(connection, host, request)
         finally:
             connection.close()
+
+    def _secure_send(self, connection, host: str,
+                     request: HttpRequest) -> HttpResponse:
+        """Resume the TLS session when the cache holds a same-day ticket,
+        otherwise handshake in full (and bank the ticket for next time)."""
+        metrics = self.obs.metrics
+        cache = self.session_cache
+        flow = (current_flow() or "") if cache is not None else ""
+        claimed = (cache.checkout(host, self.today, flow)
+                   if cache is not None else None)
+        if claimed is not None:
+            assert cache is not None
+            ticket, enc_key, mac_key, counter = claimed
+            session = TlsClientSession.resume(
+                connection, host, ticket, enc_key, mac_key, counter)
+            try:
+                response = HttpResponse.from_bytes(
+                    session.send(request.to_bytes()))
+            except TlsError as exc:
+                metrics.inc("net.client.tls_resume_failures", host=host,
+                            error=type(exc).__name__)
+                cache.invalidate(host, flow)
+                raise
+            except NetError:
+                cache.invalidate_host(host)
+                raise
+            metrics.inc("net.client.tls_resumptions", host=host)
+            return response
+        session = self._handshake(connection, host)
+        if (cache is not None and session.session_ticket is not None
+                and session.base_keys is not None):
+            enc_key, mac_key = session.base_keys
+            cache.store(host, self.today, flow,
+                        session.session_ticket, enc_key, mac_key)
+        try:
+            return HttpResponse.from_bytes(session.send(request.to_bytes()))
+        except NetError:
+            if cache is not None:
+                cache.invalidate_host(host)
+            raise
 
     # -- instrumentation -------------------------------------------------------
 
@@ -380,5 +512,6 @@ __all__ = [
     "RETRIABLE_STATUSES",
     "RetryPolicy",
     "TlsError",
+    "TlsSessionCache",
     "TransientNetworkError",
 ]

@@ -18,7 +18,7 @@ from repro.net.errors import HttpProtocolError
 from repro.net.fabric import ConnectionHandler, ConnectionInfo, NetworkFabric
 from repro.net.http import HttpRequest, HttpResponse
 from repro.net.ip import IPv4Address
-from repro.net.tls import ServerIdentity, TlsServerHandler
+from repro.net.tls import ServerIdentity, ServerSessionStore, TlsServerHandler
 from repro.obs import NULL_OBS, Observability
 
 HTTPS_PORT = 443
@@ -171,6 +171,9 @@ class HttpsServer:
         self.identity = identity
         self.router = Router()
         self.obs = obs or fabric.obs
+        # Session tickets this server has minted; lets clients resume
+        # and skip both handshake round trips on repeat visits.
+        self.sessions = ServerSessionStore()
         fabric.register_host(hostname, address)
         fabric.listen(
             hostname,
@@ -182,5 +185,6 @@ class HttpsServer:
                                                          self.obs,
                                                          chaos=fabric.chaos),
                 rng,
+                session_store=self.sessions,
             ),
         )

@@ -18,8 +18,9 @@ from __future__ import annotations
 
 import json
 import random
+import threading
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.net import crypto
 from repro.net.errors import (
@@ -31,8 +32,10 @@ from repro.net.fabric import Connection, ConnectionHandler, ConnectionInfo
 
 _HANDSHAKE_MAGIC = b"TLSH"
 _RECORD_MAGIC = b"TLSR"
+_RESUME_MAGIC = b"TLSS"
 _MAC_LEN = 32
 _KEY_BITS = 256  # tiny keys: handshakes must be fast inside tests
+_TICKET_LEN = 16
 
 
 @dataclass(frozen=True)
@@ -281,6 +284,60 @@ def is_record_bytes(data: bytes) -> bool:
     return data[:4] == _RECORD_MAGIC
 
 
+def is_resume_bytes(data: bytes) -> bool:
+    return data[:4] == _RESUME_MAGIC
+
+
+# ---------------------------------------------------------------------------
+# Session resumption
+# ---------------------------------------------------------------------------
+#
+# A compressed session-ticket scheme.  When the server carries a
+# :class:`ServerSessionStore`, its ``server_finished`` message includes a
+# ticket bound (by HMAC) to the record keys both sides just derived.  A
+# client holding the ticket and the base keys can later send a single
+# ``TLSS`` flight — ticket, a resumption counter, and its first sealed
+# record — skipping both handshake round trips.  Every quantity involved
+# is a pure function of the original handshake transcript, so resumption
+# never draws on an RNG and seeded runs stay byte-identical.
+
+
+def _mint_ticket(mac_key: bytes) -> bytes:
+    return crypto.hmac_sha256(mac_key, b"session-ticket")[:_TICKET_LEN]
+
+
+def _resumption_keys(enc_key: bytes, mac_key: bytes,
+                     counter: int) -> Tuple[bytes, bytes]:
+    """Fresh record keys for one resumption, bound to its counter."""
+    label = counter.to_bytes(4, "big")
+    return (crypto.hmac_sha256(enc_key, b"resume-enc" + label),
+            crypto.hmac_sha256(mac_key, b"resume-mac" + label))
+
+
+class ServerSessionStore:
+    """Server-side ticket table: ticket -> base record keys.
+
+    One store per listening server; shared across connections (and
+    threads, in sharded runs), hence the lock.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._tickets: Dict[bytes, Tuple[bytes, bytes]] = {}
+
+    def put(self, ticket: bytes, enc_key: bytes, mac_key: bytes) -> None:
+        with self._lock:
+            self._tickets[ticket] = (enc_key, mac_key)
+
+    def get(self, ticket: bytes) -> Optional[Tuple[bytes, bytes]]:
+        with self._lock:
+            return self._tickets.get(ticket)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._tickets)
+
+
 # ---------------------------------------------------------------------------
 # Client session
 # ---------------------------------------------------------------------------
@@ -301,8 +358,39 @@ class TlsClientSession:
         self._connection = connection
         self._hostname = hostname
         self._codec: Optional[_RecordCodec] = None
+        self._resume_header: Optional[bytes] = None
         self.server_certificate: Optional[Certificate] = None
+        self.session_ticket: Optional[bytes] = None
+        self.base_keys: Optional[Tuple[bytes, bytes]] = None
         self._handshake(trust_store, rng, today, pinned_fingerprints or {})
+
+    @classmethod
+    def resume(
+        cls,
+        connection: Connection,
+        hostname: str,
+        ticket: bytes,
+        enc_key: bytes,
+        mac_key: bytes,
+        counter: int,
+    ) -> "TlsClientSession":
+        """Resume a prior session from its ticket and base record keys.
+
+        Skips both handshake round trips: the ticket, the resumption
+        counter, and the first sealed record travel in one ``TLSS``
+        flight prepended to the first :meth:`send`.
+        """
+        session = cls.__new__(cls)
+        session._connection = connection
+        session._hostname = hostname
+        session.server_certificate = None
+        session.session_ticket = ticket
+        session.base_keys = None
+        resume_enc, resume_mac = _resumption_keys(enc_key, mac_key, counter)
+        session._codec = _RecordCodec(resume_enc, resume_mac)
+        session._resume_header = (
+            _RESUME_MAGIC + ticket + counter.to_bytes(4, "big"))
+        return session
 
     def _handshake(
         self,
@@ -344,12 +432,24 @@ class TlsClientSession:
         if str(finished.get("verify_data")) != verify_data.hex():
             raise TlsError("server finished verification failed")
         self._codec = _RecordCodec(enc_key, mac_key)
+        ticket_hex = finished.get("session_ticket")
+        if isinstance(ticket_hex, str):
+            try:
+                ticket = bytes.fromhex(ticket_hex)
+            except ValueError as exc:
+                raise TlsError("malformed session ticket") from exc
+            if len(ticket) == _TICKET_LEN:
+                self.session_ticket = ticket
+                self.base_keys = (enc_key, mac_key)
 
     def send(self, plaintext: bytes) -> bytes:
         """One encrypted application-data round trip."""
         if self._codec is None:
             raise TlsError("handshake not complete")
         sealed = self._codec.seal(plaintext)
+        if self._resume_header is not None:
+            sealed = self._resume_header + sealed
+            self._resume_header = None
         return self._codec.open(self._connection.roundtrip(sealed))
 
     def close(self) -> None:
@@ -396,11 +496,13 @@ class TlsServerHandler(ConnectionHandler):
         identity: ServerIdentity,
         inner_factory,
         rng: random.Random,
+        session_store: Optional[ServerSessionStore] = None,
     ) -> None:
         super().__init__(info)
         self._identity = identity
         self._inner = inner_factory(info)
         self._rng = rng
+        self._session_store = session_store
         self._state = "expect_hello"
         self._client_random = b""
         self._server_random = b""
@@ -408,6 +510,8 @@ class TlsServerHandler(ConnectionHandler):
 
     def on_data(self, data: bytes) -> bytes:
         if self._state == "expect_hello":
+            if is_resume_bytes(data):
+                return self._handle_resume(data)
             return self._handle_hello(data)
         if self._state == "expect_key_exchange":
             return self._handle_key_exchange(data)
@@ -437,10 +541,32 @@ class TlsServerHandler(ConnectionHandler):
         verify_data = crypto.hmac_sha256(
             mac_key, b"finished" + self._client_random + self._server_random)
         self._state = "established"
-        return _handshake_message({
+        finished: Dict[str, object] = {
             "type": "server_finished",
             "verify_data": verify_data.hex(),
-        })
+        }
+        if self._session_store is not None:
+            ticket = _mint_ticket(mac_key)
+            self._session_store.put(ticket, enc_key, mac_key)
+            finished["session_ticket"] = ticket.hex()
+        return _handshake_message(finished)
+
+    def _handle_resume(self, data: bytes) -> bytes:
+        """One-flight resumption: ticket + counter + first sealed record."""
+        if self._session_store is None:
+            raise TlsError("server does not accept session resumption")
+        header_len = 4 + _TICKET_LEN + 4
+        if len(data) < header_len:
+            raise TlsError("truncated resumption flight")
+        ticket = data[4:4 + _TICKET_LEN]
+        counter = int.from_bytes(data[4 + _TICKET_LEN:header_len], "big")
+        base_keys = self._session_store.get(ticket)
+        if base_keys is None:
+            raise TlsError("unknown session ticket")
+        resume_enc, resume_mac = _resumption_keys(*base_keys, counter=counter)
+        self._codec = _RecordCodec(resume_enc, resume_mac)
+        self._state = "established"
+        return self._handle_record(data[header_len:])
 
     def _handle_record(self, data: bytes) -> bytes:
         assert self._codec is not None

@@ -15,6 +15,7 @@ eligible app) stay O(days) per query instead of O(total batches).
 from __future__ import annotations
 
 import enum
+import threading
 from collections import defaultdict
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
@@ -49,6 +50,11 @@ class InstallLedger:
     """Append-only record of install batches plus enforcement removals."""
 
     def __init__(self) -> None:
+        # Writes are serialised: campaign shards record installs of the
+        # same package concurrently, and the nested defaultdicts are not
+        # safe to grow from two threads.  Queries stay lock-free — they
+        # run post-barrier in the deterministic merge phase.
+        self._lock = threading.Lock()
         self._batches: List[InstallBatch] = []
         # package -> day -> source -> count
         self._daily: Dict[str, Dict[int, Dict[InstallSource, int]]] = (
@@ -61,11 +67,12 @@ class InstallLedger:
     # -- recording -----------------------------------------------------------
 
     def record(self, batch: InstallBatch) -> None:
-        self._batches.append(batch)
-        self._daily[batch.package][batch.day][batch.source] += batch.count
-        if batch.campaign_id is not None:
-            self._campaign_totals[batch.campaign_id] += batch.count
-            self._campaign_batches[batch.campaign_id].append(batch)
+        with self._lock:
+            self._batches.append(batch)
+            self._daily[batch.package][batch.day][batch.source] += batch.count
+            if batch.campaign_id is not None:
+                self._campaign_totals[batch.campaign_id] += batch.count
+                self._campaign_batches[batch.campaign_id].append(batch)
 
     def record_install(self, package: str, day: int, source: InstallSource,
                        campaign_id: Optional[str] = None) -> None:
@@ -76,7 +83,8 @@ class InstallLedger:
         """Enforcement: filter ``count`` installs effective on ``day``."""
         if count <= 0:
             raise ValueError("removal count must be positive")
-        self._removed[(package, day)] += count
+        with self._lock:
+            self._removed[(package, day)] += count
 
     # -- queries -----------------------------------------------------------
 

@@ -20,7 +20,7 @@ from repro.iip.mediator import AttributionMediator
 from repro.iip.offerwall import OfferWallServer
 from repro.iip.registry import build_platforms
 from repro.net.chaos import ChaosScenario, FaultPlan
-from repro.net.client import HttpClient, RetryPolicy
+from repro.net.client import HttpClient, RetryPolicy, TlsSessionCache
 from repro.net.fabric import Endpoint, NetworkFabric
 from repro.net.ip import MILKER_COUNTRIES
 from repro.net.proxy import MitmProxy
@@ -97,10 +97,20 @@ class World:
         return store
 
     def client_for(self, device: Device,
-                   rng: Optional[random.Random] = None) -> HttpClient:
+                   rng: Optional[random.Random] = None,
+                   obs: Optional[Observability] = None,
+                   session_cache: Optional[TlsSessionCache] = None,
+                   today: Optional[int] = None) -> HttpClient:
+        """A client bound to ``device``.
+
+        Sharded pipelines pass a task-local ``obs`` and a per-cell
+        ``session_cache`` (TLS resumption) plus the logical ``today`` of
+        the traffic, which keys the cache's day-rollover invalidation.
+        """
         return HttpClient(self.fabric, device.endpoint, device.trust_store,
                           rng or self.seeds.rng(f"client:{device.device_id}"),
-                          today=self.clock.day)
+                          today=self.clock.day if today is None else today,
+                          obs=obs, session_cache=session_cache)
 
     def measurement_client(self, rng: Optional[random.Random] = None,
                            retry_policy: Optional[RetryPolicy] = None) -> HttpClient:

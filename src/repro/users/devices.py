@@ -87,15 +87,24 @@ class Device:
 
 
 class DeviceFactory:
-    """Builds devices with realistic network attachments."""
+    """Builds devices with realistic network attachments.
 
-    def __init__(self, asn_db: AsnDatabase, rng: random.Random) -> None:
+    ``namespace`` scopes the generated device ids (``dev-fyber-000001``)
+    so independent factories — one per sharded campaign cell — cannot
+    collide without sharing a counter.
+    """
+
+    def __init__(self, asn_db: AsnDatabase, rng: random.Random,
+                 namespace: str = "") -> None:
         self._asn_db = asn_db
         self._rng = rng
+        self._namespace = namespace
         self._counter = 0
 
     def _next_id(self, prefix: str) -> str:
         self._counter += 1
+        if self._namespace:
+            return f"{prefix}-{self._namespace}-{self._counter:06d}"
         return f"{prefix}-{self._counter:06d}"
 
     def real_phone(self, country: str, rooted: bool = False,

@@ -66,17 +66,26 @@ class PopulationSample:
 
 
 class PopulationBuilder:
-    """Samples worker populations for campaigns."""
+    """Samples worker populations for campaigns.
+
+    ``namespace`` scopes worker and device ids (``worker-fyber-000001``)
+    so that each sharded campaign cell can run its own builder without
+    id collisions across cells.
+    """
 
     def __init__(self, asn_db: AsnDatabase, rng: random.Random,
-                 affiliate_catalog: Sequence[str] = ()) -> None:
-        self._factory = DeviceFactory(asn_db, rng)
+                 affiliate_catalog: Sequence[str] = (),
+                 namespace: str = "") -> None:
+        self._factory = DeviceFactory(asn_db, rng, namespace=namespace)
         self._rng = rng
         self._affiliate_catalog = list(affiliate_catalog)
+        self._namespace = namespace
         self._next_worker = 0
 
     def _worker_id(self) -> str:
         self._next_worker += 1
+        if self._namespace:
+            return f"worker-{self._namespace}-{self._next_worker:06d}"
         return f"worker-{self._next_worker:06d}"
 
     def _install_background_apps(self, device: Device, mix: IIPUserMix) -> None:

@@ -133,3 +133,31 @@ class TestSideEffects:
         assert "1679" in text
         assert "device farm" in text
         assert "eu.gcashapp" in text
+
+
+class TestZeroDeliveredCampaigns:
+    """Regression: a purchase small enough to round to zero delivered
+    installs must not divide by zero in the mix or the signal rates."""
+
+    def test_mix_rejects_zero_delivered(self):
+        from repro.core.honey_experiment import _mix_for
+        with pytest.raises(ValueError):
+            _mix_for("Fyber", 0)
+
+    def test_zero_installs_run_completes(self):
+        world = World(seed=2019)
+        experiment = HoneyAppExperiment(world, installs_per_iip=0)
+        experiment_results = experiment.run()
+        assert experiment_results.total_installs() == 0
+        for record in experiment_results.campaigns:
+            assert record.delivered == 0
+            assert record.completions_paid == 0
+            assert record.total_cost_usd == 0.0
+        # No population was built, so no telemetry and no enforcement.
+        assert world.telemetry.events == []
+        assert experiment_results.enforcement_actions == 0
+
+    def test_zero_installs_run_completes_sharded(self):
+        world = World(seed=2019)
+        experiment = HoneyAppExperiment(world, installs_per_iip=0, shards=4)
+        assert experiment.run().total_installs() == 0

@@ -184,7 +184,11 @@ class TestCampaignLifecycle:
         fyber = platforms["Fyber"]
         register_and_fund(ledger, fyber)
         with pytest.raises(ValueError):
-            make_campaign(fyber, installs=0)
+            make_campaign(fyber, installs=-1)
+        # Zero is allowed: a purchase can round to nothing delivered
+        # (the honey CLI exposes --installs-per-iip 0 for dry runs).
+        campaign = make_campaign(fyber, installs=0)
+        assert campaign.remaining == 0
 
 
 class TestOfferWallServer:

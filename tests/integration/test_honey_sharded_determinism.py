@@ -1,0 +1,79 @@
+"""Sharded vs serial honey runs must be byte-identical.
+
+The honey tentpole guarantee: fanning the three Section-3 IIP
+campaigns across shards at the same seed produces the same rendered
+report and the same observability export, byte for byte — including
+under an active chaos profile, and regardless of whether TLS session
+resumption is on (resumption only changes TLS-stream bytes, never the
+HTTP payloads the analysis sees).
+"""
+
+import pytest
+
+from repro import World
+from repro.core import HoneyAppExperiment
+from repro.core.reports import render_honey_report
+from repro.net.chaos import ChaosScenario
+from repro.obs import Observability
+from repro.obs.export import to_json
+
+SEED = 11
+INSTALLS = 120
+
+
+def run_honey(shards: int, chaos: ChaosScenario = None,
+              tls_resumption: bool = True):
+    world = World(seed=SEED, obs=Observability(), chaos=chaos)
+    experiment = HoneyAppExperiment(world, installs_per_iip=INSTALLS,
+                                    shards=shards,
+                                    tls_resumption=tls_resumption)
+    results = experiment.run()
+    return world, results
+
+
+class TestHoneyShardedDeterminism:
+    def test_shards_4_matches_serial_byte_for_byte(self):
+        world_1, results_1 = run_honey(1)
+        world_4, results_4 = run_honey(4)
+        assert to_json(world_4.obs) == to_json(world_1.obs)
+        assert (render_honey_report(results_4)
+                == render_honey_report(results_1))
+        assert results_4.total_installs() == results_1.total_installs()
+        assert (results_4.displayed_installs_after
+                == results_1.displayed_installs_after)
+        assert (results_4.enforcement_actions
+                == results_1.enforcement_actions)
+
+    @pytest.mark.chaos
+    def test_shards_4_matches_serial_under_chaos(self):
+        chaos = ChaosScenario.profile("paper", seed=7)
+        world_1, results_1 = run_honey(1, chaos=chaos)
+        world_4, results_4 = run_honey(4, chaos=chaos)
+        assert to_json(world_4.obs) == to_json(world_1.obs)
+        assert (render_honey_report(results_4)
+                == render_honey_report(results_1))
+        faults = world_1.obs.metrics.counter_total("net.fabric.faults_raised")
+        assert faults > 0  # chaos actually fired
+
+    def test_odd_shard_count_also_matches(self):
+        world_1, results_1 = run_honey(1)
+        world_3, results_3 = run_honey(3)
+        assert to_json(world_3.obs) == to_json(world_1.obs)
+        assert (render_honey_report(results_3)
+                == render_honey_report(results_1))
+
+    def test_resumption_does_not_change_results(self):
+        _, results_on = run_honey(1, tls_resumption=True)
+        _, results_off = run_honey(1, tls_resumption=False)
+        # Only the TLS wire bytes differ; the report is identical.
+        assert (render_honey_report(results_on)
+                == render_honey_report(results_off))
+
+    def test_resumption_reduces_fabric_traffic(self):
+        world_on, _ = run_honey(1, tls_resumption=True)
+        world_off, _ = run_honey(1, tls_resumption=False)
+        frames_on = world_on.obs.metrics.counter_total("net.fabric.frames")
+        frames_off = world_off.obs.metrics.counter_total("net.fabric.frames")
+        assert frames_on < frames_off
+        assert world_on.obs.metrics.counter_total(
+            "net.client.tls_resumptions") > 0
