@@ -1,0 +1,70 @@
+"""Detection bench: live-source quality floors, pinned.
+
+``scripts/export_detect_obs.py`` streams both measurement pipelines —
+Section-3 honey telemetry and the Section-4 wild monitor — through the
+online lockstep detector at the bench scale; this bench asserts the
+headline claims (precision/recall floors on *live* sources, not just
+the synthetic corpus; online == batch on both) and pins the
+deterministic subset against the committed
+``benchmarks/snapshots/detect_obs.json`` so a quality regression
+cannot land silently.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SNAPSHOT = REPO_ROOT / "benchmarks" / "snapshots" / "detect_obs.json"
+
+sys.path.insert(0, str(REPO_ROOT / "scripts"))
+
+from export_detect_obs import (  # noqa: E402
+    build_report,
+    deterministic_subset,
+    render,
+)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return build_report()
+
+
+class TestDetectBench:
+    def test_honey_ground_truth_recovered(self, report):
+        quality = report["honey"]["quality"]
+        # Every honey install is a purchased install; the detector sees
+        # the full campaign bursts and should recover nearly all of it.
+        assert quality["precision"] >= 0.99
+        assert quality["recall"] >= 0.95
+
+    def test_wild_quality_floors(self, report):
+        quality = report["wild"]["quality"]
+        assert quality["precision"] >= 0.90
+        assert quality["recall"] >= 0.50
+        assert quality["false_positive_rate"] <= 0.05
+
+    def test_streams_carry_labelled_events(self, report):
+        for source in ("honey", "wild"):
+            stream = report[source]["stream"]
+            assert stream["events"] > 0
+            assert stream["incentivized"] > 0
+            assert stream["clusters"] > 0
+            assert stream["events_ingested_counter"] == stream["events"]
+
+    def test_online_converges_to_batch_on_both_sources(self, report):
+        assert report["honey"]["stream_equals_batch"]
+        assert report["wild"]["stream_equals_batch"]
+
+    def test_matches_committed_snapshot(self, report):
+        assert SNAPSHOT.exists(), (
+            "run PYTHONPATH=src python scripts/export_detect_obs.py")
+        committed = json.loads(SNAPSHOT.read_text())
+        fresh = json.loads(render(deterministic_subset(report)))
+        assert fresh["run"] == committed["run"], (
+            "bench parameters differ from the committed snapshot; "
+            "re-run with matching REPRO_BENCH_* values")
+        assert fresh == committed

@@ -1,0 +1,167 @@
+"""Export the detection bench: ``BENCH_detect.json``.
+
+Runs both live detection lanes — the Section-3 honey telemetry and the
+Section-4 wild monitor — through :class:`repro.detection.LiveDetection`
+and reports, per source: the event/cluster/flagged counts, the
+precision/recall/F1/FPR against the simulation's ground truth, and a
+``stream_equals_batch`` flag (the online detector's flagged set
+re-checked against a batch :class:`LockstepDetector` replay of the
+identical log).
+
+Two outputs:
+
+* ``BENCH_detect.json`` (``--out``): the full report including wall
+  times — informative, not deterministic, uploaded as a CI artifact.
+* ``benchmarks/snapshots/detect_obs.json`` (``--snapshot-out``): the
+  deterministic subset (no wall times), committed to the repo.
+  ``--check`` fails if a fresh run drifts from it, which gates the
+  detector's quality numbers against silent regressions.
+
+Run from the repo root::
+
+    PYTHONPATH=src python scripts/export_detect_obs.py
+
+Scale/seed come from ``REPRO_BENCH_*`` variables; the committed
+snapshot records them, so a check run under different values reports
+parameter drift rather than corruption.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+from pathlib import Path
+
+from repro import (
+    WildMeasurement,
+    WildMeasurementConfig,
+    WildScenario,
+    WildScenarioConfig,
+    World,
+)
+from repro.core import HoneyAppExperiment
+from repro.detection.lockstep import LockstepDetector
+from repro.detection.live import HONEY_DETECTOR_CONFIG
+
+SEED = int(os.environ.get("REPRO_BENCH_SEED", "2019"))
+SHARDS = int(os.environ.get("REPRO_BENCH_DETECT_SHARDS", "1"))
+WILD_SCALE = float(os.environ.get("REPRO_BENCH_DETECT_SCALE", "0.05"))
+WILD_DAYS = int(os.environ.get("REPRO_BENCH_DETECT_DAYS", "14"))
+HONEY_INSTALLS = int(os.environ.get("REPRO_BENCH_DETECT_INSTALLS", "500"))
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUT = REPO_ROOT / "BENCH_detect.json"
+DEFAULT_SNAPSHOT = REPO_ROOT / "benchmarks/snapshots/detect_obs.json"
+
+
+def run_honey_source() -> tuple:
+    world = World(seed=SEED)
+    hook = world.detection_hook("honey", config=HONEY_DETECTOR_CONFIG)
+    started = time.monotonic()
+    HoneyAppExperiment(world, installs_per_iip=HONEY_INSTALLS,
+                       shards=SHARDS, detection=hook).run()
+    return world, hook, time.monotonic() - started
+
+
+def run_wild_source() -> tuple:
+    world = World(seed=SEED)
+    hook = world.detection_hook("wild")
+    scenario = WildScenario(world, WildScenarioConfig(
+        scale=WILD_SCALE, measurement_days=WILD_DAYS))
+    scenario.build()
+    started = time.monotonic()
+    WildMeasurement(world, scenario, WildMeasurementConfig(
+        measurement_days=WILD_DAYS, shards=SHARDS), detection=hook).run()
+    return world, hook, time.monotonic() - started
+
+
+def source_report(world, hook) -> dict:
+    flagged = hook.finalize()
+    evaluation = hook.evaluate()
+    batch = LockstepDetector(hook.config).flag_devices(hook.log)
+    total = world.obs.metrics.counter_total
+    return {
+        "stream": {
+            "events": hook.bus.events_published,
+            "devices": len(hook.log.devices()),
+            "incentivized": len(hook.incentivized),
+            "clusters": len(hook.online.clusters),
+            "flagged": len(flagged),
+            "events_ingested_counter":
+                int(total("detection.events_ingested")),
+        },
+        "quality": {
+            "precision": round(evaluation.precision, 4),
+            "recall": round(evaluation.recall, 4),
+            "f1": round(evaluation.f1, 4),
+            "false_positive_rate":
+                round(evaluation.false_positive_rate, 4),
+        },
+        "stream_equals_batch": flagged == batch,
+    }
+
+
+def build_report() -> dict:
+    honey_world, honey_hook, honey_elapsed = run_honey_source()
+    wild_world, wild_hook, wild_elapsed = run_wild_source()
+    report = {
+        "run": {
+            "seed": SEED,
+            "shards": SHARDS,
+            "wild_scale": WILD_SCALE,
+            "wild_days": WILD_DAYS,
+            "honey_installs_per_iip": HONEY_INSTALLS,
+        },
+        "honey": source_report(honey_world, honey_hook),
+        "wild": source_report(wild_world, wild_hook),
+    }
+    report["wall_seconds"] = {
+        "honey": round(honey_elapsed, 2),
+        "wild": round(wild_elapsed, 2),
+    }
+    return report
+
+
+def deterministic_subset(report: dict) -> dict:
+    return {key: value for key, value in report.items()
+            if key != "wall_seconds"}
+
+
+def render(snapshot: dict) -> str:
+    return json.dumps(snapshot, indent=1, sort_keys=True) + "\n"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT,
+                        help="full detect bench report (with wall times)")
+    parser.add_argument("--snapshot-out", type=Path, default=DEFAULT_SNAPSHOT,
+                        help="deterministic subset, committed")
+    parser.add_argument("--check", action="store_true",
+                        help="fail (exit 1) if the committed snapshot "
+                             "does not match a fresh run")
+    args = parser.parse_args()
+    report = build_report()
+    rendered_snapshot = render(deterministic_subset(report))
+    if args.check:
+        committed = (args.snapshot_out.read_text()
+                     if args.snapshot_out.exists() else "")
+        if committed != rendered_snapshot:
+            print(f"detect snapshot drift: {args.snapshot_out} does not "
+                  "match this revision "
+                  "(re-run scripts/export_detect_obs.py)")
+            return 1
+        print(f"detect snapshot up to date: {args.snapshot_out}")
+    else:
+        args.snapshot_out.parent.mkdir(parents=True, exist_ok=True)
+        args.snapshot_out.write_text(rendered_snapshot)
+        print(f"wrote {args.snapshot_out}")
+    args.out.write_text(render(report))
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,7 +7,9 @@ Commands
              optionally export the dataset/archive JSON (the public
              data release).
 ``report``   Re-run the analyses on previously exported data files.
-``detect``   Run the lockstep detector on a labelled corpus.
+``detect``   Stream install events from a source pipeline (synthetic
+             corpus, honey telemetry, or the wild monitor) through the
+             online lockstep detector and score it against ground truth.
 ``tables``   Print the static tables (1 and 2).
 ``obs``      Print top counters/spans from a metrics snapshot (or from
              a fresh honey run when no snapshot is given).
@@ -83,8 +85,33 @@ def _add_report(subparsers) -> None:
 
 def _add_detect(subparsers) -> None:
     parser = subparsers.add_parser(
-        "detect", help="run the lockstep detector on a labelled corpus")
+        "detect", help="stream install events through the online lockstep "
+                       "detector and score it against ground truth")
     parser.add_argument("--seed", type=int, default=2019)
+    parser.add_argument("--source", default="corpus",
+                        choices=("corpus", "honey", "wild"),
+                        help="event source: the synthetic labelled corpus, "
+                             "the Section-3 honey telemetry, or the "
+                             "Section-4 wild monitor (default: corpus)")
+    parser.add_argument("--shards", type=int, default=1,
+                        help="worker shards for the source pipeline; any "
+                             "value yields byte-identical results at the "
+                             "same seed (default: 1, serial)")
+    parser.add_argument("--scale", type=float, default=0.05,
+                        help="wild source: fraction of the paper's 922 "
+                             "advertised apps (default: 0.05)")
+    parser.add_argument("--days", type=int, default=14,
+                        help="wild source: measurement days (default: 14)")
+    parser.add_argument("--installs-per-iip", type=int, default=None,
+                        help="honey source: installs to purchase from each "
+                             "IIP (default: the paper's 500)")
+    parser.add_argument("--chaos-profile", default="off",
+                        choices=("off", "mild", "paper", "harsh"),
+                        help="inject deterministic network faults into the "
+                             "source pipeline (default: off)")
+    parser.add_argument("--chaos-seed", type=int, default=None,
+                        help="seed for the fault schedule (defaults to "
+                             "--seed); same seed => identical faults")
 
 
 def _add_obs(subparsers) -> None:
@@ -269,20 +296,62 @@ def _cmd_report(args) -> int:
 
 
 def _cmd_detect(args) -> int:
-    from repro.detection.bridge import build_training_corpus
-    from repro.detection.evaluation import evaluate_detector
     from repro.detection.lockstep import LockstepDetector
-    log, incentivized = build_training_corpus(seed=args.seed)
-    detector = LockstepDetector()
-    flagged = detector.flag_devices(log)
-    report = evaluate_detector(flagged, incentivized, log.devices())
-    print(f"corpus: {len(log)} events, {len(log.devices())} devices, "
-          f"{len(incentivized)} incentivized")
+    from repro.detection.live import HONEY_DETECTOR_CONFIG, LiveDetection
+    from repro.net.chaos import ChaosScenario
+    from repro.obs import Observability
+
+    chaos_seed = args.chaos_seed if args.chaos_seed is not None else args.seed
+    chaos = ChaosScenario.profile(args.chaos_profile, seed=chaos_seed)
+    if args.source == "corpus":
+        from repro.detection.bridge import build_training_corpus
+        obs = Observability()
+        hook = LiveDetection(obs=obs, source="corpus")
+        log, incentivized = build_training_corpus(seed=args.seed)
+        hook.record_incentivized(incentivized)
+        hook.publish_batch(log.events())
+    elif args.source == "honey":
+        from repro.simulation.world import World
+        from repro.core.honey_experiment import HoneyAppExperiment
+        world = World(seed=args.seed, chaos=chaos)
+        obs = world.obs
+        hook = world.detection_hook("honey", config=HONEY_DETECTOR_CONFIG)
+        kwargs = {}
+        if args.installs_per_iip is not None:
+            kwargs["installs_per_iip"] = args.installs_per_iip
+        HoneyAppExperiment(world, shards=args.shards, detection=hook,
+                           **kwargs).run()
+    else:
+        from repro.simulation.world import World
+        from repro.simulation.scenarios import (WildScenario,
+                                                WildScenarioConfig)
+        from repro.core.wild_measurement import (WildMeasurement,
+                                                 WildMeasurementConfig)
+        world = World(seed=args.seed, chaos=chaos)
+        obs = world.obs
+        hook = world.detection_hook("wild")
+        scenario = WildScenario(world, WildScenarioConfig(
+            scale=args.scale, measurement_days=args.days))
+        scenario.build()
+        WildMeasurement(world, scenario, WildMeasurementConfig(
+            measurement_days=args.days, shards=args.shards),
+            detection=hook).run()
+    flagged = hook.finalize()
+    report = hook.evaluate()
+    print(f"{args.source}: {len(hook.log)} events, "
+          f"{len(hook.log.devices())} devices, "
+          f"{len(hook.incentivized)} incentivized")
+    if chaos.enabled and args.source != "corpus":
+        print(f"chaos profile: {chaos.name} (seed {chaos.seed})")
     print(f"flagged {len(flagged)}: precision {report.precision:.2f}, "
           f"recall {report.recall:.2f}, FPR {report.false_positive_rate:.3f}")
-    for package in detector.flag_apps(log, min_clusters=1):
+    batch = LockstepDetector(hook.config).flag_devices(hook.log)
+    agreement = "yes" if batch == flagged else "NO"
+    print(f"online == batch: {agreement} "
+          f"({len(hook.online.clusters)} clusters)")
+    for package in hook.online.flagged_packages(min_clusters=1):
         print(f"policy candidate: {package}")
-    return 0
+    return _maybe_dump_metrics(args, obs)
 
 
 def _cmd_obs(args) -> int:

@@ -23,6 +23,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.affiliates.registry import ALL_AFFILIATE_PACKAGES
+from repro.detection.events import DeviceInstallEvent
+from repro.detection.live import LiveDetection, honey_install_event
 from repro.honeyapp.analysis import CampaignWindow, HoneyExperimentAnalysis
 from repro.honeyapp.app import HONEY_PACKAGE, HONEY_TITLE, HoneyApp
 from repro.iip.offers import OfferCategory, tasks_for
@@ -158,9 +160,15 @@ class HoneyAppExperiment:
                  installs_per_iip: int = paperdata.HONEY_INSTALLS_PURCHASED,
                  shards: int = 1,
                  tls_resumption: bool = True,
+                 detection: Optional[LiveDetection] = None,
                  ) -> None:
         self.world = world
         self.installs_per_iip = installs_per_iip
+        #: Live detection hook; when set, every delivered install also
+        #: becomes a DeviceInstallEvent (published post-barrier, in
+        #: campaign order, with its ground-truth label).  The adapter is
+        #: RNG-free, so attaching it never perturbs the campaign runs.
+        self.detection = detection
         self.shards = shards
         self._scheduler = ShardScheduler(shards)
         self._cells = {iip_name: _CampaignCell(world, iip_name, tls_resumption)
@@ -206,8 +214,14 @@ class HoneyAppExperiment:
             # the honey.run span, then the per-campaign roll-ups — no
             # trace of shard timing survives the barrier.
             for iip_name, outcome in zip(_CAMPAIGN_ORDER, results):
-                record, timestamps, task_obs, campaign_ops = outcome
+                record, timestamps, events, task_obs, campaign_ops = outcome
                 self.world.obs.merge(task_obs)
+                if self.detection is not None:
+                    # Campaign windows don't overlap and merge order is
+                    # chronological, so the stream stays time-ordered.
+                    self.detection.record_incentivized(
+                        event.device_id for event in events)
+                    self.detection.publish_batch(events)
                 metrics.observe("honey.campaign_ops", campaign_ops)
                 metrics.inc("core.honey.installs_delivered",
                             record.delivered, iip=iip_name)
@@ -250,15 +264,16 @@ class HoneyAppExperiment:
             with flow_scope(f"honey:{iip_name}"):
                 with task_obs.tracer.span("honey.campaign",
                                           iip=iip_name) as span:
-                    record, timestamps = self._run_campaign(
+                    record, timestamps, events = self._run_campaign(
                         iip_name, cell, task_obs)
-            return record, timestamps, task_obs, span.duration_ops
+            return record, timestamps, events, task_obs, span.duration_ops
 
         return task
 
     def _run_campaign(self, iip_name: str, cell: _CampaignCell,
                       task_obs: Observability
-                      ) -> Tuple[HoneyCampaignRecord, List[Tuple[int, float]]]:
+                      ) -> Tuple[HoneyCampaignRecord, List[Tuple[int, float]],
+                                 List[DeviceInstallEvent]]:
         world = self.world
         rng = cell.rng
         platform = world.platforms[iip_name]
@@ -295,6 +310,7 @@ class HoneyAppExperiment:
         delivery_hours = paperdata.HONEY_DELIVERY_HOURS[iip_name]
         affiliate = platform.affiliate_ids[0] if platform.affiliate_ids else "direct"
         timestamps: List[Tuple[int, float]] = []
+        events: List[DeviceInstallEvent] = []
         opened = 0
         paid = 0
         emulator_count = 0
@@ -314,6 +330,11 @@ class HoneyAppExperiment:
                                            InstallSource.INCENTIVIZED,
                                            campaign_id=campaign.campaign_id)
                 timestamps.append((day, hour))
+                if self.detection is not None:
+                    events.append(honey_install_event(
+                        worker.device, HONEY_PACKAGE, day, hour,
+                        result.opened, result.engaged_beyond_task,
+                        result.returned_next_day))
                 if result.opened:
                     opened += 1
                     app = HoneyApp(worker.device,
@@ -361,4 +382,4 @@ class HoneyAppExperiment:
             completions_paid=paid,
             total_cost_usd=total_cost,
         )
-        return record, timestamps
+        return record, timestamps, events

@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.affiliates.registry import AFFILIATE_SPECS
 from repro.crunchbase.database import CrunchbaseSnapshot
+from repro.detection.live import LiveDetection, WildEventBridge
 from repro.iip.registry import UNVETTED_IIPS, VETTED_IIPS
 from repro.monitor.crawler import CrawlArchive, PlayStoreCrawler
 from repro.monitor.dataset import OfferDataset
@@ -173,11 +174,22 @@ class WildMeasurement:
     """
 
     def __init__(self, world: World, scenario: WildScenario,
-                 config: Optional[WildMeasurementConfig] = None) -> None:
+                 config: Optional[WildMeasurementConfig] = None,
+                 detection: Optional[LiveDetection] = None) -> None:
         self.world = world
         self.scenario = scenario
         self.config = config or WildMeasurementConfig()
         self._scheduler = ShardScheduler(self.config.shards)
+        #: Live detection hook; when set, each milk day's merged offer
+        #: stream is bridged into install events.  The bridge derives
+        #: its RNG from its own seed stream, so attaching it never
+        #: perturbs the milk/crawl exports.
+        self.detection = detection
+        self._detection_bridge: Optional[WildEventBridge] = None
+        if detection is not None:
+            self._detection_bridge = WildEventBridge(
+                world.fabric.asn_db,
+                world.seeds.seed_for("detection-bridge"), detection)
         # Resilience for both measurement clients: the paper's milkers
         # and crawler retried flaky fetches rather than losing the day.
         self.retry_policy = RetryPolicy()
@@ -293,6 +305,7 @@ class WildMeasurement:
             zip(pairs, results),
             key=lambda item: (item[0][1].package, item[0][0]))
         impressions: List[str] = []
+        day_offers: List = []
         for (_country, _spec), (run, task_obs) in merged:
             self.world.obs.merge(task_obs)
             self._milk_runs += 1
@@ -300,6 +313,11 @@ class WildMeasurement:
             self._observations.extend(run.offers)
             self.dataset.ingest_all(run.offers)
             impressions.extend(offer.package for offer in run.offers)
+            day_offers.extend(run.offers)
+        if self._detection_bridge is not None:
+            # Post-barrier, canonical order: the bridge sees the same
+            # impression stream at every shard count.
+            self._detection_bridge.on_milk_day(day, day_offers)
         if self.config.capture_offer_pages:
             # Pin each impression's store page at observation time; the
             # impression stream is in canonical merged order, so the

@@ -11,14 +11,30 @@ truth the paper says its methodology can supply.
 """
 
 from repro.detection.events import DeviceInstallEvent, InstallLog
-from repro.detection.evaluation import DetectionReport, evaluate_detector
-from repro.detection.lockstep import LockstepCluster, LockstepDetector
+from repro.detection.evaluation import (DetectionReport, evaluate_detector,
+                                        sweep_thresholds)
+from repro.detection.lockstep import (DetectorConfig, LockstepCluster,
+                                      LockstepDetector, build_cluster,
+                                      cluster_weight)
+from repro.detection.live import (LiveDetection, WildBridgeConfig,
+                                  WildEventBridge, honey_install_event)
+from repro.detection.stream import InstallEventBus, OnlineLockstepDetector
 
 __all__ = [
     "DetectionReport",
+    "DetectorConfig",
     "DeviceInstallEvent",
+    "InstallEventBus",
     "InstallLog",
+    "LiveDetection",
     "LockstepCluster",
     "LockstepDetector",
+    "OnlineLockstepDetector",
+    "WildBridgeConfig",
+    "WildEventBridge",
+    "build_cluster",
+    "cluster_weight",
     "evaluate_detector",
+    "honey_install_event",
+    "sweep_thresholds",
 ]

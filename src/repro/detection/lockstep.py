@@ -64,6 +64,44 @@ class DetectorConfig:
             raise ValueError("a burst needs at least two devices")
 
 
+def build_cluster(package: str, window: List[DeviceInstallEvent],
+                  config: DetectorConfig) -> Optional[LockstepCluster]:
+    """Score one maximal burst window; ``None`` when the window looks
+    organic (too much real engagement).
+
+    Shared by the batch :class:`LockstepDetector` and the online
+    :class:`~repro.detection.stream.OnlineLockstepDetector` — both must
+    score identical windows identically for the batch-vs-stream
+    equivalence guarantee to hold.
+    """
+    low = [event for event in window
+           if not event.opened
+           or event.engagement_seconds < config.low_engagement_seconds]
+    low_fraction = len(low) / len(window)
+    if low_fraction < config.min_low_engagement_fraction:
+        return None
+    blocks = Counter(event.ip_slash24 for event in window)
+    block, block_count = blocks.most_common(1)[0]
+    dominant_block = (block if block_count / len(window)
+                      >= config.colocation_fraction else None)
+    ssids = Counter(event.ssid_hash for event in window)
+    _, ssid_count = ssids.most_common(1)[0]
+    return LockstepCluster(
+        package=package,
+        start_hour=window[0].timestamp_hours,
+        end_hour=window[-1].timestamp_hours,
+        device_ids=frozenset(event.device_id for event in window),
+        low_engagement_fraction=low_fraction,
+        dominant_slash24=dominant_block,
+        dominant_ssid_fraction=ssid_count / len(window),
+    )
+
+
+def cluster_weight(cluster: LockstepCluster) -> int:
+    """Participation weight of one burst (colocation counts double)."""
+    return 2 if cluster.dominant_slash24 else 1
+
+
 class LockstepDetector:
     """Finds lockstep clusters and flags their recurring participants."""
 
@@ -105,28 +143,7 @@ class LockstepDetector:
     def _build_cluster(self, package: str,
                        window: List[DeviceInstallEvent]
                        ) -> Optional[LockstepCluster]:
-        config = self.config
-        low = [event for event in window
-               if not event.opened
-               or event.engagement_seconds < config.low_engagement_seconds]
-        low_fraction = len(low) / len(window)
-        if low_fraction < config.min_low_engagement_fraction:
-            return None
-        blocks = Counter(event.ip_slash24 for event in window)
-        block, block_count = blocks.most_common(1)[0]
-        dominant_block = (block if block_count / len(window)
-                          >= config.colocation_fraction else None)
-        ssids = Counter(event.ssid_hash for event in window)
-        _, ssid_count = ssids.most_common(1)[0]
-        return LockstepCluster(
-            package=package,
-            start_hour=window[0].timestamp_hours,
-            end_hour=window[-1].timestamp_hours,
-            device_ids=frozenset(event.device_id for event in window),
-            low_engagement_fraction=low_fraction,
-            dominant_slash24=dominant_block,
-            dominant_ssid_fraction=ssid_count / len(window),
-        )
+        return build_cluster(package, window, self.config)
 
     # -- device flagging ------------------------------------------------------
 
@@ -134,7 +151,7 @@ class LockstepDetector:
         """Devices participating in repeated lockstep bursts."""
         participation: Counter = Counter()
         for cluster in self.find_bursts(log):
-            weight = 2 if cluster.dominant_slash24 else 1
+            weight = cluster_weight(cluster)
             for device_id in cluster.device_ids:
                 participation[device_id] += weight
         return {device_id for device_id, count in participation.items()

@@ -122,6 +122,18 @@ class World:
                           self.public_trust, crawler_rng,
                           retry_policy=retry_policy)
 
+    def detection_hook(self, source: str, config=None):
+        """A :class:`~repro.detection.live.LiveDetection` hook bound to
+        this world's observability context.
+
+        Pass it as ``detection=`` to either core pipeline; ``source``
+        labels the ``detection.events_ingested`` counter (``honey`` /
+        ``wild`` / ``corpus``).  Imported lazily so worlds that never
+        detect don't pay for the detection package.
+        """
+        from repro.detection.live import LiveDetection
+        return LiveDetection(obs=self.obs, source=source, config=config)
+
     def build_mitm(self, hostname: str = "mitm.lab.example") -> MitmProxy:
         # Seeded per hostname so several mitm proxies (one per milk
         # cell) get independent, stable RNG streams.

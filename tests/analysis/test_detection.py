@@ -167,6 +167,46 @@ class TestEvaluation:
         assert report.recall == 0.0
         assert report.f1 == 0.0
 
+    def test_empty_flagged_with_ground_truth(self):
+        # A detector that flags nothing: perfect specificity, zero recall.
+        report = evaluate_detector(set(), {"a"}, ["a", "b", "c"])
+        assert report.recall == 0.0
+        assert report.false_negatives == 1
+        assert report.false_positive_rate == 0.0
+        assert report.true_negatives == 2
+
+    def test_empty_ground_truth_with_flagged(self):
+        # Nothing was incentivized: every flag is a false positive.
+        report = evaluate_detector({"a", "b"}, set(), ["a", "b", "c"])
+        assert report.precision == 0.0
+        assert report.recall == 0.0
+        assert report.false_positives == 2
+        assert report.false_positive_rate == pytest.approx(2 / 3)
+
+    def test_unknown_flagged_device_rejected(self):
+        with pytest.raises(ValueError, match="flagged"):
+            evaluate_detector({"ghost"}, {"a"}, ["a", "b"])
+
+    def test_unknown_ground_truth_device_rejected(self):
+        with pytest.raises(ValueError, match="ground truth"):
+            evaluate_detector({"a"}, {"ghost"}, ["a", "b"])
+
+    def test_sweep_recall_non_increasing(self):
+        # Raising the threshold can only shrink the flagged set, so
+        # recall (and the flagged count) must never increase.
+        scores = {"a": 3.0, "b": 2.0, "c": 1.0, "d": 0.5}
+        sweep = sweep_thresholds(scores, {"a", "b", "c"},
+                                 ["a", "b", "c", "d", "e"],
+                                 thresholds=[0.0, 0.5, 1.0, 2.0, 3.0, 9.0])
+        recalls = [report.recall for _, report in sweep]
+        assert recalls == sorted(recalls, reverse=True)
+        assert recalls[0] == 1.0 and recalls[-1] == 0.0
+
+    def test_sweep_empty_scores(self):
+        sweep = sweep_thresholds({}, set(), ["a"], thresholds=[0.5, 1.0])
+        assert [r.true_positives + r.false_positives
+                for _, r in sweep] == [0, 0]
+
 
 class TestEndToEnd:
     def test_detector_separates_workers_from_organic(self):

@@ -1,0 +1,152 @@
+"""Streaming detector: batch/stream equivalence and the event bus."""
+
+import pytest
+
+from repro.detection.bridge import TrainingCorpusConfig, build_training_corpus
+from repro.detection.events import DeviceInstallEvent, InstallLog
+from repro.detection.lockstep import DetectorConfig, LockstepDetector
+from repro.detection.stream import InstallEventBus, OnlineLockstepDetector
+from repro.obs import Observability
+
+
+def event(device, package, day=0, hour=10.0, block="10.0.0.0/24",
+          ssid="aaaa", opened=False, engagement=30.0):
+    return DeviceInstallEvent(
+        device_id=device, package=package, day=day, hour=hour,
+        ip_slash24=block, ssid_hash=ssid, opened=opened,
+        engagement_seconds=engagement)
+
+
+def stream_order(events):
+    return sorted(events,
+                  key=lambda e: (e.timestamp_hours, e.device_id, e.package))
+
+
+def replay(events, config=None, obs=None):
+    online = OnlineLockstepDetector(config, obs=obs)
+    for item in stream_order(events):
+        online.ingest(item)
+    return online
+
+
+class TestBatchStreamEquivalence:
+    def test_training_corpus_converges_to_batch(self):
+        log, _ = build_training_corpus(seed=5)
+        batch = LockstepDetector().flag_devices(log)
+        online = replay(log.events())
+        assert online.finalize() == batch
+        assert online.finalize() == batch  # idempotent
+
+    @pytest.mark.parametrize("seed", [1, 9, 42])
+    def test_equivalence_across_seeds(self, seed):
+        config = TrainingCorpusConfig(organic_devices=150,
+                                      workers_per_campaign=40, days=8)
+        log, _ = build_training_corpus(seed=seed, config=config)
+        detector_config = DetectorConfig()
+        batch = LockstepDetector(detector_config).flag_devices(log)
+        online = replay(log.events(), detector_config)
+        assert online.finalize() == batch
+
+    def test_cluster_lists_match_batch(self):
+        log, _ = build_training_corpus(seed=5)
+        batch_clusters = LockstepDetector().find_bursts(log)
+        online = replay(log.events())
+        online.finalize()
+        assert sorted(online.clusters,
+                      key=lambda c: (c.package, c.start_hour)) == \
+            sorted(batch_clusters, key=lambda c: (c.package, c.start_hour))
+
+    def test_two_burst_log_matches_batch(self):
+        events = []
+        for day in (1, 3):
+            for i in range(15):
+                events.append(event(f"w{i}", "com.offer", day=day,
+                                    hour=9.0 + i * 0.1))
+        batch = LockstepDetector().flag_devices(InstallLog(events))
+        online = replay(events)
+        assert online.finalize() == batch == {f"w{i}" for i in range(15)}
+
+
+class TestIncrementalBehaviour:
+    def test_devices_flagged_before_finalize(self):
+        # Two closed bursts of the same workers, then a much later
+        # unrelated event that pushes the watermark: the farm must be
+        # flagged mid-stream, before any finalize call.
+        events = []
+        for day in (1, 3):
+            for i in range(15):
+                events.append(event(f"w{i}", "com.offer", day=day,
+                                    hour=9.0 + i * 0.1))
+        events.append(event("late", "com.other", day=9))
+        online = OnlineLockstepDetector()
+        for item in stream_order(events):
+            online.ingest(item)
+        assert online.flagged_devices == {f"w{i}" for i in range(15)}
+
+    def test_flagged_set_grows_monotonically(self):
+        log, _ = build_training_corpus(seed=5)
+        online = OnlineLockstepDetector()
+        seen = set()
+        for item in stream_order(log.events()):
+            online.ingest(item)
+            current = online.flagged_devices
+            assert seen <= current
+            seen = current
+        assert seen <= online.finalize()
+
+    def test_out_of_order_event_rejected(self):
+        online = OnlineLockstepDetector()
+        online.ingest(event("d1", "com.a", day=2))
+        with pytest.raises(ValueError, match="watermark"):
+            online.ingest(event("d2", "com.b", day=1))
+
+    def test_tie_timestamps_accepted(self):
+        online = OnlineLockstepDetector()
+        online.ingest(event("d1", "com.a", day=1, hour=9.0))
+        online.ingest(event("d2", "com.a", day=1, hour=9.0))
+        assert online.events_seen == 2
+
+    def test_window_not_closed_while_extendable(self):
+        # 14 events inside one window, watermark still within reach:
+        # nothing may be emitted yet; a 15th event joins the burst.
+        online = OnlineLockstepDetector()
+        for i in range(14):
+            online.ingest(event(f"d{i}", "com.a", hour=9.0 + i * 0.1))
+        assert online.clusters == []
+        online.ingest(event("d14", "com.a", hour=11.0))
+        assert online.finalize()
+        assert online.clusters[0].size == 15
+
+    def test_obs_counters(self):
+        obs = Observability()
+        bus = InstallEventBus(obs, source="test")
+        online = OnlineLockstepDetector(obs=obs)
+        bus.subscribe(online.ingest)
+        for day in (1, 3):
+            for i in range(15):
+                bus.publish(event(f"w{i}", "com.offer", day=day,
+                                  hour=9.0 + i * 0.1))
+        online.finalize()
+        total = obs.metrics.counter_total
+        assert total("detection.events_ingested") == 30
+        assert total("detection.clusters_flagged") == 2
+        assert total("detection.flagged_devices") == 15
+
+
+class TestInstallEventBus:
+    def test_fanout_order_and_count(self):
+        bus = InstallEventBus()
+        seen_a, seen_b = [], []
+        bus.subscribe(seen_a.append)
+        bus.subscribe(seen_b.append)
+        items = [event(f"d{i}", "com.a", hour=float(i)) for i in range(3)]
+        bus.publish_all(items)
+        assert seen_a == items == seen_b
+        assert bus.events_published == 3
+
+    def test_source_label_on_counter(self):
+        obs = Observability()
+        bus = InstallEventBus(obs, source="honey")
+        bus.publish(event("d1", "com.a"))
+        counters = obs.metrics.counters()
+        assert counters["detection.events_ingested{source=honey}"] == 1
