@@ -37,11 +37,16 @@ under different values reports parameter drift rather than corruption.
 from __future__ import annotations
 
 import argparse
-import json
 import os
 import time
 from pathlib import Path
 
+from obs_export import (
+    deterministic_subset,
+    emit_report,
+    render,
+    stage_quantiles as _stage_quantiles,
+)
 from repro import (
     WildMeasurement,
     WildMeasurementConfig,
@@ -93,21 +98,7 @@ def run_honey(tls_resumption: bool) -> tuple:
 
 
 def stage_quantiles(world, names=STAGE_HISTOGRAMS) -> dict:
-    table = {}
-    for name in names:
-        state = world.obs.metrics.histogram(name)
-        if state is None:
-            table[name] = {"count": 0}
-            continue
-        table[name] = {
-            "count": state.count,
-            "mean_ops": round(state.mean, 1),
-            "p50_ops": state.quantile(0.50),
-            "p90_ops": state.quantile(0.90),
-            "p99_ops": state.quantile(0.99),
-            "max_ops": state.maximum,
-        }
-    return table
+    return _stage_quantiles(world, names)
 
 
 def build_report() -> dict:
@@ -205,33 +196,10 @@ def build_honey_report() -> dict:
     return report
 
 
-def deterministic_subset(report: dict) -> dict:
-    return {key: value for key, value in report.items()
-            if key != "wall_seconds"}
-
-
-def render(snapshot: dict) -> str:
-    return json.dumps(snapshot, indent=1, sort_keys=True) + "\n"
-
-
 def _emit(label: str, report: dict, out: Path, snapshot_out: Path,
           check: bool) -> int:
-    rendered_snapshot = render(deterministic_subset(report))
-    if check:
-        committed = snapshot_out.read_text() if snapshot_out.exists() else ""
-        if committed != rendered_snapshot:
-            print(f"{label} perf snapshot drift: {snapshot_out} does not "
-                  "match this revision "
-                  "(re-run scripts/export_bench_obs.py)")
-            return 1
-        print(f"{label} perf snapshot up to date: {snapshot_out}")
-    else:
-        snapshot_out.parent.mkdir(parents=True, exist_ok=True)
-        snapshot_out.write_text(rendered_snapshot)
-        print(f"wrote {snapshot_out}")
-    out.write_text(render(report))
-    print(f"wrote {out}")
-    return 0
+    return emit_report(f"{label} perf", report, out, snapshot_out, check,
+                       "export_bench_obs.py")
 
 
 def main() -> int:

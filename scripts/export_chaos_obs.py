@@ -14,9 +14,9 @@ Run from the repo root::
 from __future__ import annotations
 
 import argparse
-import json
 from pathlib import Path
 
+from obs_export import emit_snapshot, render
 from repro import (
     ChaosScenario,
     WildMeasurement,
@@ -102,10 +102,6 @@ def build_snapshot() -> dict:
     }
 
 
-def render(snapshot: dict) -> str:
-    return json.dumps(snapshot, indent=1, sort_keys=True) + "\n"
-
-
 def main() -> int:
     parser = argparse.ArgumentParser()
     parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
@@ -113,19 +109,8 @@ def main() -> int:
                         help="fail (exit 1) if the committed snapshot "
                              "does not match a fresh run")
     args = parser.parse_args()
-    rendered = render(build_snapshot())
-    if args.check:
-        committed = args.out.read_text() if args.out.exists() else ""
-        if committed != rendered:
-            print(f"chaos snapshot drift: {args.out} does not match this "
-                  "revision (re-run scripts/export_chaos_obs.py)")
-            return 1
-        print(f"chaos snapshot up to date: {args.out}")
-        return 0
-    args.out.parent.mkdir(parents=True, exist_ok=True)
-    args.out.write_text(rendered)
-    print(f"wrote {args.out}")
-    return 0
+    return emit_snapshot("chaos", render(build_snapshot()), args.out,
+                         args.check, "export_chaos_obs.py")
 
 
 if __name__ == "__main__":

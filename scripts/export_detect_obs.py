@@ -29,11 +29,11 @@ parameter drift rather than corruption.
 from __future__ import annotations
 
 import argparse
-import json
 import os
 import time
 from pathlib import Path
 
+from obs_export import deterministic_subset, emit_report, render
 from repro import (
     WildMeasurement,
     WildMeasurementConfig,
@@ -124,15 +124,6 @@ def build_report() -> dict:
     return report
 
 
-def deterministic_subset(report: dict) -> dict:
-    return {key: value for key, value in report.items()
-            if key != "wall_seconds"}
-
-
-def render(snapshot: dict) -> str:
-    return json.dumps(snapshot, indent=1, sort_keys=True) + "\n"
-
-
 def main() -> int:
     parser = argparse.ArgumentParser()
     parser.add_argument("--out", type=Path, default=DEFAULT_OUT,
@@ -143,24 +134,9 @@ def main() -> int:
                         help="fail (exit 1) if the committed snapshot "
                              "does not match a fresh run")
     args = parser.parse_args()
-    report = build_report()
-    rendered_snapshot = render(deterministic_subset(report))
-    if args.check:
-        committed = (args.snapshot_out.read_text()
-                     if args.snapshot_out.exists() else "")
-        if committed != rendered_snapshot:
-            print(f"detect snapshot drift: {args.snapshot_out} does not "
-                  "match this revision "
-                  "(re-run scripts/export_detect_obs.py)")
-            return 1
-        print(f"detect snapshot up to date: {args.snapshot_out}")
-    else:
-        args.snapshot_out.parent.mkdir(parents=True, exist_ok=True)
-        args.snapshot_out.write_text(rendered_snapshot)
-        print(f"wrote {args.snapshot_out}")
-    args.out.write_text(render(report))
-    print(f"wrote {args.out}")
-    return 0
+    return emit_report("detect", build_report(), args.out,
+                       args.snapshot_out, args.check,
+                       "export_detect_obs.py")
 
 
 if __name__ == "__main__":

@@ -10,6 +10,9 @@ Commands
 ``detect``   Stream install events from a source pipeline (synthetic
              corpus, honey telemetry, or the wild monitor) through the
              online lockstep detector and score it against ground truth.
+``serve``    Run the always-on detection/analytics service on the
+             virtual-time loop under a seeded client fleet and print
+             its latency/admission/cache/detection report.
 ``tables``   Print the static tables (1 and 2).
 ``obs``      Print top counters/spans from a metrics snapshot (or from
              a fresh honey run when no snapshot is given).
@@ -27,6 +30,37 @@ from typing import List, Optional, Sequence
 from repro.core import reports
 
 
+#: Every chaos-capable subcommand offers the same profiles.
+CHAOS_PROFILE_CHOICES = ("off", "mild", "paper", "harsh")
+
+
+def _add_chaos_flags(parser) -> None:
+    """The ``--chaos-profile/--chaos-seed`` pair shared by every
+    world-running subcommand (honey, wild, detect, serve)."""
+    parser.add_argument("--chaos-profile", default="off",
+                        choices=CHAOS_PROFILE_CHOICES,
+                        help="inject deterministic network faults at the "
+                             "named intensity (default: off)")
+    parser.add_argument("--chaos-seed", type=int, default=None,
+                        help="seed for the fault schedule (defaults to "
+                             "--seed); same seed => identical faults")
+
+
+def _add_shards_flag(parser, what: str) -> None:
+    """The ``--shards`` flag with the shared determinism promise."""
+    parser.add_argument("--shards", type=int, default=1,
+                        help=f"worker shards for {what}; any value yields "
+                             "byte-identical results at the same seed "
+                             "(default: 1, serial)")
+
+
+def _chaos_scenario(args):
+    """Build the :class:`ChaosScenario` the shared flags describe."""
+    from repro.net.chaos import ChaosScenario
+    seed = args.chaos_seed if args.chaos_seed is not None else args.seed
+    return ChaosScenario.profile(args.chaos_profile, seed=seed)
+
+
 def _add_honey(subparsers) -> None:
     parser = subparsers.add_parser(
         "honey", help="run the Section-3 honey-app experiment")
@@ -34,20 +68,11 @@ def _add_honey(subparsers) -> None:
     parser.add_argument("--installs-per-iip", type=int, default=None,
                         help="installs to purchase from each IIP "
                              "(default: the paper's 500)")
-    parser.add_argument("--shards", type=int, default=1,
-                        help="worker shards for the three IIP campaigns; "
-                             "any value yields byte-identical results at "
-                             "the same seed (default: 1, serial)")
+    _add_shards_flag(parser, "the three IIP campaigns")
     parser.add_argument("--no-tls-resumption", action="store_true",
                         help="disable the TLS session cache (every "
                              "telemetry upload pays a full handshake)")
-    parser.add_argument("--chaos-profile", default="off",
-                        choices=("off", "mild", "paper", "harsh"),
-                        help="inject deterministic network faults at the "
-                             "named intensity (default: off)")
-    parser.add_argument("--chaos-seed", type=int, default=None,
-                        help="seed for the fault schedule (defaults to "
-                             "--seed); same seed => identical faults")
+    _add_chaos_flags(parser)
 
 
 def _add_wild(subparsers) -> None:
@@ -61,17 +86,8 @@ def _add_wild(subparsers) -> None:
                         help="write the offer corpus JSON here")
     parser.add_argument("--export-archive", metavar="PATH",
                         help="write the crawl archive JSON here")
-    parser.add_argument("--chaos-profile", default="off",
-                        choices=("off", "mild", "paper", "harsh"),
-                        help="inject deterministic network faults at the "
-                             "named intensity (default: off)")
-    parser.add_argument("--chaos-seed", type=int, default=None,
-                        help="seed for the fault schedule (defaults to "
-                             "--seed); same seed => identical faults")
-    parser.add_argument("--shards", type=int, default=1,
-                        help="worker shards for milking and crawling; any "
-                             "value yields byte-identical results at the "
-                             "same seed (default: 1, serial)")
+    _add_chaos_flags(parser)
+    _add_shards_flag(parser, "milking and crawling")
 
 
 def _add_report(subparsers) -> None:
@@ -93,10 +109,7 @@ def _add_detect(subparsers) -> None:
                         help="event source: the synthetic labelled corpus, "
                              "the Section-3 honey telemetry, or the "
                              "Section-4 wild monitor (default: corpus)")
-    parser.add_argument("--shards", type=int, default=1,
-                        help="worker shards for the source pipeline; any "
-                             "value yields byte-identical results at the "
-                             "same seed (default: 1, serial)")
+    _add_shards_flag(parser, "the source pipeline")
     parser.add_argument("--scale", type=float, default=0.05,
                         help="wild source: fraction of the paper's 922 "
                              "advertised apps (default: 0.05)")
@@ -105,13 +118,37 @@ def _add_detect(subparsers) -> None:
     parser.add_argument("--installs-per-iip", type=int, default=None,
                         help="honey source: installs to purchase from each "
                              "IIP (default: the paper's 500)")
-    parser.add_argument("--chaos-profile", default="off",
-                        choices=("off", "mild", "paper", "harsh"),
-                        help="inject deterministic network faults into the "
-                             "source pipeline (default: off)")
-    parser.add_argument("--chaos-seed", type=int, default=None,
-                        help="seed for the fault schedule (defaults to "
-                             "--seed); same seed => identical faults")
+    _add_chaos_flags(parser)
+
+
+def _add_serve(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "serve", help="run the always-on detection/analytics service "
+                      "under a seeded load-generating client fleet")
+    parser.add_argument("--seed", type=int, default=2019)
+    parser.add_argument("--days", type=int, default=2,
+                        help="simulated service days on the virtual-time "
+                             "loop (default: 2)")
+    parser.add_argument("--clients", type=int, default=8,
+                        help="fleet clients, each with its own derived "
+                             "RNG stream (default: 8)")
+    parser.add_argument("--qps", type=float, default=1.0,
+                        help="admission token refill, requests per virtual "
+                             "second (default: 1.0)")
+    parser.add_argument("--burst", type=int, default=12,
+                        help="admission token-bucket capacity (default: 12)")
+    parser.add_argument("--scale", type=float, default=0.1,
+                        help="device-population multiplier per client, "
+                             "toward millions of simulated users "
+                             "(default: 0.1)")
+    parser.add_argument("--profile", default="query-heavy",
+                        choices=("query-heavy", "ingest-heavy", "mixed"),
+                        help="fleet endpoint mix (default: query-heavy)")
+    _add_shards_flag(parser, "the service's request workers")
+    _add_chaos_flags(parser)
+    parser.add_argument("--flagged-out", metavar="PATH",
+                        help="write the final flagged-device dump (JSON) "
+                             "here")
 
 
 def _add_obs(subparsers) -> None:
@@ -140,6 +177,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_wild(subparsers)
     _add_report(subparsers)
     _add_detect(subparsers)
+    _add_serve(subparsers)
     _add_obs(subparsers)
     subparsers.add_parser("tables", help="print the static tables (1 and 2)")
     paper = subparsers.add_parser(
@@ -183,11 +221,8 @@ def _cmd_tables() -> int:
 
 def _cmd_honey(args) -> int:
     from repro import HoneyAppExperiment, World
-    from repro.net.chaos import ChaosScenario
     from repro.simulation import paperdata
-    chaos_seed = args.chaos_seed if args.chaos_seed is not None else args.seed
-    chaos = ChaosScenario.profile(args.chaos_profile, seed=chaos_seed)
-    world = World(seed=args.seed, chaos=chaos)
+    world = World(seed=args.seed, chaos=_chaos_scenario(args))
     installs = (args.installs_per_iip if args.installs_per_iip is not None
                 else paperdata.HONEY_INSTALLS_PURCHASED)
     experiment = HoneyAppExperiment(
@@ -214,10 +249,7 @@ def _cmd_wild(args) -> int:
     from repro.analysis.characterize import iip_summary_table, offer_type_table
     from repro.iip.registry import VETTED_IIPS
 
-    from repro.net.chaos import ChaosScenario
-
-    chaos_seed = args.chaos_seed if args.chaos_seed is not None else args.seed
-    chaos = ChaosScenario.profile(args.chaos_profile, seed=chaos_seed)
+    chaos = _chaos_scenario(args)
     world = World(seed=args.seed, chaos=chaos)
     scenario = WildScenario(world, WildScenarioConfig(
         scale=args.scale, measurement_days=args.days))
@@ -298,11 +330,9 @@ def _cmd_report(args) -> int:
 def _cmd_detect(args) -> int:
     from repro.detection.lockstep import LockstepDetector
     from repro.detection.live import HONEY_DETECTOR_CONFIG, LiveDetection
-    from repro.net.chaos import ChaosScenario
     from repro.obs import Observability
 
-    chaos_seed = args.chaos_seed if args.chaos_seed is not None else args.seed
-    chaos = ChaosScenario.profile(args.chaos_profile, seed=chaos_seed)
+    chaos = _chaos_scenario(args)
     if args.source == "corpus":
         from repro.detection.bridge import build_training_corpus
         obs = Observability()
@@ -354,6 +384,34 @@ def _cmd_detect(args) -> int:
     return _maybe_dump_metrics(args, obs)
 
 
+def _cmd_serve(args) -> int:
+    from repro.serve import ServeRunConfig, run_serve
+    config = ServeRunConfig(
+        seed=args.seed,
+        days=args.days,
+        clients=args.clients,
+        qps=args.qps,
+        burst=args.burst,
+        shards=args.shards,
+        scale=args.scale,
+        profile=args.profile,
+        chaos_profile=args.chaos_profile,
+        chaos_seed=args.chaos_seed,
+    )
+    result = run_serve(config)
+    print(result.render())
+    if args.flagged_out:
+        try:
+            with open(args.flagged_out, "w", encoding="utf-8") as handle:
+                handle.write(result.flagged_dump())
+        except OSError as exc:
+            print(f"error: cannot write flagged dump: {exc}",
+                  file=sys.stderr)
+            return 1
+        print(f"flagged dump written to {args.flagged_out}")
+    return _maybe_dump_metrics(args, result.obs)
+
+
 def _cmd_obs(args) -> int:
     from repro.obs import load_snapshot, render_obs_table
     if args.metrics:
@@ -394,6 +452,8 @@ def _dispatch(args) -> int:
         return _cmd_report(args)
     if args.command == "detect":
         return _cmd_detect(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "obs":
         return _cmd_obs(args)
     if args.command == "paper":

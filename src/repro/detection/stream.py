@@ -67,20 +67,48 @@ class InstallEventBus:
     :class:`~repro.detection.events.InstallLog` collector) consume.
     ``source`` labels the ``detection.events_ingested`` counter so the
     obs export shows which pipeline fed the detector.
+
+    ``retain=True`` keeps every published event so subscribers that
+    arrive late (a dashboard attaching to a running service, a second
+    detector spun up for comparison) can ask for a replay of the full
+    history before receiving live traffic.
     """
 
     def __init__(self, obs: Optional[Observability] = None,
-                 source: str = "live") -> None:
+                 source: str = "live", retain: bool = False) -> None:
         self.obs = obs or NULL_OBS
         self.source = source
         self.events_published = 0
         self._subscribers: List[Subscriber] = []
+        self._retained: Optional[List[DeviceInstallEvent]] = (
+            [] if retain else None)
 
-    def subscribe(self, subscriber: Subscriber) -> None:
+    @property
+    def retains_events(self) -> bool:
+        return self._retained is not None
+
+    @property
+    def retained_events(self) -> List[DeviceInstallEvent]:
+        return list(self._retained or ())
+
+    def subscribe(self, subscriber: Subscriber,
+                  replay: bool = False) -> None:
+        """Attach a subscriber; with ``replay=True`` it first receives
+        every retained event in publication order, so a late subscriber
+        converges to the same state as one attached from the start."""
+        if replay:
+            if self._retained is None:
+                raise ValueError(
+                    "replay requested but this bus does not retain "
+                    "events (construct it with retain=True)")
+            for event in self._retained:
+                subscriber(event)
         self._subscribers.append(subscriber)
 
     def publish(self, event: DeviceInstallEvent) -> None:
         self.events_published += 1
+        if self._retained is not None:
+            self._retained.append(event)
         self.obs.metrics.inc("detection.events_ingested", source=self.source)
         for subscriber in self._subscribers:
             subscriber(event)
@@ -122,6 +150,14 @@ class OnlineLockstepDetector:
     def flagged_devices(self) -> Set[str]:
         """Devices flagged so far (grows monotonically)."""
         return set(self._flagged)
+
+    @property
+    def watermark_hours(self) -> float:
+        """The stream watermark: the largest timestamp ingested so far
+        (``-inf`` before the first event).  Non-decreasing by
+        construction; queries interleaved with ingestion see it move
+        monotonically."""
+        return self._watermark
 
     def ingest(self, event: DeviceInstallEvent) -> None:
         timestamp = event.timestamp_hours

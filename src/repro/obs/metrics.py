@@ -155,6 +155,24 @@ class HistogramState:
                 return min(max(bound, low), high)
         return self.maximum if self.maximum is not None else self.bounds[-1]
 
+    def summary(self) -> Dict[str, object]:
+        """The standard percentile summary every exporter pins.
+
+        One shape for every ``export_*_obs.py`` script and the serve
+        report: count, mean (rounded to 0.1 for snapshot stability),
+        bucket-resolution p50/p90/p95/p99, and the exact min/max.
+        """
+        return {
+            "count": self.count,
+            "mean": round(self.mean, 1),
+            "p50": self.quantile(0.50),
+            "p90": self.quantile(0.90),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+            "min": self.minimum,
+            "max": self.maximum,
+        }
+
     def to_dict(self) -> Dict[str, object]:
         return {
             "bounds": list(self.bounds),
@@ -262,6 +280,15 @@ class MetricsRegistry:
 
     def counter_total(self, name: str) -> Number:
         return sum(self._counters.get(name, {}).values())
+
+    def counter_total_by_label(self, name: str, label: str,
+                               value: object) -> Number:
+        """Sum of every ``name`` series carrying ``label=value``
+        (e.g. all ``serve.responses`` for one endpoint)."""
+        wanted = (str(label), str(value))
+        return sum(count
+                   for key, count in self._counters.get(name, {}).items()
+                   if wanted in key)
 
     def counter_names(self) -> List[str]:
         return sorted(self._counters)

@@ -1,0 +1,87 @@
+"""Watermark-keyed response cache for the read endpoints.
+
+Every cacheable response is a pure function of ``(endpoint, params,
+watermark)``: queries at the same watermark see the same detection
+state and the same (static) datasets, so the body can be replayed
+verbatim.  When ingest advances the watermark the whole cache is
+invalidated at once — cheaper and simpler than per-entry tracking, and
+exactly right for a service whose every write potentially changes every
+flagged-set answer.
+
+Eviction is FIFO over insertion order, which is deterministic under the
+virtual-time loop's deterministic request schedule; hit/miss/eviction
+counts land in ``serve.cache_*`` metrics for the bench to pin.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Mapping, Optional, Tuple
+
+from repro.obs import NULL_OBS, Observability
+
+CacheKey = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+
+def params_key(params: Mapping[str, object]) -> Tuple[Tuple[str, str], ...]:
+    """Canonical hashable form of a request's params (order-free)."""
+    return tuple(sorted((str(k), str(v)) for k, v in params.items()))
+
+
+class WatermarkCache:
+    """Response cache invalidated wholesale on watermark movement."""
+
+    def __init__(self, obs: Optional[Observability] = None,
+                 max_entries: int = 512) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        self.obs = obs or NULL_OBS
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[CacheKey, object]" = OrderedDict()
+        self._watermark = -1
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def watermark(self) -> int:
+        return self._watermark
+
+    def _sync_watermark(self, watermark: int) -> None:
+        if watermark != self._watermark:
+            if self._entries:
+                self.invalidations += 1
+                self.obs.metrics.inc("serve.cache_invalidations")
+                self._entries.clear()
+            self._watermark = watermark
+
+    def lookup(self, endpoint: str, params: Mapping[str, object],
+               watermark: int) -> Tuple[bool, object]:
+        """``(hit, body)``; body is only meaningful when hit is True."""
+        self._sync_watermark(watermark)
+        key = (endpoint, params_key(params))
+        if key in self._entries:
+            self.hits += 1
+            self.obs.metrics.inc("serve.cache_hits", endpoint=endpoint)
+            return True, self._entries[key]
+        self.misses += 1
+        self.obs.metrics.inc("serve.cache_misses", endpoint=endpoint)
+        return False, None
+
+    def store(self, endpoint: str, params: Mapping[str, object],
+              watermark: int, body: object) -> None:
+        self._sync_watermark(watermark)
+        key = (endpoint, params_key(params))
+        self._entries[key] = body
+        if len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+            self.obs.metrics.inc("serve.cache_evictions")
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

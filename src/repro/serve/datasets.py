@@ -1,0 +1,173 @@
+"""Named offer datasets behind the service's ``datasets`` endpoint.
+
+Operators of an always-on fraud-analytics service keep the monitor's
+corpora queryable next to the live detection state: list the datasets,
+load records, filter by IIP/country/payout, or run the Table-3 offer
+characterisation on demand.  The registry serves any mapping of
+:class:`~repro.monitor.dataset.OfferDataset` objects; the default
+builder synthesises small seeded corpora (same generator stack as the
+wild monitor — real affiliate specs, real description templates) so the
+endpoint has realistic payloads without dragging a full ``World``
+behind a request handler.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Mapping, Optional
+
+from repro.affiliates.registry import AFFILIATE_SPECS, affiliates_integrating
+from repro.analysis.characterize import offer_type_table
+from repro.iip.offers import (
+    ActivityKind,
+    OfferCategory,
+    OfferDescriptionGenerator,
+)
+from repro.iip.registry import UNVETTED_IIPS, VETTED_IIPS
+from repro.monitor.dataset import ObservedOffer, OfferDataset, OfferRecord
+from repro.parallel.hashing import derive_rng
+
+#: Countries the paper milked from (subset), plus worldwide (None).
+_COUNTRIES = ("US", "IN", "GB", "DE", "BR", "PH", None)
+
+#: Maximum records returned by ``load``/``filter`` in one response.
+MAX_RECORDS = 50
+
+
+def _serialize(record: OfferRecord) -> Dict[str, object]:
+    return {
+        "iip": record.iip_name,
+        "offer_id": record.offer_id,
+        "package": record.package,
+        "payout_usd": round(record.payout_usd, 4),
+        "first_seen_day": record.first_seen_day,
+        "last_seen_day": record.last_seen_day,
+        "countries": sorted(record.countries),
+        "affiliates": sorted(record.affiliates),
+    }
+
+
+class DatasetRegistry:
+    """Read-only query surface over named offer datasets."""
+
+    def __init__(self, datasets: Mapping[str, OfferDataset]) -> None:
+        self._datasets = {name: datasets[name] for name in sorted(datasets)}
+
+    def names(self) -> List[str]:
+        return list(self._datasets)
+
+    def get(self, name: str) -> OfferDataset:
+        try:
+            return self._datasets[name]
+        except KeyError:
+            known = ", ".join(self.names())
+            raise KeyError(
+                f"unknown dataset {name!r} (known: {known})") from None
+
+    def execute(self, params: Mapping[str, object]) -> Dict[str, object]:
+        """One ``datasets`` request; raises ``KeyError``/``ValueError``
+        on bad params (the service maps those to a 400)."""
+        op = str(params.get("op", "list"))
+        if op == "list":
+            return {"datasets": [
+                {"name": name,
+                 "offers": dataset.offer_count(),
+                 "packages": len(dataset.unique_packages()),
+                 "iips": dataset.iips_observed()}
+                for name, dataset in self._datasets.items()]}
+        name = str(params.get("name", ""))
+        dataset = self.get(name)
+        if op == "load":
+            limit = min(int(params.get("limit", 10)), MAX_RECORDS)
+            records = dataset.offers()[:limit]
+            return {"name": name, "offers": dataset.offer_count(),
+                    "records": [_serialize(record) for record in records]}
+        if op == "filter":
+            iip = params.get("iip")
+            country = params.get("country")
+            min_payout = float(params.get("min_payout", 0.0))
+            matched = [
+                record for record in dataset.offers()
+                if (iip is None or record.iip_name == iip)
+                and (country is None or country in record.countries)
+                and record.payout_usd >= min_payout]
+            return {"name": name, "matched": len(matched),
+                    "records": [_serialize(record)
+                                for record in matched[:MAX_RECORDS]]}
+        if op == "analyse":
+            rows = offer_type_table(dataset)
+            return {"name": name,
+                    "mean_campaign_days": round(
+                        dataset.mean_campaign_duration_days(), 2),
+                    "rows": [{"label": row.label,
+                              "offers": row.offer_count,
+                              "fraction": round(row.fraction_of_all, 4),
+                              "average_payout_usd": round(
+                                  row.average_payout_usd, 4)}
+                             for row in rows]}
+        raise ValueError(
+            f"unknown dataset op {op!r} "
+            "(known: list, load, filter, analyse)")
+
+
+def _synthetic_dataset(name: str, seed: int, offers: int) -> OfferDataset:
+    rng: random.Random = derive_rng(seed, "serve-dataset", name)
+    generator = OfferDescriptionGenerator(rng)
+    dataset = OfferDataset(AFFILIATE_SPECS)
+    iips = list(VETTED_IIPS + UNVETTED_IIPS)
+    for index in range(offers):
+        iip = rng.choice(iips)
+        affiliate = rng.choice(affiliates_integrating(iip))
+        if rng.random() < 0.55:
+            category, kind = OfferCategory.NO_ACTIVITY, None
+        else:
+            category = OfferCategory.ACTIVITY
+            kind = rng.choice(list(ActivityKind))
+        title = f"Serve App {index:03d}"
+        package = f"com.serve.{name.replace('-', '')}.app{index:03d}"
+        first_day = rng.randint(0, 40)
+        observation = ObservedOffer(
+            iip_name=iip,
+            offer_id=f"{name}-{index:04d}",
+            package=package,
+            app_title=title,
+            play_store_url=f"https://play.example/store/apps/{package}",
+            description=generator.describe(category, kind, title),
+            payout_points=rng.randint(50, 5000),
+            currency=AFFILIATE_SPECS[affiliate].currency_name,
+            affiliate_package=affiliate,
+            country=rng.choice(_COUNTRIES),
+            day=first_day,
+        )
+        dataset.ingest(observation)
+        # A second sighting for some offers gives the dedup history
+        # (duration, extra countries) real work to do.
+        if rng.random() < 0.4:
+            dataset.ingest(ObservedOffer(
+                iip_name=observation.iip_name,
+                offer_id=observation.offer_id,
+                package=observation.package,
+                app_title=observation.app_title,
+                play_store_url=observation.play_store_url,
+                description=observation.description,
+                payout_points=observation.payout_points,
+                currency=observation.currency,
+                affiliate_package=observation.affiliate_package,
+                country=rng.choice(_COUNTRIES),
+                day=first_day + rng.randint(1, 20),
+            ))
+    return dataset
+
+
+def build_serve_datasets(seed: int,
+                         scale: float = 0.1) -> Dict[str, OfferDataset]:
+    """The service's default corpora, sized by ``--scale``."""
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    base = max(24, int(200 * scale))
+    return {
+        "offers-daily": _synthetic_dataset("offers-daily", seed, base),
+        "offers-weekly": _synthetic_dataset("offers-weekly", seed, base // 2),
+        "charts-impact": _synthetic_dataset("charts-impact", seed,
+                                            max(12, base // 3)),
+    }

@@ -1,0 +1,346 @@
+"""The seeded load-generating client fleet.
+
+Each client is a coroutine with its own :func:`~repro.parallel.hashing.
+derive_rng` stream, a bursty arrival process (single requests
+interleaved with tight bursts), and the real client-side resilience
+machinery from ``repro.net.client``: a :class:`RetryPolicy` backing off
+from 429s/injected faults and a :class:`CircuitBreaker` on the shared
+op clock quarantining the service after consecutive failures.  The
+``--scale`` knob multiplies the device population each client models,
+scaling the simulated user base toward the ROADMAP's millions without
+changing the request schedule.
+
+Traffic model
+-------------
+Endpoint mix comes from a named profile (``query-heavy`` /
+``ingest-heavy`` / ``mixed``).  The write path models two populations:
+
+* **campaign waves** — an install campaign drains in waves of
+  low-engagement installs drawn from the client's *worker pool* with
+  heavy reuse (the paper's Section-5 observation that the same physical
+  devices serve many campaigns), sometimes as a colocated farm sharing
+  one /24.  These are the detector's ground-truth positives, reported
+  to the service as incentivized.
+* **organic installs** — fresh devices, popular apps, high engagement;
+  the detector must leave them alone.
+
+Every query endpoint draws its params from a small per-fleet pool, so
+repeated queries between watermark advances exercise the response
+cache — the bench pins the resulting hit rate.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.detection.events import DeviceInstallEvent
+from repro.net.client import CircuitBreaker, RetryPolicy
+from repro.net.errors import CircuitOpenError, TransientNetworkError
+from repro.obs import NULL_OBS, Observability
+from repro.parallel.hashing import derive_rng
+from repro.serve.service import DetectionService, ServeRequest, ServeResponse
+from repro.serve.vtime import DAY_SECONDS, VirtualClock
+
+#: Host label the circuit breaker quarantines.
+SERVICE_HOST = "serve.local"
+
+#: Endpoint mixes; weights are consumed in this literal order.
+PROFILES: Dict[str, Tuple[Tuple[str, float], ...]] = {
+    "query-heavy": (("ingest", 0.05), ("flagged", 0.40), ("datasets", 0.28),
+                    ("metrics", 0.17), ("health", 0.10)),
+    "ingest-heavy": (("ingest", 0.55), ("flagged", 0.20), ("datasets", 0.10),
+                     ("metrics", 0.05), ("health", 0.10)),
+    "mixed": (("ingest", 0.25), ("flagged", 0.30), ("datasets", 0.25),
+              ("metrics", 0.10), ("health", 0.10)),
+}
+
+#: Organic installs land on a shared pool of popular apps.
+_POPULAR_APPS = tuple(f"com.popular.app{index:02d}" for index in range(40))
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Shape of the generated load."""
+
+    clients: int = 8
+    days: int = 2
+    profile: str = "query-heavy"
+    #: Mean requests per client per simulated day.
+    requests_per_client_day: float = 700.0
+    #: Probability an arrival opens a tight burst instead of a single.
+    burst_probability: float = 0.35
+    #: Burst length range (inclusive).
+    burst_span: Tuple[int, int] = (4, 14)
+    #: Gap between requests inside a burst, virtual seconds.
+    burst_gap_seconds: float = 0.002
+    #: Device population each client models before ``scale``.
+    users_per_client: int = 4000
+    #: Population multiplier (the CLI ``--scale``).
+    scale: float = 0.1
+    #: Probability a fresh wave-device is reused from the pool (drives
+    #: cross-campaign lockstep participation).
+    reuse_probability: float = 0.8
+    #: Virtual seconds per retry backoff op.
+    backoff_seconds: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.profile not in PROFILES:
+            known = ", ".join(sorted(PROFILES))
+            raise ValueError(
+                f"unknown fleet profile {self.profile!r} (known: {known})")
+        if self.clients < 1 or self.days < 1:
+            raise ValueError("fleet needs at least one client and one day")
+        if self.scale <= 0:
+            raise ValueError("scale must be positive")
+
+    @property
+    def population_per_client(self) -> int:
+        return max(8, int(self.users_per_client * self.scale))
+
+
+class _Campaign:
+    """One install campaign a client drains in waves."""
+
+    def __init__(self, package: str, waves_left: int, farm: bool) -> None:
+        self.package = package
+        self.waves_left = waves_left
+        self.farm = farm
+        self.farm_devices: List[Tuple[str, str, str]] = []
+
+
+class FleetClient:
+    """One seeded client coroutine."""
+
+    def __init__(self, index: int, config: FleetConfig, seed: int,
+                 service: DetectionService, vclock: VirtualClock,
+                 obs: Optional[Observability] = None,
+                 query_pool: Sequence[Dict[str, object]] = ()) -> None:
+        self.index = index
+        self.config = config
+        self.client_id = f"client-{index:04d}"
+        self.rng: random.Random = derive_rng(seed, "serve-fleet", index)
+        self.service = service
+        self.vclock = vclock
+        self.obs = obs or NULL_OBS
+        self.policy = RetryPolicy(max_attempts=3, backoff_ops=2)
+        self.breaker = CircuitBreaker(
+            failure_threshold=5, recovery_ops=200,
+            op_clock=lambda: self.obs.ops.value, obs=self.obs)
+        self.stats: Counter = Counter()
+        self._query_pool = list(query_pool)
+        #: (device_id, ip_slash24, ssid_hash) worker pool, grown lazily.
+        self._pool: List[Tuple[str, str, str]] = []
+        self._campaigns: List[_Campaign] = []
+        self._campaign_seq = 0
+        self._organic_seq = 0
+
+    # -- traffic generation --------------------------------------------------
+
+    async def run(self) -> None:
+        rng = self.rng
+        config = self.config
+        horizon = config.days * DAY_SECONDS
+        mean_gap = DAY_SECONDS / config.requests_per_client_day
+        while True:
+            await self.vclock.sleep(rng.expovariate(1.0 / mean_gap))
+            if self.vclock.now() >= horizon:
+                return
+            burst = 1
+            if rng.random() < config.burst_probability:
+                burst = rng.randint(*config.burst_span)
+            for shot in range(burst):
+                if shot:
+                    await self.vclock.sleep(config.burst_gap_seconds)
+                    if self.vclock.now() >= horizon:
+                        return
+                await self._send(self._next_request())
+
+    def _next_request(self) -> ServeRequest:
+        roll = self.rng.random()
+        cumulative = 0.0
+        endpoint = PROFILES[self.config.profile][-1][0]
+        for name, weight in PROFILES[self.config.profile]:
+            cumulative += weight
+            if roll < cumulative:
+                endpoint = name
+                break
+        if endpoint == "ingest":
+            params = self._ingest_params()
+        elif endpoint in ("health", "metrics"):
+            params = {}
+        elif endpoint == "flagged":
+            params = {"min_clusters": self.rng.choice((1, 1, 1, 2))}
+        else:
+            params = self.rng.choice(self._query_pool)
+        return ServeRequest(endpoint=endpoint, params=params,
+                            client_id=self.client_id)
+
+    # -- device / campaign model ---------------------------------------------
+
+    def _new_device(self) -> Tuple[str, str, str]:
+        rng = self.rng
+        device = (f"w{self.index:03d}-{len(self._pool):05d}",
+                  f"198.51.{rng.randint(0, 255)}.0/24",
+                  f"ssid:{rng.randrange(16 ** 8):08x}")
+        self._pool.append(device)
+        return device
+
+    def _pool_device(self) -> Tuple[str, str, str]:
+        rng = self.rng
+        if self._pool and (rng.random() < self.config.reuse_probability
+                           or len(self._pool)
+                           >= self.config.population_per_client):
+            return self._pool[rng.randrange(len(self._pool))]
+        return self._new_device()
+
+    def _active_campaign(self) -> _Campaign:
+        rng = self.rng
+        live = [c for c in self._campaigns if c.waves_left > 0]
+        if live and rng.random() < 0.6:
+            return live[rng.randrange(len(live))]
+        self._campaign_seq += 1
+        campaign = _Campaign(
+            package=(f"com.campaign.c{self.index:03d}"
+                     f".n{self._campaign_seq:03d}"),
+            waves_left=rng.randint(2, 4),
+            farm=rng.random() < 0.3)
+        self._campaigns.append(campaign)
+        return campaign
+
+    def _ingest_params(self) -> Dict[str, object]:
+        rng = self.rng
+        if rng.random() < 0.7:
+            return self._campaign_wave()
+        return self._organic_batch()
+
+    def _campaign_wave(self) -> Dict[str, object]:
+        rng = self.rng
+        campaign = self._active_campaign()
+        campaign.waves_left -= 1
+        min_burst = self.service.config.detector.min_burst_size
+        size = rng.randint(min_burst, min_burst + 8)
+        if campaign.farm:
+            # A colocated farm: one /24 and SSID for the whole wave
+            # (the detector's dominant-block signal, weight 2).
+            while len(campaign.farm_devices) < size:
+                base = self._new_device()
+                if not campaign.farm_devices:
+                    block, ssid = base[1], base[2]
+                else:
+                    block, ssid = (campaign.farm_devices[0][1],
+                                   campaign.farm_devices[0][2])
+                campaign.farm_devices.append((base[0], block, ssid))
+            devices = campaign.farm_devices[:size]
+        else:
+            devices = [self._pool_device() for _ in range(size)]
+        events = [
+            DeviceInstallEvent(
+                device_id=device_id,
+                package=campaign.package,
+                day=0, hour=0.0,  # re-stamped at ingestion time
+                ip_slash24=block,
+                ssid_hash=ssid,
+                opened=rng.random() < 0.7,
+                engagement_seconds=rng.uniform(5.0, 150.0),
+            )
+            for device_id, block, ssid in devices]
+        self.stats["campaign_waves"] += 1
+        return {"events": events,
+                "incentivized": sorted({event.device_id
+                                        for event in events})}
+
+    def _organic_batch(self) -> Dict[str, object]:
+        rng = self.rng
+        events = []
+        for _ in range(rng.randint(1, 3)):
+            self._organic_seq += 1
+            events.append(DeviceInstallEvent(
+                device_id=f"org{self.index:03d}-{self._organic_seq:05d}",
+                package=rng.choice(_POPULAR_APPS),
+                day=0, hour=0.0,
+                ip_slash24=f"203.0.{rng.randint(0, 255)}.0/24",
+                ssid_hash=f"ssid:{rng.randrange(16 ** 8):08x}",
+                opened=rng.random() < 0.95,
+                engagement_seconds=rng.uniform(200.0, 1200.0),
+            ))
+        self.stats["organic_batches"] += 1
+        return {"events": events, "incentivized": ()}
+
+    # -- resilient send ------------------------------------------------------
+
+    async def _send(self, request: ServeRequest) -> Optional[ServeResponse]:
+        metrics = self.obs.metrics
+        response: Optional[ServeResponse] = None
+        for attempt in range(self.policy.max_attempts):
+            try:
+                self.breaker.allow(SERVICE_HOST)
+            except CircuitOpenError:
+                self.stats["circuit_skips"] += 1
+                metrics.inc("serve.fleet.circuit_skips")
+                return None
+            if attempt:
+                self.stats["retries"] += 1
+                metrics.inc("serve.fleet.retries")
+                await self.vclock.sleep(self.policy.backoff_ops * attempt
+                                        * self.config.backoff_seconds)
+            try:
+                response = await self.service.submit(request)
+            except TransientNetworkError:
+                self.stats["connect_faults"] += 1
+                metrics.inc("serve.fleet.connect_faults")
+                self.breaker.record_failure(SERVICE_HOST)
+                response = None
+                continue
+            self.stats[f"status_{response.status}"] += 1
+            if self.policy.retriable_status(response.status):
+                self.breaker.record_failure(SERVICE_HOST)
+                continue
+            self.breaker.record_success(SERVICE_HOST)
+            return response
+        self.stats["gave_up"] += 1
+        metrics.inc("serve.fleet.gave_up")
+        return response
+
+
+class ClientFleet:
+    """All clients for one run, launched in index order."""
+
+    def __init__(self, service: DetectionService, vclock: VirtualClock,
+                 config: FleetConfig, seed: int,
+                 obs: Optional[Observability] = None) -> None:
+        self.config = config
+        query_pool = self._build_query_pool(service.datasets.names())
+        self.clients = [
+            FleetClient(index, config, seed, service, vclock, obs=obs,
+                        query_pool=query_pool)
+            for index in range(config.clients)]
+
+    @staticmethod
+    def _build_query_pool(dataset_names: Sequence[str]) -> List[Dict[str, object]]:
+        """The small shared param pool the cache sees repeats from."""
+        pool: List[Dict[str, object]] = [{"op": "list"}]
+        for name in dataset_names:
+            pool.append({"op": "load", "name": name, "limit": 10})
+            pool.append({"op": "analyse", "name": name})
+        if dataset_names:
+            pool.append({"op": "filter", "name": dataset_names[0],
+                         "iip": "Fyber"})
+        return pool
+
+    @property
+    def simulated_users(self) -> int:
+        return self.config.clients * self.config.population_per_client
+
+    async def run(self) -> None:
+        await asyncio.gather(*(asyncio.ensure_future(client.run())
+                               for client in self.clients))
+
+    def stats(self) -> Dict[str, int]:
+        totals: Counter = Counter()
+        for client in self.clients:
+            totals.update(client.stats)
+        return {key: totals[key] for key in sorted(totals)}

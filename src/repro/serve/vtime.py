@@ -1,0 +1,118 @@
+"""Deterministic virtual-time asyncio: the serve subsystem's clock.
+
+A long-lived service cannot be benchmarked on wall time and stay
+byte-identical across runs, so the service and its client fleet run on
+a :class:`VirtualTimeEventLoop`: ``loop.time()`` reports *virtual
+seconds* that only advance when every ready callback has run and the
+loop jumps straight to the earliest scheduled timer.  ``select`` is
+always polled with a zero timeout, so a simulated day costs exactly as
+much wall time as the callbacks scheduled inside it — a two-day service
+run with thousands of requests finishes in seconds of real time.
+
+Determinism contract
+--------------------
+The loop introduces no nondeterminism of its own: the ready queue is
+FIFO, timers are a heap keyed by ``(when, insertion counter)``, and the
+virtual clock is a pure function of the timer schedule.  Combined with
+the repo-wide rules (all randomness from :func:`~repro.parallel.hashing.
+derive_rng` streams, no wall clocks in outputs), two same-seed service
+runs execute the exact same callback sequence and export byte-identical
+metrics.  ``tests/serve/test_vtime.py`` holds the loop to this.
+
+The simulation day clock keys off the same virtual timeline:
+``day = virtual_seconds // 86400``, which :class:`VirtualClock` exposes
+so the service can keep its :class:`~repro.simulation.clock.
+SimulationClock` (and everything downstream that reads it) in sync.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import selectors
+from typing import Any, Coroutine, TypeVar
+
+T = TypeVar("T")
+
+#: Virtual seconds per simulation day (the ``SimulationClock`` unit).
+DAY_SECONDS = 86400.0
+
+
+class VirtualLoopStalled(RuntimeError):
+    """The loop has neither ready callbacks nor scheduled timers.
+
+    On a wall-clock loop this state blocks in ``select`` until an
+    external event arrives; a virtual-time service has no external
+    events, so the only honest outcome is an error naming the deadlock
+    (typically an ``await`` on a future nothing will ever resolve).
+    """
+
+
+class VirtualTimeEventLoop(asyncio.SelectorEventLoop):
+    """A selector event loop whose clock is simulated.
+
+    ``time()`` returns virtual seconds.  When the ready queue drains,
+    the loop advances the virtual clock to the earliest timer deadline
+    before delegating to the stock ``_run_once``, which then computes a
+    zero select timeout and fires the timer immediately — no wall-clock
+    sleeping ever happens.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(selectors.SelectSelector())
+        self._virtual_now = 0.0
+
+    def time(self) -> float:
+        return self._virtual_now
+
+    def _run_once(self) -> None:
+        if not self._ready:
+            if self._scheduled:
+                # Jump to the earliest timer (cancelled handles are
+                # fine to land on: the base loop discards them and the
+                # next pass advances again).
+                when = self._scheduled[0]._when
+                if when > self._virtual_now:
+                    self._virtual_now = when
+            elif not self._stopping:
+                raise VirtualLoopStalled(
+                    "virtual-time loop has no ready callbacks and no "
+                    "timers; an await can never complete")
+        super()._run_once()
+
+
+class VirtualClock:
+    """Read-side facade over a virtual loop's timeline.
+
+    The service and fleet take one of these instead of the loop so the
+    only thing they can do with time is read it or sleep on it.
+    """
+
+    def __init__(self, loop: VirtualTimeEventLoop) -> None:
+        self._loop = loop
+
+    def now(self) -> float:
+        """Virtual seconds since the service started."""
+        return self._loop.time()
+
+    @property
+    def day(self) -> int:
+        """The simulation day this virtual instant falls in."""
+        return int(self._loop.time() // DAY_SECONDS)
+
+    @property
+    def hour_of_day(self) -> float:
+        """Hour within the current day, in ``[0, 24)``."""
+        return (self._loop.time() % DAY_SECONDS) / 3600.0
+
+    async def sleep(self, seconds: float) -> None:
+        """Advance virtual time without consuming wall time."""
+        await asyncio.sleep(seconds)
+
+
+def run_virtual(main: Coroutine[Any, Any, T]) -> T:
+    """Run ``main`` to completion on a fresh virtual-time loop."""
+    loop = VirtualTimeEventLoop()
+    try:
+        return loop.run_until_complete(main)
+    finally:
+        loop.close()

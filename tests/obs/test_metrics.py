@@ -25,6 +25,18 @@ class TestCounters:
     def test_missing_counter_reads_zero(self):
         assert MetricsRegistry().counter_value("nope") == 0
 
+    def test_counter_total_by_label_sums_across_other_labels(self):
+        registry = MetricsRegistry()
+        registry.inc("serve.responses", endpoint="flagged", status="200")
+        registry.inc("serve.responses", 2, endpoint="flagged", status="400")
+        registry.inc("serve.responses", 4, endpoint="health", status="200")
+        assert registry.counter_total_by_label(
+            "serve.responses", "endpoint", "flagged") == 3
+        assert registry.counter_total_by_label(
+            "serve.responses", "status", "200") == 5
+        assert registry.counter_total_by_label(
+            "serve.responses", "endpoint", "missing") == 0
+
     def test_top_counters_sorted_by_value_then_key(self):
         registry = MetricsRegistry()
         registry.inc("b", 3)
@@ -60,6 +72,32 @@ class TestGaugesAndHistograms:
         registry.observe("h", 1.0)
         with pytest.raises(ValueError):
             registry.declare_histogram("h", (1.0,))
+
+    def test_summary_is_the_standard_percentile_shape(self):
+        registry = MetricsRegistry()
+        registry.declare_histogram("latency", (1.0, 10.0, 100.0))
+        for value in (0.5, 2.0, 5.0, 50.0):
+            registry.observe("latency", value)
+        summary = registry.histogram("latency").summary()
+        assert summary == {
+            "count": 4,
+            "mean": round((0.5 + 2.0 + 5.0 + 50.0) / 4, 1),
+            "p50": 10.0,
+            "p90": 50.0,  # bucket bound 100 clamped to the recorded max
+            "p95": 50.0,
+            "p99": 50.0,
+            "min": 0.5,
+            "max": 50.0,
+        }
+        assert summary["p50"] <= summary["p90"] <= summary["p99"]
+
+    def test_empty_histogram_summary_is_all_zero(self):
+        from repro.obs.metrics import HistogramState
+        summary = HistogramState(bounds=(1.0, 10.0)).summary()
+        assert summary["count"] == 0
+        assert summary["mean"] == 0.0
+        assert summary["p99"] == 0.0
+        assert summary["min"] is None and summary["max"] is None
 
 
 class TestDeterminism:

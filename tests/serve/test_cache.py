@@ -1,0 +1,59 @@
+"""Watermark cache: hits, wholesale invalidation, FIFO eviction."""
+
+from repro.obs import Observability
+from repro.serve import WatermarkCache, params_key
+
+
+class TestParamsKey:
+    def test_order_free_and_stringified(self):
+        assert params_key({"b": 2, "a": 1}) == params_key({"a": "1", "b": "2"})
+
+    def test_distinct_values_stay_distinct(self):
+        assert params_key({"a": 1}) != params_key({"a": 2})
+
+
+class TestWatermarkCache:
+    def test_miss_then_hit_at_the_same_watermark(self):
+        cache = WatermarkCache(Observability())
+        hit, _ = cache.lookup("flagged", {"min_clusters": 2}, watermark=5)
+        assert not hit
+        cache.store("flagged", {"min_clusters": 2}, 5, {"devices": 3})
+        hit, body = cache.lookup("flagged", {"min_clusters": 2}, 5)
+        assert hit and body == {"devices": 3}
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert cache.hit_rate() == 0.5
+
+    def test_param_order_does_not_split_entries(self):
+        cache = WatermarkCache(Observability())
+        cache.store("datasets", {"op": "load", "name": "x"}, 1, "body")
+        hit, body = cache.lookup("datasets", {"name": "x", "op": "load"}, 1)
+        assert hit and body == "body"
+
+    def test_watermark_movement_invalidates_everything(self):
+        cache = WatermarkCache(Observability())
+        cache.store("flagged", {}, 1, "old")
+        cache.store("metrics", {}, 1, "old")
+        hit, _ = cache.lookup("flagged", {}, watermark=2)
+        assert not hit
+        assert len(cache) == 0
+        assert cache.invalidations == 1
+        assert cache.obs.metrics.counter_total(
+            "serve.cache_invalidations") == 1
+
+    def test_invalidation_not_counted_when_cache_was_empty(self):
+        cache = WatermarkCache(Observability())
+        cache.lookup("flagged", {}, watermark=1)
+        cache.lookup("flagged", {}, watermark=2)
+        assert cache.invalidations == 0
+
+    def test_fifo_eviction_drops_the_oldest_entry(self):
+        cache = WatermarkCache(Observability(), max_entries=2)
+        cache.store("datasets", {"n": 1}, 0, "one")
+        cache.store("datasets", {"n": 2}, 0, "two")
+        # A hit must NOT refresh recency: FIFO, not LRU.
+        assert cache.lookup("datasets", {"n": 1}, 0)[0]
+        cache.store("datasets", {"n": 3}, 0, "three")
+        assert cache.evictions == 1
+        assert not cache.lookup("datasets", {"n": 1}, 0)[0]
+        assert cache.lookup("datasets", {"n": 2}, 0)[0]
+        assert cache.lookup("datasets", {"n": 3}, 0)[0]

@@ -1,0 +1,63 @@
+"""End-to-end serve runs: byte-identical outputs at the same seed."""
+
+import json
+
+from repro.serve import ServeRunConfig, run_serve
+
+#: Small enough to run in a couple of seconds, large enough to exercise
+#: shedding, caching, campaigns, and flagging.
+SMALL = dict(days=1, clients=3, requests_per_client_day=150.0)
+
+
+def small_config(**overrides):
+    params = dict(SMALL)
+    params.update(overrides)
+    return ServeRunConfig(**params)
+
+
+def artifacts(result):
+    """Everything a run externalizes, rendered to comparable text."""
+    return (
+        json.dumps(result.report, sort_keys=True),
+        result.flagged_dump(),
+        json.dumps(result.obs.metrics.snapshot(), sort_keys=True),
+        result.render(),
+    )
+
+
+class TestServeDeterminism:
+    def test_same_seed_runs_are_byte_identical(self):
+        first = run_serve(small_config(seed=77))
+        second = run_serve(small_config(seed=77))
+        assert artifacts(first) == artifacts(second)
+
+    def test_same_seed_chaos_runs_are_byte_identical(self):
+        config = small_config(seed=77, chaos_profile="paper", chaos_seed=7)
+        first = run_serve(config)
+        second = run_serve(config)
+        assert artifacts(first) == artifacts(second)
+
+    def test_chaos_changes_the_run_but_not_the_invariants(self):
+        clean = run_serve(small_config(seed=77))
+        chaotic = run_serve(small_config(seed=77, chaos_profile="paper",
+                                         chaos_seed=7))
+        assert artifacts(clean) != artifacts(chaotic)
+        for result in (clean, chaotic):
+            report = result.report
+            assert report["detection"]["online_equals_batch"]
+            assert report["admission"]["unshed_overflows"] == 0
+            assert report["admission"]["accounting_consistent"]
+        assert chaotic.report["chaos"]["connect_faults"] > 0
+
+    def test_different_seeds_diverge(self):
+        assert (artifacts(run_serve(small_config(seed=1)))
+                != artifacts(run_serve(small_config(seed=2))))
+
+    def test_report_covers_every_endpoint(self):
+        result = run_serve(small_config(seed=77))
+        endpoints = result.report["endpoints"]
+        assert set(endpoints) == {
+            "ingest", "flagged", "datasets", "health", "metrics"}
+        for stats in endpoints.values():
+            latency = stats["latency_vtime_ms"]
+            assert latency["p50"] <= latency["p95"] <= latency["p99"]

@@ -1,0 +1,86 @@
+"""Virtual-time event loop: sleeps cost zero wall time, determinism."""
+
+import asyncio
+import time
+
+import pytest
+
+from repro.serve import (
+    DAY_SECONDS,
+    VirtualClock,
+    VirtualLoopStalled,
+    VirtualTimeEventLoop,
+    run_virtual,
+)
+
+
+class TestVirtualTime:
+    def test_sleep_advances_virtual_time_not_wall_time(self):
+        async def main():
+            loop = asyncio.get_running_loop()
+            start = loop.time()
+            await asyncio.sleep(3600.0)
+            return loop.time() - start
+
+        started = time.monotonic()
+        elapsed_virtual = run_virtual(main())
+        elapsed_wall = time.monotonic() - started
+        assert elapsed_virtual == pytest.approx(3600.0)
+        assert elapsed_wall < 5.0
+
+    def test_clock_day_and_hour_track_the_loop(self):
+        async def main():
+            loop = asyncio.get_running_loop()
+            vclock = VirtualClock(loop)
+            assert vclock.day == 0
+            await vclock.sleep(DAY_SECONDS + 6 * 3600.0)
+            return vclock.day, vclock.hour_of_day
+
+        day, hour = run_virtual(main())
+        assert day == 1
+        assert hour == pytest.approx(6.0)
+
+    def test_interleaved_sleepers_wake_in_timestamp_order(self):
+        async def sleeper(order, delay, tag):
+            await asyncio.sleep(delay)
+            order.append(tag)
+
+        async def main():
+            order = []
+            await asyncio.gather(
+                sleeper(order, 3.0, "c"),
+                sleeper(order, 1.0, "a"),
+                sleeper(order, 2.0, "b"),
+            )
+            return order
+
+        assert run_virtual(main()) == ["a", "b", "c"]
+
+    def test_same_program_is_deterministic_across_runs(self):
+        async def main():
+            loop = asyncio.get_running_loop()
+            trace = []
+
+            async def worker(index):
+                for step in range(3):
+                    await asyncio.sleep(0.1 * (index + 1))
+                    trace.append((round(loop.time(), 6), index, step))
+
+            await asyncio.gather(*(worker(i) for i in range(4)))
+            return trace
+
+        assert run_virtual(main()) == run_virtual(main())
+
+    def test_stall_raises_instead_of_blocking_forever(self):
+        async def main():
+            # A future nothing will ever resolve: on a wall-clock loop
+            # this blocks in select() forever; the virtual loop detects
+            # that no timer can advance time and raises.
+            await asyncio.get_running_loop().create_future()
+
+        loop = VirtualTimeEventLoop()
+        try:
+            with pytest.raises(VirtualLoopStalled):
+                loop.run_until_complete(main())
+        finally:
+            loop.close()
