@@ -19,6 +19,13 @@ Commands
 
 The global ``--metrics-out PATH`` flag (before the subcommand) dumps
 the observability snapshot of any world-running subcommand as JSON.
+
+``honey``, ``wild``, and ``serve`` additionally accept the recovery
+flags (``--checkpoint-dir``, ``--resume``, ``--crash-at``,
+``--crash-rate``, ``--crash-seed``): checkpoints are written at every
+quiescent barrier, injected crashes exit with code
+:data:`CRASH_EXIT_CODE`, and a resumed run produces byte-identical
+reports and metric exports to an uninterrupted one.
 """
 
 from __future__ import annotations
@@ -61,6 +68,72 @@ def _chaos_scenario(args):
     return ChaosScenario.profile(args.chaos_profile, seed=seed)
 
 
+#: Exit code for a run terminated by an injected SimulatedCrash: the
+#: run did what it was told, but the pipeline did not finish.
+CRASH_EXIT_CODE = 70
+
+
+def _add_recovery_flags(parser, stages: str) -> None:
+    """The checkpoint/resume/crash-injection flags shared by the
+    crash-tolerant subcommands (honey, wild, serve)."""
+    group = parser.add_argument_group(
+        "recovery", "durable checkpoints, resume, and crash-fault "
+                    "injection (all require --checkpoint-dir)")
+    group.add_argument("--checkpoint-dir", metavar="DIR", default=None,
+                       help="write a checkpoint at every quiescent "
+                            "barrier into DIR (enables recovery)")
+    group.add_argument("--resume", action="store_true",
+                       help="resume from the newest valid checkpoint in "
+                            "--checkpoint-dir instead of starting fresh")
+    group.add_argument("--crash-at", metavar="STAGE:DAY[:SEQ]",
+                       action="append", default=None,
+                       help="inject a SimulatedCrash at the named kill "
+                            f"point (repeatable; stages: {stages})")
+    group.add_argument("--crash-rate", type=float, default=0.0,
+                       help="hashed probability of crashing at each kill "
+                            "point (default: 0.0)")
+    group.add_argument("--crash-seed", type=int, default=None,
+                       help="seed for the hashed crash schedule "
+                            "(defaults to --seed)")
+
+
+def _recovery_context(args, kind: str, with_wal: bool = False):
+    """Build the :class:`RecoveryContext` the recovery flags describe,
+    ``None`` when recovery is off.  Exits with a usage error when a
+    recovery flag is given without ``--checkpoint-dir``."""
+    wants = (args.resume or args.crash_at or args.crash_rate > 0.0
+             or args.crash_seed is not None)
+    if args.checkpoint_dir is None:
+        if wants:
+            print("error: --resume/--crash-* require --checkpoint-dir",
+                  file=sys.stderr)
+            raise SystemExit(2)
+        return None
+    from repro.recovery import CrashPlan, RecoveryContext, parse_kill_point
+    crash = None
+    if args.crash_at or args.crash_rate > 0.0:
+        try:
+            points = tuple(parse_kill_point(spec)
+                           for spec in (args.crash_at or ()))
+        except ValueError as exc:
+            print(f"error: bad --crash-at: {exc}", file=sys.stderr)
+            raise SystemExit(2)
+        seed = (args.crash_seed if args.crash_seed is not None
+                else args.seed)
+        crash = CrashPlan(seed=seed, rate=args.crash_rate,
+                          kill_points=points)
+    return RecoveryContext.create(args.checkpoint_dir, kind, crash=crash,
+                                  resume=args.resume, with_wal=with_wal)
+
+
+def _crashed(recovery, exc) -> int:
+    """Report an injected crash the way a real fault would look."""
+    print(f"simulated crash: {exc}", file=sys.stderr)
+    print(f"resume with: --checkpoint-dir "
+          f"{recovery.store.root} --resume", file=sys.stderr)
+    return CRASH_EXIT_CODE
+
+
 def _add_honey(subparsers) -> None:
     parser = subparsers.add_parser(
         "honey", help="run the Section-3 honey-app experiment")
@@ -73,6 +146,7 @@ def _add_honey(subparsers) -> None:
                         help="disable the TLS session cache (every "
                              "telemetry upload pays a full handshake)")
     _add_chaos_flags(parser)
+    _add_recovery_flags(parser, "honey.campaign, honey.checkpoint")
 
 
 def _add_wild(subparsers) -> None:
@@ -88,6 +162,7 @@ def _add_wild(subparsers) -> None:
                         help="write the crawl archive JSON here")
     _add_chaos_flags(parser)
     _add_shards_flag(parser, "milking and crawling")
+    _add_recovery_flags(parser, "wild.day, wild.milk, wild.checkpoint")
 
 
 def _add_report(subparsers) -> None:
@@ -144,8 +219,15 @@ def _add_serve(subparsers) -> None:
     parser.add_argument("--profile", default="query-heavy",
                         choices=("query-heavy", "ingest-heavy", "mixed"),
                         help="fleet endpoint mix (default: query-heavy)")
+    parser.add_argument("--cache-policy", default="keyed",
+                        choices=("keyed", "wholesale"),
+                        help="response-cache invalidation: per-entry "
+                             "freshness tokens (keyed, default) or "
+                             "clear-all-on-ingest (wholesale)")
     _add_shards_flag(parser, "the service's request workers")
     _add_chaos_flags(parser)
+    _add_recovery_flags(parser,
+                        "serve.day, serve.request, serve.checkpoint")
     parser.add_argument("--flagged-out", metavar="PATH",
                         help="write the final flagged-device dump (JSON) "
                              "here")
@@ -221,6 +303,7 @@ def _cmd_tables() -> int:
 
 def _cmd_honey(args) -> int:
     from repro import HoneyAppExperiment, World
+    from repro.recovery import SimulatedCrash
     from repro.simulation import paperdata
     world = World(seed=args.seed, chaos=_chaos_scenario(args))
     installs = (args.installs_per_iip if args.installs_per_iip is not None
@@ -228,7 +311,14 @@ def _cmd_honey(args) -> int:
     experiment = HoneyAppExperiment(
         world, installs_per_iip=installs, shards=args.shards,
         tls_resumption=not args.no_tls_resumption)
-    results = experiment.run()
+    recovery = _recovery_context(args, "honey")
+    try:
+        results = experiment.run(recovery=recovery)
+    except SimulatedCrash as exc:
+        recovery.export_metrics()
+        return _crashed(recovery, exc)
+    if recovery is not None:
+        recovery.export_metrics()
     print(reports.render_honey_report(results))
     return _maybe_dump_metrics(args, world.obs)
 
@@ -249,6 +339,8 @@ def _cmd_wild(args) -> int:
     from repro.analysis.characterize import iip_summary_table, offer_type_table
     from repro.iip.registry import VETTED_IIPS
 
+    from repro.recovery import SimulatedCrash
+
     chaos = _chaos_scenario(args)
     world = World(seed=args.seed, chaos=chaos)
     scenario = WildScenario(world, WildScenarioConfig(
@@ -256,7 +348,14 @@ def _cmd_wild(args) -> int:
     scenario.build()
     measurement = WildMeasurement(world, scenario, WildMeasurementConfig(
         measurement_days=args.days, shards=args.shards))
-    results = measurement.run()
+    recovery = _recovery_context(args, "wild")
+    try:
+        results = measurement.run(recovery=recovery)
+    except SimulatedCrash as exc:
+        recovery.export_metrics()
+        return _crashed(recovery, exc)
+    if recovery is not None:
+        recovery.export_metrics()
     print(f"{results.dataset.offer_count()} offers from "
           f"{len(results.dataset.unique_packages())} apps "
           f"({results.milk_runs} milk runs, "
@@ -385,6 +484,7 @@ def _cmd_detect(args) -> int:
 
 
 def _cmd_serve(args) -> int:
+    from repro.recovery import SimulatedCrash
     from repro.serve import ServeRunConfig, run_serve
     config = ServeRunConfig(
         seed=args.seed,
@@ -397,8 +497,16 @@ def _cmd_serve(args) -> int:
         profile=args.profile,
         chaos_profile=args.chaos_profile,
         chaos_seed=args.chaos_seed,
+        cache_policy=args.cache_policy,
     )
-    result = run_serve(config)
+    recovery = _recovery_context(args, "serve", with_wal=True)
+    try:
+        result = run_serve(config, recovery=recovery)
+    except SimulatedCrash as exc:
+        recovery.export_metrics()
+        return _crashed(recovery, exc)
+    if recovery is not None:
+        recovery.export_metrics()
     print(result.render())
     if args.flagged_out:
         try:

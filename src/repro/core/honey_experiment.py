@@ -197,40 +197,75 @@ class HoneyAppExperiment:
 
     # ------------------------------------------------------------------
 
-    def run(self) -> HoneyExperimentResults:
+    def run(self, recovery=None) -> HoneyExperimentResults:
+        """Run the campaigns; ``recovery`` (a
+        :class:`repro.recovery.RecoveryContext`) arms per-campaign
+        checkpointing, crash injection, and resume.
+
+        Without recovery the three campaigns run as one scheduler batch
+        (the historical schedule).  With recovery each campaign runs,
+        merges, and checkpoints before the next one starts, so every
+        checkpoint is quiescent: it contains exactly the finished
+        campaigns' effects and nothing from campaigns still to run.
+        (Campaign wire traffic ticks the world op counter server-side,
+        so a checkpoint taken while a later batch has already executed
+        would double those ops on resume.)  The sequential schedule
+        shifts trace span *coordinates* relative to the concurrent
+        schedule — metric totals, reports, and flagged sets are
+        identical — so the byte-identity invariant is crash+resume
+        versus an uninterrupted run with recovery enabled.  Resume
+        restores the shared ledgers, the telemetry collector, the
+        accumulated per-campaign outcomes, and observability (last),
+        then runs only the remaining campaigns: cells derive their RNG
+        streams from their own keys, so skipping finished campaigns
+        cannot perturb the rest.
+        """
         store = self.world.store
         tracer = self.world.obs.tracer
         metrics = self.world.obs.metrics
-        before = store.displayed_installs(HONEY_PACKAGE, 0)
         records: List[HoneyCampaignRecord] = []
         windows: List[CampaignWindow] = []
         console_installs: Dict[str, int] = {}
         install_days: Dict[str, List[Tuple[int, float]]] = {}
-        with tracer.span("honey.run"):
-            tasks = [(iip_name, self._make_campaign_task(iip_name))
-                     for iip_name in _CAMPAIGN_ORDER]
-            results = self._scheduler.run(tasks, salt="honey")
-            # Merge in canonical campaign order: task obs absorb under
-            # the honey.run span, then the per-campaign roll-ups — no
-            # trace of shard timing survives the barrier.
-            for iip_name, outcome in zip(_CAMPAIGN_ORDER, results):
-                record, timestamps, events, task_obs, campaign_ops = outcome
-                self.world.obs.merge(task_obs)
-                if self.detection is not None:
-                    # Campaign windows don't overlap and merge order is
-                    # chronological, so the stream stays time-ordered.
-                    self.detection.record_incentivized(
-                        event.device_id for event in events)
-                    self.detection.publish_batch(events)
-                metrics.observe("honey.campaign_ops", campaign_ops)
-                metrics.inc("core.honey.installs_delivered",
-                            record.delivered, iip=iip_name)
-                metrics.inc("core.honey.completions_paid",
-                            record.completions_paid, iip=iip_name)
-                records.append(record)
-                windows.append(record.window)
-                console_installs[record.campaign_id] = record.delivered
-                install_days[record.campaign_id] = timestamps
+        start_index = 0
+        adopted_span = None
+        if recovery is not None and recovery.resume:
+            loaded = recovery.store.latest()
+            if loaded is not None:
+                cursor, state = loaded
+                start_index = cursor + 1
+                active = state["obs"]["tracer"]["active"]
+                adopted_span = active[0] if active else None
+                self._restore_state(state, records, windows,
+                                    console_installs, install_days)
+                recovery.mark_resumed(cursor)
+        before = store.displayed_installs(HONEY_PACKAGE, 0)
+        run_span = (tracer.adopt(adopted_span) if adopted_span is not None
+                    else tracer.span("honey.run"))
+        with run_span:
+            if recovery is None:
+                # Merge in canonical campaign order: task obs absorb
+                # under the honey.run span, then the per-campaign
+                # roll-ups — no trace of shard timing survives the
+                # barrier.
+                tasks = [(iip_name, self._make_campaign_task(iip_name))
+                         for iip_name in _CAMPAIGN_ORDER]
+                batch = self._scheduler.run(tasks, salt="honey")
+                for iip_name, outcome in zip(_CAMPAIGN_ORDER, batch):
+                    self._merge_outcome(iip_name, outcome, records, windows,
+                                        console_installs, install_days)
+            else:
+                for index in range(start_index, len(_CAMPAIGN_ORDER)):
+                    iip_name = _CAMPAIGN_ORDER[index]
+                    recovery.crash_point("honey.campaign", index)
+                    batch = self._scheduler.run(
+                        [(iip_name, self._make_campaign_task(iip_name))],
+                        salt="honey")
+                    self._merge_outcome(iip_name, batch[0], records, windows,
+                                        console_installs, install_days)
+                    recovery.store.write(index, self._checkpoint_state(
+                        records, console_installs, install_days))
+                    recovery.crash_point("honey.checkpoint", index)
             last_day = max(w.end_day for w in windows) + 1
             after = store.displayed_installs(HONEY_PACKAGE, last_day + 30)
             with tracer.span("honey.analysis") as span:
@@ -249,6 +284,111 @@ class HoneyAppExperiment:
             mean_cost_per_install=(total_cost / total_installs
                                    if total_installs else 0.0),
         )
+
+    def _merge_outcome(self, iip_name: str, outcome,
+                       records: List[HoneyCampaignRecord],
+                       windows: List[CampaignWindow],
+                       console_installs: Dict[str, int],
+                       install_days: Dict[str, List[Tuple[int, float]]],
+                       ) -> None:
+        """Fold one finished campaign into the world: absorb its task
+        obs, publish its install events, and roll up its metrics."""
+        metrics = self.world.obs.metrics
+        record, timestamps, events, task_obs, campaign_ops = outcome
+        self.world.obs.merge(task_obs)
+        if self.detection is not None:
+            # Campaign windows don't overlap and merge order is
+            # chronological, so the stream stays time-ordered.
+            self.detection.record_incentivized(
+                event.device_id for event in events)
+            self.detection.publish_batch(events)
+        metrics.observe("honey.campaign_ops", campaign_ops)
+        metrics.inc("core.honey.installs_delivered",
+                    record.delivered, iip=iip_name)
+        metrics.inc("core.honey.completions_paid",
+                    record.completions_paid, iip=iip_name)
+        records.append(record)
+        windows.append(record.window)
+        console_installs[record.campaign_id] = record.delivered
+        install_days[record.campaign_id] = timestamps
+
+    # -- checkpoint/restore ---------------------------------------------------
+
+    def _checkpoint_state(self, records: List[HoneyCampaignRecord],
+                          console_installs: Dict[str, int],
+                          install_days: Dict[str, List[Tuple[int, float]]],
+                          ) -> Dict[str, object]:
+        """Shared surfaces the finished campaigns wrote plus the
+        accumulated outcomes.  Campaign cells are absent: a cell is
+        touched only by its own campaign, so unfinished cells are still
+        in their deterministic post-construction state on resume.
+        Observability comes last (ordering invariant; see the wild
+        pipeline)."""
+        world = self.world
+        return {
+            "records": [
+                {"iip_name": record.iip_name,
+                 "campaign_id": record.campaign_id,
+                 "start_day": record.window.start_day,
+                 "end_day": record.window.end_day,
+                 "purchased": record.purchased,
+                 "delivered": record.delivered,
+                 "completions_paid": record.completions_paid,
+                 "total_cost_usd": record.total_cost_usd}
+                for record in records],
+            "console_installs": dict(sorted(console_installs.items())),
+            "install_days": {
+                campaign_id: [[day, hour] for day, hour in timestamps]
+                for campaign_id, timestamps in sorted(install_days.items())},
+            "ledger": world.store.ledger.state_dict(),
+            "enforcement": world.store.enforcement.state_dict(),
+            "telemetry": world.telemetry.state_dict(),
+            "money": world.money.state_dict(),
+            "mediator": world.mediator.state_dict(),
+            "fault_plan": world.fabric.chaos.state_dict(),
+            "detection": (None if self.detection is None
+                          else self.detection.state_dict()),
+            "obs": world.obs.state_dict(),
+        }
+
+    def _restore_state(self, state: Dict[str, object],
+                       records: List[HoneyCampaignRecord],
+                       windows: List[CampaignWindow],
+                       console_installs: Dict[str, int],
+                       install_days: Dict[str, List[Tuple[int, float]]],
+                       ) -> None:
+        world = self.world
+        for data in state["records"]:  # type: ignore[union-attr]
+            window = CampaignWindow(
+                iip_name=str(data["iip_name"]),
+                campaign_id=str(data["campaign_id"]),
+                start_day=int(data["start_day"]),
+                end_day=int(data["end_day"]))
+            records.append(HoneyCampaignRecord(
+                iip_name=window.iip_name,
+                campaign_id=window.campaign_id,
+                window=window,
+                purchased=int(data["purchased"]),
+                delivered=int(data["delivered"]),
+                completions_paid=int(data["completions_paid"]),
+                total_cost_usd=float(data["total_cost_usd"])))
+            windows.append(window)
+        console_installs.update(
+            {str(k): int(v)
+             for k, v in state["console_installs"].items()})  # type: ignore[union-attr]
+        for campaign_id, timestamps in (
+                state["install_days"].items()):  # type: ignore[union-attr]
+            install_days[str(campaign_id)] = [
+                (int(day), float(hour)) for day, hour in timestamps]
+        world.store.ledger.load_state(state["ledger"])
+        world.store.enforcement.load_state(state["enforcement"])
+        world.telemetry.load_state(state["telemetry"])
+        world.money.load_state(state["money"])
+        world.mediator.load_state(state["mediator"])
+        world.fabric.chaos.load_state(state["fault_plan"])
+        if state["detection"] is not None and self.detection is not None:
+            self.detection.load_state(state["detection"])
+        world.obs.load_state(state["obs"])
 
     # ------------------------------------------------------------------
 

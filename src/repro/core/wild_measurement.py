@@ -25,7 +25,11 @@ from repro.crunchbase.database import CrunchbaseSnapshot
 from repro.detection.live import LiveDetection, WildEventBridge
 from repro.iip.registry import UNVETTED_IIPS, VETTED_IIPS
 from repro.monitor.crawler import CrawlArchive, PlayStoreCrawler
-from repro.monitor.dataset import OfferDataset
+from repro.monitor.dataset import (
+    OfferDataset,
+    observed_offer_from_state,
+    observed_offer_to_state,
+)
 from repro.monitor.milker import Milker, MilkRun
 from repro.net.client import CircuitBreaker, RetryPolicy
 from repro.net.ip import MILKER_COUNTRIES
@@ -239,15 +243,51 @@ class WildMeasurement:
 
     # -- day loop ------------------------------------------------------------
 
-    def run(self) -> WildResults:
+    def run(self, recovery=None) -> WildResults:
+        """Run the day loop; ``recovery`` (a
+        :class:`repro.recovery.RecoveryContext`) arms per-day
+        checkpointing, crash injection, and resume.
+
+        Resume contract: the constructor and the scenario are
+        deterministic functions of the world seed, so a resumed process
+        rebuilds the world by replaying the scenario days the original
+        run completed (wire-free — the scenario never touches
+        measurement or network state), then restores every mutable
+        measurement surface from the checkpoint, observability last.
+        From that barrier the remaining days execute the exact
+        operation sequence of an uninterrupted run, which is why the
+        final report, metrics export, and flagged set are byte-identical
+        (``tests/recovery/`` enforces it).
+        """
         config = self.config
         tracer = self.world.obs.tracer
         metrics = self.world.obs.metrics
-        with tracer.span("wild.run", days=config.measurement_days):
-            for day in range(config.measurement_days):
+        start_day = 0
+        adopted_span = None
+        if recovery is not None and recovery.resume:
+            loaded = recovery.store.latest()
+            if loaded is not None:
+                day, state = loaded
+                start_day = day + 1
+                for replay_day in range(start_day):
+                    self.scenario.run_day(replay_day)
+                    self.world.clock.advance()
+                active = state["obs"]["tracer"]["active"]
+                adopted_span = active[0] if active else None
+                self._restore_state(state)
+                recovery.mark_resumed(day)
+        run_span = (tracer.adopt(adopted_span) if adopted_span is not None
+                    else tracer.span("wild.run",
+                                     days=config.measurement_days))
+        with run_span:
+            for day in range(start_day, config.measurement_days):
+                if recovery is not None:
+                    recovery.crash_point("wild.day", day)
                 with tracer.span("wild.scenario", day=day):
                     self.scenario.run_day(day)
                 if day % config.milk_cadence_days == 0:
+                    if recovery is not None:
+                        recovery.crash_point("wild.milk", day)
                     with tracer.span("wild.milk", day=day) as span:
                         self._milk(day)
                     metrics.observe("wild.milk_ops", span.duration_ops)
@@ -260,6 +300,9 @@ class WildMeasurement:
                     metrics.observe("wild.crawl_ops", span.duration_ops)
                 metrics.inc("core.wild.days")
                 self.world.clock.advance()
+                if recovery is not None:
+                    recovery.store.write(day, self._checkpoint_state())
+                    recovery.crash_point("wild.checkpoint", day)
             with tracer.span("wild.finalize") as span:
                 results = self._finalize()
             metrics.observe("wild.analyse_ops", span.duration_ops)
@@ -268,6 +311,65 @@ class WildMeasurement:
         metrics.set_gauge("core.wild.advertised_packages",
                           len(self.dataset.unique_packages()))
         return results
+
+    # -- checkpoint/restore ---------------------------------------------------
+
+    def _checkpoint_state(self) -> Dict[str, object]:
+        """Everything mutable the measurement tier owns or shares with
+        the wire, captured at the end-of-day barrier.  Scenario and
+        store state are deliberately absent: they are reconstructed by
+        deterministic replay on resume.  Observability is captured last
+        so its op counter covers every state-gathering read above it
+        (the reads cost no ops; the invariant is about ordering)."""
+        world = self.world
+        return {
+            "phone_installed": sorted(self.phone.installed_packages),
+            "dataset": self.dataset.state_dict(),
+            "observations": [observed_offer_to_state(offer)
+                             for offer in self._observations],
+            "milk_runs": self._milk_runs,
+            "milk_errors": list(self._milk_errors),
+            "crawler": self.crawler.state_dict(),
+            "archive": self.crawler.archive.state_dict(),
+            "crawler_client": self.crawler.client.state_dict(),
+            "cells": {country: self.cells[country].state_dict()
+                      for country in sorted(self.cells)},
+            "frontend": world.frontend.state_dict(),
+            "walls": {name: world.walls[name].server.state_dict()
+                      for name in sorted(world.walls)},
+            "fault_plan": world.fabric.chaos.state_dict(),
+            "root_ca": world.root_ca.state_dict(),
+            "device_factory": world.device_factory.state_dict(),
+            "detection": (None if self.detection is None else {
+                "live": self.detection.state_dict(),
+                "bridge": self._detection_bridge.state_dict(),
+            }),
+            "obs": world.obs.state_dict(),
+        }
+
+    def _restore_state(self, state: Dict[str, object]) -> None:
+        world = self.world
+        self.phone.installed_packages = set(state["phone_installed"])
+        self.dataset.load_state(state["dataset"])
+        self._observations = [observed_offer_from_state(item)
+                              for item in state["observations"]]
+        self._milk_runs = int(state["milk_runs"])
+        self._milk_errors = [str(err) for err in state["milk_errors"]]
+        self.crawler.load_state(state["crawler"])
+        self.crawler.archive.load_state(state["archive"])
+        self.crawler.client.load_state(state["crawler_client"])
+        for country, cell_state in state["cells"].items():
+            self.cells[country].load_state(cell_state)
+        world.frontend.load_state(state["frontend"])
+        for name, wall_state in state["walls"].items():
+            world.walls[name].server.load_state(wall_state)
+        world.fabric.chaos.load_state(state["fault_plan"])
+        world.root_ca.load_state(state["root_ca"])
+        world.device_factory.load_state(state["device_factory"])
+        if state["detection"] is not None and self.detection is not None:
+            self.detection.load_state(state["detection"]["live"])
+            self._detection_bridge.load_state(state["detection"]["bridge"])
+        world.obs.load_state(state["obs"])
 
     def _countries_for(self, day: int) -> Sequence[str]:
         count = min(self.config.countries_per_milk_day,

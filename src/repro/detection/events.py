@@ -36,6 +36,32 @@ class DeviceInstallEvent:
         if self.engagement_seconds < 0:
             raise ValueError("negative engagement")
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON form for WAL segments and checkpoints."""
+        return {
+            "device_id": self.device_id,
+            "package": self.package,
+            "day": self.day,
+            "hour": self.hour,
+            "ip_slash24": self.ip_slash24,
+            "ssid_hash": self.ssid_hash,
+            "opened": self.opened,
+            "engagement_seconds": self.engagement_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "DeviceInstallEvent":
+        return cls(
+            device_id=str(data["device_id"]),
+            package=str(data["package"]),
+            day=int(data["day"]),              # type: ignore[arg-type]
+            hour=float(data["hour"]),          # type: ignore[arg-type]
+            ip_slash24=str(data["ip_slash24"]),
+            ssid_hash=str(data["ssid_hash"]),
+            opened=bool(data["opened"]),
+            engagement_seconds=float(data["engagement_seconds"]),  # type: ignore[arg-type]
+        )
+
 
 class InstallLog:
     """An indexed collection of install events."""

@@ -163,6 +163,29 @@ class LiveDetection:
                                    round(report.recall, 6))
         return report
 
+    # -- checkpoint/restore ---------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        return {
+            "events_published": self.bus.events_published,
+            "log": [event.to_dict() for event in self.log.events()],
+            "online": self.online.state_dict(),
+            "incentivized": sorted(self.incentivized),
+        }
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        """Restore the stream state without re-publishing: the log is
+        refilled directly and the detector fold is reloaded, so no
+        ``detection.*`` counters move (the checkpointed registry
+        already contains them)."""
+        self.bus.events_published = int(
+            state["events_published"])  # type: ignore[arg-type]
+        self.log = InstallLog(DeviceInstallEvent.from_dict(item)
+                              for item in state["log"])  # type: ignore[union-attr]
+        self.bus._subscribers = [self.log.add, self.online.ingest]
+        self.online.load_state(state["online"])  # type: ignore[arg-type]
+        self.incentivized = set(state["incentivized"])  # type: ignore[arg-type]
+
 
 @dataclass(frozen=True)
 class WildBridgeConfig:
@@ -206,6 +229,30 @@ class WildEventBridge:
         self.factory = DeviceFactory(asn_db, derive_rng(seed, "devices"),
                                      namespace="wilddet")
         self._pools: Dict[Tuple[str, str], List[Device]] = {}
+
+    # -- checkpoint/restore ---------------------------------------------------
+    #
+    # Cross-day state is the factory (id counter + RNG position) and the
+    # worker pools (devices with installed-package memories).  Per-day
+    # RNG streams are freshly derived, so nothing else persists.
+
+    def state_dict(self) -> Dict[str, object]:
+        from repro.recovery.state import join_key
+        return {
+            "factory": self.factory.state_dict(),
+            "pools": {join_key(iip, country):
+                      [device.to_state() for device in pool]
+                      for (iip, country), pool in sorted(self._pools.items())},
+        }
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        from repro.recovery.state import split_key
+        self.factory.load_state(state["factory"])  # type: ignore[arg-type]
+        self._pools = {}
+        for key, pool in state["pools"].items():  # type: ignore[union-attr]
+            iip, country = split_key(key)
+            self._pools[(iip, country)] = [Device.from_state(item)
+                                           for item in pool]
 
     # -- worker pools --------------------------------------------------------
 

@@ -68,17 +68,27 @@ class InstallEventBus:
     ``source`` labels the ``detection.events_ingested`` counter so the
     obs export shows which pipeline fed the detector.
 
-    ``retain=True`` keeps every published event so subscribers that
-    arrive late (a dashboard attaching to a running service, a second
-    detector spun up for comparison) can ask for a replay of the full
-    history before receiving live traffic.
+    ``retain=True`` keeps published events so subscribers that arrive
+    late (a dashboard attaching to a running service, a second detector
+    spun up for comparison) can ask for a replay of the history before
+    receiving live traffic.  ``retain_cap`` bounds that buffer: once it
+    is full the oldest events are evicted (counted into
+    ``detection.events_evicted``), so a long-lived serve run holds a
+    sliding window instead of growing without limit.  A late subscriber
+    then replays only the retained suffix — still deterministic, just
+    explicitly partial, which is why the cap is opt-in.
     """
 
     def __init__(self, obs: Optional[Observability] = None,
-                 source: str = "live", retain: bool = False) -> None:
+                 source: str = "live", retain: bool = False,
+                 retain_cap: Optional[int] = None) -> None:
+        if retain_cap is not None and retain_cap < 1:
+            raise ValueError("retain_cap must be at least 1")
         self.obs = obs or NULL_OBS
         self.source = source
         self.events_published = 0
+        self.events_evicted = 0
+        self.retain_cap = retain_cap
         self._subscribers: List[Subscriber] = []
         self._retained: Optional[List[DeviceInstallEvent]] = (
             [] if retain else None)
@@ -109,6 +119,13 @@ class InstallEventBus:
         self.events_published += 1
         if self._retained is not None:
             self._retained.append(event)
+            if (self.retain_cap is not None
+                    and len(self._retained) > self.retain_cap):
+                overflow = len(self._retained) - self.retain_cap
+                del self._retained[:overflow]
+                self.events_evicted += overflow
+                self.obs.metrics.inc("detection.events_evicted", overflow,
+                                     source=self.source)
         self.obs.metrics.inc("detection.events_ingested", source=self.source)
         for subscriber in self._subscribers:
             subscriber(event)
@@ -138,6 +155,12 @@ class OnlineLockstepDetector:
         self.obs = obs or NULL_OBS
         self.clusters: List[LockstepCluster] = []
         self.events_seen = 0
+        #: Bumped every time a cluster is emitted — i.e. whenever any
+        #: ``flagged`` query response could differ from the previous
+        #: one.  The serve tier's keyed response cache uses it as the
+        #: ``flagged`` endpoint's freshness token, so ingest batches
+        #: that close no window stop invalidating query responses.
+        self.version = 0
         self._pending: Dict[str, List[DeviceInstallEvent]] = defaultdict(list)
         self._watermark = float("-inf")
         self._participation: Counter = Counter()
@@ -214,6 +237,7 @@ class OnlineLockstepDetector:
 
     def _emit(self, cluster: LockstepCluster) -> None:
         self.clusters.append(cluster)
+        self.version += 1
         self.obs.metrics.inc("detection.clusters_flagged")
         weight = cluster_weight(cluster)
         threshold = self.config.min_bursts_per_device
@@ -227,6 +251,42 @@ class OnlineLockstepDetector:
         if newly_flagged:
             self.obs.metrics.inc("detection.flagged_devices", newly_flagged)
 
+    # -- checkpoint/restore ---------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """The whole fold state: emitted clusters, the undecided
+        per-package suffixes, the watermark, and flag bookkeeping."""
+        return {
+            "events_seen": self.events_seen,
+            "version": self.version,
+            "watermark": (None if self._watermark == float("-inf")
+                          else self._watermark),
+            "finalized": self._finalized,
+            "clusters": [_cluster_to_state(c) for c in self.clusters],
+            "pending": {package: [event.to_dict() for event in events]
+                        for package, events in sorted(self._pending.items())
+                        if events},
+            "participation": dict(sorted(self._participation.items())),
+            "flagged": sorted(self._flagged),
+        }
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        self.events_seen = int(state["events_seen"])  # type: ignore[arg-type]
+        self.version = int(state.get("version", 0))  # type: ignore[arg-type]
+        watermark = state["watermark"]
+        self._watermark = (float("-inf") if watermark is None
+                           else float(watermark))  # type: ignore[arg-type]
+        self._finalized = bool(state["finalized"])
+        self.clusters = [_cluster_from_state(item)
+                         for item in state["clusters"]]  # type: ignore[union-attr]
+        self._pending = defaultdict(list)
+        for package, events in state["pending"].items():  # type: ignore[union-attr]
+            self._pending[package] = [DeviceInstallEvent.from_dict(item)
+                                      for item in events]
+        self._participation = Counter(
+            {str(k): v for k, v in state["participation"].items()})  # type: ignore[union-attr]
+        self._flagged = set(state["flagged"])  # type: ignore[arg-type]
+
     # -- queries -------------------------------------------------------------
 
     def flagged_packages(self, min_clusters: int = 2) -> List[str]:
@@ -236,3 +296,29 @@ class OnlineLockstepDetector:
             per_app[cluster.package] += 1
         return sorted(package for package, count in per_app.items()
                       if count >= min_clusters)
+
+
+def _cluster_to_state(cluster: LockstepCluster) -> Dict[str, object]:
+    return {
+        "package": cluster.package,
+        "start_hour": cluster.start_hour,
+        "end_hour": cluster.end_hour,
+        "device_ids": sorted(cluster.device_ids),
+        "low_engagement_fraction": cluster.low_engagement_fraction,
+        "dominant_slash24": cluster.dominant_slash24,
+        "dominant_ssid_fraction": cluster.dominant_ssid_fraction,
+    }
+
+
+def _cluster_from_state(state: Dict[str, object]) -> LockstepCluster:
+    return LockstepCluster(
+        package=str(state["package"]),
+        start_hour=float(state["start_hour"]),  # type: ignore[arg-type]
+        end_hour=float(state["end_hour"]),      # type: ignore[arg-type]
+        device_ids=frozenset(state["device_ids"]),  # type: ignore[arg-type]
+        low_engagement_fraction=float(
+            state["low_engagement_fraction"]),  # type: ignore[arg-type]
+        dominant_slash24=state["dominant_slash24"],  # type: ignore[arg-type]
+        dominant_ssid_fraction=float(
+            state["dominant_ssid_fraction"]),  # type: ignore[arg-type]
+    )

@@ -59,6 +59,38 @@ class TelemetryServer:
         ))
         return HttpResponse.json_response({"status": "ok"}, status=201)
 
+    # -- checkpoint/restore ---------------------------------------------------
+
+    @property
+    def server(self):
+        """The underlying HTTPS server (exposed for checkpointing)."""
+        return self._server
+
+    def state_dict(self) -> Dict[str, object]:
+        return {
+            "server": self._server.state_dict(),
+            "events": [
+                {"payload": stored.payload.to_json(),
+                 "source_asn": stored.source_asn,
+                 "source_asn_kind": stored.source_asn_kind,
+                 "source_country": stored.source_country}
+                for stored in self.events],
+        }
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        self._server.load_state(state["server"])
+        self.events = [
+            StoredEvent(
+                payload=TelemetryPayload.from_json(item["payload"]),
+                source_asn=(None if item["source_asn"] is None
+                            else int(item["source_asn"])),
+                source_asn_kind=(None if item["source_asn_kind"] is None
+                                 else str(item["source_asn_kind"])),
+                source_country=(None if item["source_country"] is None
+                                else str(item["source_country"])),
+            )
+            for item in state["events"]]  # type: ignore[union-attr]
+
     # -- convenience queries -------------------------------------------------
 
     def events_of(self, event: str) -> List[StoredEvent]:

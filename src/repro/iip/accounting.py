@@ -102,6 +102,32 @@ class MoneyLedger:
                                             destination=destination,
                                             amount_usd=amount, memo=memo))
 
+    # -- checkpoint/restore ---------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "wallets": {owner: wallet.balance_usd
+                            for owner, wallet in sorted(self._wallets.items())},
+                "entries": [
+                    [entry.day, entry.source, entry.destination,
+                     entry.amount_usd, entry.memo]
+                    for entry in self.entries],
+            }
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        with self._lock:
+            self._wallets = {
+                str(owner): Wallet(owner=str(owner),
+                                   balance_usd=float(balance))
+                for owner, balance in state["wallets"].items()}  # type: ignore[union-attr]
+            self.entries = [
+                LedgerEntry(day=int(day), source=str(source),
+                            destination=str(destination),
+                            amount_usd=float(amount), memo=str(memo))
+                for day, source, destination, amount, memo in (
+                    state["entries"])]  # type: ignore[union-attr]
+
     def total_received(self, owner: str) -> float:
         return sum(entry.amount_usd for entry in self.entries
                    if entry.destination == owner)

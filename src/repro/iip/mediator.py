@@ -53,6 +53,27 @@ class AttributionMediator:
             self._conversions.append(conversion)
         return conversion
 
+    # -- checkpoint/restore ---------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "conversions": [
+                    [c.offer_id, c.device_id, c.day, list(c.tasks_completed)]
+                    for c in self._conversions],
+            }
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        with self._lock:
+            self._conversions = [
+                Conversion(offer_id=str(offer_id), device_id=str(device_id),
+                           day=int(day),
+                           tasks_completed=tuple(str(t) for t in tasks))
+                for offer_id, device_id, day, tasks in (
+                    state["conversions"])]  # type: ignore[union-attr]
+            self._seen = {(c.offer_id, c.device_id)
+                          for c in self._conversions}
+
     def certify(self, offer_id: str, device_id: str) -> bool:
         return (offer_id, device_id) in self._seen
 

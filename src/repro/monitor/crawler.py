@@ -67,6 +67,35 @@ class CrawlArchive:
         if day not in self.crawl_days:
             self.crawl_days.append(day)
 
+    # -- checkpoint/restore ---------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        from repro.recovery.state import join_key
+        return {
+            "profiles": {
+                join_key(package, str(day)): _snapshot_to_state(snapshot)
+                for (package, day), snapshot in sorted(self._profiles.items())},
+            "chart_days": {
+                join_key(chart, str(day)): [_appearance_to_state(a)
+                                            for a in appearances]
+                for (chart, day), appearances in sorted(
+                    self._chart_days.items())},
+            "crawl_days": list(self.crawl_days),
+        }
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        from repro.recovery.state import split_key
+        self._profiles = {}
+        for key, data in state["profiles"].items():  # type: ignore[union-attr]
+            package, day = split_key(key)
+            self._profiles[(package, int(day))] = _snapshot_from_state(data)
+        self._chart_days = {}
+        for key, items in state["chart_days"].items():  # type: ignore[union-attr]
+            chart, day = split_key(key)
+            self._chart_days[(chart, int(day))] = [
+                _appearance_from_state(item) for item in items]
+        self.crawl_days = [int(day) for day in state["crawl_days"]]  # type: ignore[union-attr]
+
     # -- profile queries -------------------------------------------------------
 
     def profile(self, package: str, day: int) -> Optional[ProfileSnapshot]:
@@ -146,6 +175,57 @@ class CrawlArchive:
         return timeline
 
 
+def _snapshot_to_state(snapshot: ProfileSnapshot) -> Dict[str, object]:
+    return {
+        "package": snapshot.package,
+        "day": snapshot.day,
+        "installs_floor": snapshot.installs_floor,
+        "genre": snapshot.genre,
+        "release_day": snapshot.release_day,
+        "developer_id": snapshot.developer_id,
+        "developer_name": snapshot.developer_name,
+        "developer_country": snapshot.developer_country,
+        "developer_website": snapshot.developer_website,
+        "is_game": snapshot.is_game,
+    }
+
+
+def _snapshot_from_state(state: Dict[str, object]) -> ProfileSnapshot:
+    website = state["developer_website"]
+    return ProfileSnapshot(
+        package=str(state["package"]),
+        day=int(state["day"]),                      # type: ignore[arg-type]
+        installs_floor=int(state["installs_floor"]),  # type: ignore[arg-type]
+        genre=str(state["genre"]),
+        release_day=int(state["release_day"]),      # type: ignore[arg-type]
+        developer_id=str(state["developer_id"]),
+        developer_name=str(state["developer_name"]),
+        developer_country=str(state["developer_country"]),
+        developer_website=None if website is None else str(website),
+        is_game=bool(state["is_game"]),
+    )
+
+
+def _appearance_to_state(appearance: ChartAppearance) -> Dict[str, object]:
+    return {
+        "package": appearance.package,
+        "chart": appearance.chart,
+        "day": appearance.day,
+        "rank": appearance.rank,
+        "percentile": appearance.percentile,
+    }
+
+
+def _appearance_from_state(state: Dict[str, object]) -> ChartAppearance:
+    return ChartAppearance(
+        package=str(state["package"]),
+        chart=str(state["chart"]),
+        day=int(state["day"]),                # type: ignore[arg-type]
+        rank=int(state["rank"]),              # type: ignore[arg-type]
+        percentile=float(state["percentile"]),  # type: ignore[arg-type]
+    )
+
+
 #: A side-effect-free fetch result: (snapshot, failure label, retryable).
 FetchOutcome = Tuple[Optional[ProfileSnapshot], Optional[str], bool]
 
@@ -207,6 +287,52 @@ class PlayStoreCrawler:
 
     def should_crawl(self, day: int, start_day: int = 0) -> bool:
         return day >= start_day and (day - start_day) % self.cadence_days == 0
+
+    @property
+    def client(self) -> HttpClient:
+        """The crawler's HTTP client (exposed for checkpointing)."""
+        return self._client
+
+    # -- checkpoint/restore ---------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """Crawler progress: counters, the transient-failure retry
+        queue, the per-(key, day) memo caches, and chart follow state.
+        The archive and the HTTP client are serialized by their owners
+        (the pipeline), which also decides sharing."""
+        from repro.recovery.state import join_key
+        return {
+            "requests_made": self.requests_made,
+            "failures": self.failures,
+            "retry_queue": list(self.retry_queue),
+            "profile_cache": {
+                join_key(package, str(day)): _snapshot_to_state(snapshot)
+                for (package, day), snapshot in sorted(
+                    self._profile_cache.items())},
+            "chart_cache": {
+                join_key(chart, str(day)): [_appearance_to_state(a)
+                                            for a in appearances]
+                for (chart, day), appearances in sorted(
+                    self._chart_cache.items())},
+            "followed": list(self._followed),
+        }
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        from repro.recovery.state import split_key
+        self.requests_made = int(state["requests_made"])  # type: ignore[arg-type]
+        self.failures = int(state["failures"])  # type: ignore[arg-type]
+        self.retry_queue = [str(p) for p in state["retry_queue"]]  # type: ignore[union-attr]
+        self._profile_cache = {}
+        for key, data in state["profile_cache"].items():  # type: ignore[union-attr]
+            package, day = split_key(key)
+            self._profile_cache[(package, int(day))] = _snapshot_from_state(data)
+        self._chart_cache = {}
+        for key, items in state["chart_cache"].items():  # type: ignore[union-attr]
+            chart, day = split_key(key)
+            self._chart_cache[(chart, int(day))] = [
+                _appearance_from_state(item) for item in items]
+        self._followed = [str(p) for p in state["followed"]]  # type: ignore[union-attr]
+        self._followed_set = set(self._followed)
 
     @property
     def cache_hits(self) -> int:

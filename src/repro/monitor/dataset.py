@@ -52,6 +52,39 @@ class OfferRecord:
         return self.last_seen_day - self.first_seen_day + 1
 
 
+def observed_offer_to_state(offer: ObservedOffer) -> Dict[str, object]:
+    return {
+        "iip_name": offer.iip_name,
+        "offer_id": offer.offer_id,
+        "package": offer.package,
+        "app_title": offer.app_title,
+        "play_store_url": offer.play_store_url,
+        "description": offer.description,
+        "payout_points": offer.payout_points,
+        "currency": offer.currency,
+        "affiliate_package": offer.affiliate_package,
+        "country": offer.country,
+        "day": offer.day,
+    }
+
+
+def observed_offer_from_state(state: Dict[str, object]) -> ObservedOffer:
+    country = state["country"]
+    return ObservedOffer(
+        iip_name=str(state["iip_name"]),
+        offer_id=str(state["offer_id"]),
+        package=str(state["package"]),
+        app_title=str(state["app_title"]),
+        play_store_url=str(state["play_store_url"]),
+        description=str(state["description"]),
+        payout_points=int(state["payout_points"]),  # type: ignore[arg-type]
+        currency=str(state["currency"]),
+        affiliate_package=str(state["affiliate_package"]),
+        country=None if country is None else str(country),
+        day=int(state["day"]),  # type: ignore[arg-type]
+    )
+
+
 class OfferDataset:
     """Accumulates milk runs into the deduplicated offer corpus."""
 
@@ -102,6 +135,44 @@ class OfferDataset:
     def ingest_all(self, observations: List[ObservedOffer]) -> None:
         for observation in observations:
             self.ingest(observation)
+
+    # -- checkpoint/restore ---------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        from repro.recovery.state import join_key
+        return {
+            "records": {
+                join_key(iip, offer_id): {
+                    "iip_name": record.iip_name,
+                    "offer_id": record.offer_id,
+                    "package": record.package,
+                    "app_title": record.app_title,
+                    "description": record.description,
+                    "payout_usd": record.payout_usd,
+                    "first_seen_day": record.first_seen_day,
+                    "last_seen_day": record.last_seen_day,
+                    "countries": sorted(record.countries),
+                    "affiliates": sorted(record.affiliates),
+                }
+                for (iip, offer_id), record in sorted(self._records.items())},
+        }
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        self._records = {}
+        for data in state["records"].values():  # type: ignore[union-attr]
+            record = OfferRecord(
+                iip_name=str(data["iip_name"]),
+                offer_id=str(data["offer_id"]),
+                package=str(data["package"]),
+                app_title=str(data["app_title"]),
+                description=str(data["description"]),
+                payout_usd=float(data["payout_usd"]),
+                first_seen_day=int(data["first_seen_day"]),
+                last_seen_day=int(data["last_seen_day"]),
+                countries=set(data["countries"]),
+                affiliates=set(data["affiliates"]),
+            )
+            self._records[(record.iip_name, record.offer_id)] = record
 
     # -- queries ------------------------------------------------------------
 

@@ -84,6 +84,27 @@ class Milker:
         if public_trust is not None:
             self.mitm.upstream_trust = public_trust
 
+    # -- checkpoint/restore ---------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """One milk cell's mutable surfaces: the phone-client RNG, the
+        per-cell circuit breaker, and the mitm proxy (its RNG, minted
+        identities, and CA serial)."""
+        from repro.recovery.state import dump_rng
+        return {
+            "rng": dump_rng(self._rng),
+            "breaker": (None if self.breaker is None
+                        else self.breaker.state_dict()),
+            "mitm": self.mitm.state_dict(),
+        }
+
+    def load_state(self, state: dict) -> None:
+        from repro.recovery.state import load_rng
+        load_rng(self._rng, state["rng"])
+        if self.breaker is not None and state["breaker"] is not None:
+            self.breaker.load_state(state["breaker"])
+        self.mitm.load_state(state["mitm"])
+
     def milk(self, spec: AffiliateAppSpec, day: int,
              country: Optional[str] = None,
              obs: Optional[Observability] = None) -> MilkRun:

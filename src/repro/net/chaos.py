@@ -322,6 +322,42 @@ class FaultPlan:
         keep = max(1, len(body) // 2)
         return body[:keep]
 
+    # -- checkpoint/restore ---------------------------------------------------
+    #
+    # The plan's only mutable state is the per-flow sequence counters
+    # (and the decision totals shown in reports).  Restoring them makes
+    # the resumed run consult the hashed schedule at exactly the offsets
+    # the uninterrupted run would have reached.
+
+    def state_dict(self) -> Dict[str, object]:
+        from repro.recovery.state import join_key
+        with self._lock:
+            return {
+                "connect_seq": {join_key(*key): seq
+                                for key, seq in self._connect_seq.items()},
+                "http_seq": {join_key(*key): seq
+                             for key, seq in self._http_seq.items()},
+                "frame_seq": {join_key(*key): seq
+                              for key, seq in self._frame_seq.items()},
+                "decisions": dict(self.decisions),
+            }
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        from repro.recovery.state import split_key
+        with self._lock:
+            self._connect_seq = {}
+            for key, seq in state["connect_seq"].items():  # type: ignore[union-attr]
+                flow, hostname, port = split_key(key)
+                self._connect_seq[(flow, hostname, int(port))] = int(seq)
+            self._http_seq = {
+                tuple(split_key(key)): int(seq)  # type: ignore[misc]
+                for key, seq in state["http_seq"].items()}  # type: ignore[union-attr]
+            self._frame_seq = {
+                tuple(split_key(key)): int(seq)  # type: ignore[misc]
+                for key, seq in state["frame_seq"].items()}  # type: ignore[union-attr]
+            self.decisions = {str(k): int(v)
+                              for k, v in state["decisions"].items()}  # type: ignore[union-attr]
+
 
 __all__ = [
     "CHAOS_PROFILES",

@@ -150,6 +150,25 @@ class CircuitBreaker:
             if metrics is not None:
                 metrics.inc("net.client.circuit_opened", host=host)
 
+    # -- checkpoint/restore ---------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        return {
+            "internal_ops": self._internal_ops,
+            "failures": dict(self._failures),
+            "opened_at": dict(self._opened_at),
+            "probing": dict(self._probing),
+        }
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        self._internal_ops = int(state["internal_ops"])  # type: ignore[arg-type]
+        self._failures = {str(k): int(v)
+                          for k, v in state["failures"].items()}  # type: ignore[union-attr]
+        self._opened_at = {str(k): int(v)
+                           for k, v in state["opened_at"].items()}  # type: ignore[union-attr]
+        self._probing = {str(k): bool(v)
+                         for k, v in state["probing"].items()}  # type: ignore[union-attr]
+
 
 class _SessionEntry:
     __slots__ = ("day", "ticket", "enc_key", "mac_key", "uses")
@@ -218,6 +237,28 @@ class TlsSessionCache:
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)
+
+    # -- checkpoint/restore ---------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "entries": [
+                    [host, flow, entry.day, entry.ticket.hex(),
+                     entry.enc_key.hex(), entry.mac_key.hex(), entry.uses]
+                    for (host, flow), entry in sorted(self._entries.items())],
+            }
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        with self._lock:
+            self._entries = {}
+            for host, flow, day, ticket, enc_key, mac_key, uses in (
+                    state["entries"]):  # type: ignore[union-attr]
+                entry = _SessionEntry(int(day), bytes.fromhex(ticket),
+                                      bytes.fromhex(enc_key),
+                                      bytes.fromhex(mac_key))
+                entry.uses = int(uses)
+                self._entries[(str(host), str(flow))] = entry
 
 
 class HttpClient:
@@ -304,6 +345,35 @@ class HttpClient:
             today=self.today, obs=obs or self.obs,
             retry_policy=self.retry_policy, breaker=breaker,
             session_cache=session_cache or self.session_cache)
+
+    # -- checkpoint/restore ---------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """The client's mutable surfaces: handshake RNG, the clock it
+        stamps requests with, and (when wired) its breaker and session
+        cache.  Callers sharing a breaker or cache across clients may
+        serialize it repeatedly; every copy is taken at the same
+        quiescent barrier, so repeated loads are idempotent."""
+        from repro.recovery.state import dump_rng
+        return {
+            "rng": dump_rng(self.rng),
+            "today": self.today,
+            "breaker": (None if self.breaker is None
+                        else self.breaker.state_dict()),
+            "session_cache": (None if self.session_cache is None
+                              else self.session_cache.state_dict()),
+        }
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        from repro.recovery.state import load_rng
+        load_rng(self.rng, state["rng"])
+        self.today = int(state["today"])  # type: ignore[arg-type]
+        if self.breaker is not None and state["breaker"] is not None:
+            self.breaker.load_state(state["breaker"])  # type: ignore[arg-type]
+        if (self.session_cache is not None
+                and state["session_cache"] is not None):
+            self.session_cache.load_state(
+                state["session_cache"])  # type: ignore[arg-type]
 
     # -- public API ----------------------------------------------------------
 

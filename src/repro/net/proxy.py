@@ -235,6 +235,32 @@ class MitmProxy:
     def exchanges_for_host(self, host: str) -> List[InterceptedExchange]:
         return [e for e in self.intercepted if e.host == host]
 
+    # -- checkpoint/restore --------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """RNG position, the minted-identity cache, and the CA serial.
+        ``intercepted`` is deliberately absent: every milk run clears it
+        before driving traffic, so at a day barrier it is dead state."""
+        from repro.net.tls import identity_to_state
+        from repro.recovery.state import dump_rng
+        return {
+            "rng": dump_rng(self._rng),
+            "ca": self.ca.state_dict(),
+            "identities": {
+                host: identity_to_state(identity)
+                for host, identity in sorted(self._identity_cache.items())},
+        }
+
+    def load_state(self, state: dict) -> None:
+        from repro.net.tls import identity_from_state
+        from repro.recovery.state import load_rng
+        load_rng(self._rng, state["rng"])
+        self.ca.load_state(state["ca"])
+        self._identity_cache = {
+            str(host): identity_from_state(data)
+            for host, data in state["identities"].items()}
+        self.intercepted.clear()
+
     # -- internals ----------------------------------------------------------
 
     def _today(self) -> int:

@@ -171,6 +171,9 @@ class HttpsServer:
         self.identity = identity
         self.router = Router()
         self.obs = obs or fabric.obs
+        # Kept for checkpointing: every connection handler shares this
+        # RNG, so its position is part of the server's resumable state.
+        self.rng = rng
         # Session tickets this server has minted; lets clients resume
         # and skip both handshake round trips on repeat visits.
         self.sessions = ServerSessionStore()
@@ -188,3 +191,15 @@ class HttpsServer:
                 session_store=self.sessions,
             ),
         )
+
+    # -- checkpoint/restore ---------------------------------------------------
+
+    def state_dict(self) -> dict:
+        from repro.recovery.state import dump_rng
+        return {"rng": dump_rng(self.rng),
+                "sessions": self.sessions.state_dict()}
+
+    def load_state(self, state: dict) -> None:
+        from repro.recovery.state import load_rng
+        load_rng(self.rng, state["rng"])
+        self.sessions.load_state(state["sessions"])

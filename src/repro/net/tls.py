@@ -113,6 +113,14 @@ class CertificateAuthority:
     def public_key(self) -> crypto.RsaPublicKey:
         return self._keypair.public
 
+    def state_dict(self) -> Dict[str, object]:
+        """Only the serial counter moves after construction; the keypair
+        is a deterministic function of the construction RNG."""
+        return {"next_serial": self._next_serial}
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        self._next_serial = int(state["next_serial"])  # type: ignore[arg-type]
+
     def self_certificate(self, not_before: int = 0, not_after: int = 10_000) -> Certificate:
         return self._issue(self.name, self._keypair.public, not_before, not_after)
 
@@ -337,6 +345,23 @@ class ServerSessionStore:
         with self._lock:
             return len(self._tickets)
 
+    def state_dict(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "tickets": [
+                    [ticket.hex(), enc_key.hex(), mac_key.hex()]
+                    for ticket, (enc_key, mac_key) in sorted(
+                        self._tickets.items())],
+            }
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        with self._lock:
+            self._tickets = {
+                bytes.fromhex(ticket): (bytes.fromhex(enc_key),
+                                        bytes.fromhex(mac_key))
+                for ticket, enc_key, mac_key in (
+                    state["tickets"])}  # type: ignore[union-attr]
+
 
 # ---------------------------------------------------------------------------
 # Client session
@@ -471,6 +496,25 @@ class ServerIdentity:
     @property
     def leaf(self) -> Certificate:
         return self.chain[0]
+
+
+def identity_to_state(identity: ServerIdentity) -> Dict[str, object]:
+    """JSON form of a minted identity (checkpointing mitm caches)."""
+    return {
+        "chain": [cert.to_json() for cert in identity.chain],
+        "private_modulus": f"{identity.private_key.modulus:x}",
+        "private_exponent": f"{identity.private_key.exponent:x}",
+    }
+
+
+def identity_from_state(state: Dict[str, object]) -> ServerIdentity:
+    return ServerIdentity(
+        chain=[Certificate.from_json(data)
+               for data in state["chain"]],  # type: ignore[union-attr]
+        private_key=crypto.RsaPrivateKey(
+            modulus=int(str(state["private_modulus"]), 16),
+            exponent=int(str(state["private_exponent"]), 16)),
+    )
 
 
 def issue_server_identity(

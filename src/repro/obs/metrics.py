@@ -67,6 +67,11 @@ class OpCounter:
             self._value += amount
             return self._value
 
+    def reset(self, value: int) -> None:
+        """Set the counter outright (checkpoint restore only)."""
+        with self._lock:
+            self._value = value
+
 
 def render_key(name: str, labels: LabelItems) -> str:
     """``name{k=v,...}`` rendering used in snapshots and tables."""
@@ -182,6 +187,18 @@ class HistogramState:
             "min": self.minimum,
             "max": self.maximum,
         }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "HistogramState":
+        """Invert :meth:`to_dict` (checkpoint restore)."""
+        return cls(
+            bounds=tuple(data["bounds"]),          # type: ignore[arg-type]
+            bucket_counts=list(data["bucket_counts"]),  # type: ignore[arg-type]
+            count=int(data["count"]),              # type: ignore[arg-type]
+            total=float(data["sum"]),              # type: ignore[arg-type]
+            minimum=data["min"],                   # type: ignore[arg-type]
+            maximum=data["max"],                   # type: ignore[arg-type]
+        )
 
 
 class MetricsRegistry:
@@ -327,6 +344,53 @@ class MetricsRegistry:
             "gauges": self.gauges(),
             "histograms": histograms,
         }
+
+    # -- checkpoint/restore ---------------------------------------------------
+    #
+    # ``snapshot`` renders label tuples into display strings, which is
+    # lossy; checkpoints need the exact series keys back, so the state
+    # dict keeps labels structured as ``[[k, v], ...]`` lists.
+
+    def state_dict(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "counters": {
+                    name: [[list(map(list, key)), value]
+                           for key, value in sorted(series.items())]
+                    for name, series in self._counters.items()},
+                "gauges": {
+                    name: [[list(map(list, key)), value]
+                           for key, value in sorted(series.items())]
+                    for name, series in self._gauges.items()},
+                "histograms": {
+                    name: [[list(map(list, key)), state.to_dict()]
+                           for key, state in sorted(series.items())]
+                    for name, series in self._histograms.items()},
+                "histogram_bounds": {
+                    name: list(bounds)
+                    for name, bounds in self._histogram_bounds.items()},
+            }
+
+    @staticmethod
+    def _series_key(raw: List) -> LabelItems:
+        return tuple((str(k), str(v)) for k, v in raw)
+
+    def load_state(self, state: Mapping[str, object]) -> None:
+        """Replace every series with the checkpointed ones."""
+        with self._lock:
+            self._counters = {
+                name: {self._series_key(key): value for key, value in series}
+                for name, series in state["counters"].items()}  # type: ignore[union-attr]
+            self._gauges = {
+                name: {self._series_key(key): value for key, value in series}
+                for name, series in state["gauges"].items()}  # type: ignore[union-attr]
+            self._histograms = {
+                name: {self._series_key(key): HistogramState.from_dict(data)
+                       for key, data in series}
+                for name, series in state["histograms"].items()}  # type: ignore[union-attr]
+            self._histogram_bounds = {
+                name: tuple(bounds)
+                for name, bounds in state["histogram_bounds"].items()}  # type: ignore[union-attr]
 
 
 class NullMetricsRegistry(MetricsRegistry):

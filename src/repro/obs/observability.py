@@ -63,6 +63,24 @@ class Observability:
             "ops": self.ops.value,
         }
 
+    # -- checkpoint/restore ---------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """The exact recorded state (unlike :meth:`snapshot`, which
+        renders label tuples lossily).  Includes the tracer's active
+        span stack, so a resumed run can re-enter the pipeline span it
+        was checkpointed inside of (see :meth:`Tracer.adopt`)."""
+        return {
+            "ops": self.ops.value,
+            "metrics": self.metrics.state_dict(),
+            "tracer": self.tracer.state_dict(),
+        }
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        self.ops.reset(int(state["ops"]))  # type: ignore[arg-type]
+        self.metrics.load_state(state["metrics"])  # type: ignore[arg-type]
+        self.tracer.load_state(state["tracer"])  # type: ignore[arg-type]
+
 
 class NullObservability(Observability):
     """Records nothing; safe to share as a module-level default."""

@@ -117,6 +117,32 @@ class Tracer:
             self._active.pop()
             self._finished.append(record)
 
+    @contextmanager
+    def adopt(self, state: Dict[str, object]) -> Iterator[SpanRecord]:
+        """Re-enter a span restored from a checkpoint.
+
+        A checkpoint taken inside a long-lived span (``wild.run``,
+        ``honey.run``) records that span as still active; the resumed
+        loop re-enters it with its *original* identity and start
+        timestamps instead of minting a new one.  Unlike :meth:`span`,
+        entry does not tick the op counter — the original start tick is
+        already part of the restored counter value — while exit follows
+        the normal path, so the finished record is byte-identical to
+        the uninterrupted run's.
+        """
+        record = _span_from_state(state)
+        self._active.append(record)
+        try:
+            yield record
+        except BaseException as exc:
+            record.status = type(exc).__name__
+            raise
+        finally:
+            record.end_day = self._day()
+            record.end_op = self._counter.tick()
+            self._active.pop()
+            self._finished.append(record)
+
     # -- merging -------------------------------------------------------------
 
     def absorb(self, other: "Tracer", op_offset: int = 0,
@@ -188,6 +214,55 @@ class Tracer:
 
     def snapshot(self) -> List[Dict[str, object]]:
         return [span.to_dict() for span in self._finished]
+
+    # -- checkpoint/restore ---------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """Exact tracer state: finished spans, the active stack (a
+        checkpoint is taken inside the pipeline's run span), and the id
+        sequence.  ``snapshot`` is lossy (labels flattened to a dict,
+        no id counter); this is not."""
+        return {
+            "next_id": self._next_id,
+            "finished": [_span_to_state(span) for span in self._finished],
+            "active": [_span_to_state(span) for span in self._active],
+        }
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        """Restore finished spans + the id sequence.  Active spans are
+        *not* re-pushed here: the resumed loop re-enters each one via
+        :meth:`adopt`, which owns closing them."""
+        self._next_id = int(state["next_id"])  # type: ignore[arg-type]
+        self._finished = [_span_from_state(item)
+                          for item in state["finished"]]  # type: ignore[union-attr]
+
+
+def _span_to_state(span: SpanRecord) -> Dict[str, object]:
+    return {
+        "span_id": span.span_id,
+        "name": span.name,
+        "labels": [list(pair) for pair in span.labels],
+        "parent_id": span.parent_id,
+        "start_day": span.start_day,
+        "start_op": span.start_op,
+        "end_day": span.end_day,
+        "end_op": span.end_op,
+        "status": span.status,
+    }
+
+
+def _span_from_state(state: Dict[str, object]) -> SpanRecord:
+    return SpanRecord(
+        span_id=str(state["span_id"]),
+        name=str(state["name"]),
+        labels=tuple((str(k), str(v)) for k, v in state["labels"]),  # type: ignore[union-attr]
+        parent_id=state["parent_id"],  # type: ignore[arg-type]
+        start_day=int(state["start_day"]),  # type: ignore[arg-type]
+        start_op=int(state["start_op"]),  # type: ignore[arg-type]
+        end_day=int(state["end_day"]),  # type: ignore[arg-type]
+        end_op=int(state["end_op"]),  # type: ignore[arg-type]
+        status=str(state["status"]),
+    )
 
 
 class NullTracer(Tracer):

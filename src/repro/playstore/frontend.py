@@ -55,6 +55,28 @@ class PlayStoreFrontend:
         self._server.router.get("/store/apps/details", self._details)
         self._server.router.get("/store/charts/{kind}", self._chart)
 
+    @property
+    def server(self) -> HttpsServer:
+        """The underlying HTTPS server (exposed for checkpointing)."""
+        return self._server
+
+    # -- checkpoint/restore ---------------------------------------------------
+
+    def state_dict(self) -> dict:
+        return {
+            "server": self._server.state_dict(),
+            "request_counts": [
+                [block, day, count]
+                for (block, day), count in sorted(
+                    self._request_counts.items())],
+        }
+
+    def load_state(self, state: dict) -> None:
+        self._server.load_state(state["server"])
+        self._request_counts = {
+            (str(block), int(day)): int(count)
+            for block, day, count in state["request_counts"]}
+
     def _throttled(self, context: RequestContext) -> bool:
         if self.max_requests_per_day <= 0:
             return False

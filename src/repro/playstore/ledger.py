@@ -86,6 +86,38 @@ class InstallLedger:
         with self._lock:
             self._removed[(package, day)] += count
 
+    # -- checkpoint/restore ---------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """Batches in append order plus removals; the daily/campaign
+        indexes are derived, so restore rebuilds them via ``record``."""
+        from repro.recovery.state import join_key
+        with self._lock:
+            return {
+                "batches": [
+                    [batch.package, batch.day, batch.source.value,
+                     batch.count, batch.campaign_id]
+                    for batch in self._batches],
+                "removed": {
+                    join_key(package, str(day)): count
+                    for (package, day), count in sorted(self._removed.items())},
+            }
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        from repro.recovery.state import split_key
+        self.__init__()  # type: ignore[misc]
+        for package, day, source, count, campaign_id in (
+                state["batches"]):  # type: ignore[union-attr]
+            self.record(InstallBatch(
+                package=str(package), day=int(day),
+                source=InstallSource(source), count=int(count),
+                campaign_id=(None if campaign_id is None
+                             else str(campaign_id))))
+        with self._lock:
+            for key, count in state["removed"].items():  # type: ignore[union-attr]
+                package, day = split_key(key)
+                self._removed[(package, int(day))] = int(count)
+
     # -- queries -----------------------------------------------------------
 
     def installs_by_source(self, package: str,

@@ -100,3 +100,22 @@ class EnforcementEngine:
 
     def actions_for(self, package: str) -> List[EnforcementAction]:
         return [action for action in self.actions if action.package == package]
+
+    # -- checkpoint/restore ---------------------------------------------------
+
+    def state_dict(self) -> dict:
+        return {
+            "actions": [
+                [action.campaign_id, action.package, action.day,
+                 action.installs_removed]
+                for action in self.actions],
+            "reviewed": sorted(self._reviewed),
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.actions = [
+            EnforcementAction(campaign_id=str(campaign_id),
+                              package=str(package), day=int(day),
+                              installs_removed=int(removed))
+            for campaign_id, package, day, removed in state["actions"]]
+        self._reviewed = set(state["reviewed"])

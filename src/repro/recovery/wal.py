@@ -1,0 +1,89 @@
+"""Write-ahead log of admitted serve ingest events.
+
+One JSONL segment per virtual day (``wal/day_00000.jsonl``).  The serve
+tier appends every *admitted, already re-stamped* ingest event before
+publishing it to the detection bus, so the log is exactly the event
+stream the online detector consumed.  Resume replays segments up to the
+checkpoint's watermark into a fresh detector + install log instead of
+serialising the detector's fold state — the replayed fold lands in the
+identical state, by the same argument that makes the online detector
+converge to the batch one.
+
+A crash mid-day leaves a partial segment for the in-flight day.
+``open_day`` truncates it on resume: the re-executed day rewrites the
+exact same lines (the serve loop is deterministic from the restored
+barrier), so the recovered log is byte-identical to an uninterrupted
+run's.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional
+
+from repro.obs import NULL_OBS, Observability
+
+
+class WriteAheadLog:
+    """Per-day append-only JSONL segments under one directory."""
+
+    def __init__(self, root, obs: Optional[Observability] = None) -> None:
+        self.root = Path(root)
+        self.obs = obs or NULL_OBS
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._handle = None
+        self._open_day: Optional[int] = None
+
+    def segment_path(self, day: int) -> Path:
+        return self.root / f"day_{day:05d}.jsonl"
+
+    def open_day(self, day: int) -> None:
+        """Start (or restart) the segment for ``day``, truncating any
+        partial content a crashed run left behind."""
+        self.close()
+        self._handle = self.segment_path(day).open("w")
+        self._open_day = day
+
+    def append(self, record: Dict[str, object]) -> None:
+        if self._handle is None:
+            raise RuntimeError("no WAL segment open (call open_day first)")
+        self._handle.write(json.dumps(record, sort_keys=True,
+                                      separators=(",", ":")) + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+            self._open_day = None
+
+    def replay(self, through_day: int,
+               limit: Optional[int] = None) -> Iterator[Dict[str, object]]:
+        """Records of days ``0..through_day`` inclusive, in write order.
+
+        ``limit`` caps the total records yielded (the checkpoint's
+        watermark), guarding against a segment that somehow outran the
+        checkpoint that references it.
+        """
+        yielded = 0
+        for day in range(through_day + 1):
+            path = self.segment_path(day)
+            if not path.exists():
+                continue
+            with path.open() as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    if limit is not None and yielded >= limit:
+                        return
+                    yielded += 1
+                    self.obs.metrics.inc("recovery.wal_replayed")
+                    yield json.loads(line)
+
+    def segments(self) -> List[Path]:
+        return sorted(self.root.glob("day_*.jsonl"))
+
+
+__all__ = ["WriteAheadLog"]

@@ -13,7 +13,7 @@ shed — the ``unshed_overflows`` invariant the acceptance criteria gate.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable, Dict, Optional
 
 from repro.obs import NULL_OBS, Observability
 
@@ -83,6 +83,22 @@ class TokenBucket:
             return True
         return False
 
+    # -- checkpoint/restore ---------------------------------------------------
+
+    def state_dict(self) -> Dict[str, float]:
+        """Bucket fill level and refill cursor.
+
+        Floats survive a JSON round trip exactly (``repr`` emits the
+        shortest string that parses back to the same double), so lazy
+        refill arithmetic after a restore matches the uninterrupted run
+        bit for bit.
+        """
+        return {"tokens": self._tokens, "last_refill": self._last_refill}
+
+    def load_state(self, state: Dict[str, float]) -> None:
+        self._tokens = float(state["tokens"])
+        self._last_refill = float(state["last_refill"])
+
 
 class AdmissionController:
     """Decides admit/shed for each offered request.
@@ -134,3 +150,21 @@ class AdmissionController:
 
     def accounting_consistent(self) -> bool:
         return self.offered == self.admitted + self.shed
+
+    # -- checkpoint/restore ---------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        return {
+            "offered": self.offered,
+            "admitted": self.admitted,
+            "shed": self.shed,
+            "unshed_overflows": self.unshed_overflows,
+            "bucket": self.bucket.state_dict(),
+        }
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        self.offered = int(state["offered"])    # type: ignore[arg-type]
+        self.admitted = int(state["admitted"])  # type: ignore[arg-type]
+        self.shed = int(state["shed"])          # type: ignore[arg-type]
+        self.unshed_overflows = int(state["unshed_overflows"])  # type: ignore[arg-type]
+        self.bucket.load_state(state["bucket"])  # type: ignore[arg-type]

@@ -1,26 +1,44 @@
-"""Watermark-keyed response cache for the read endpoints.
+"""Freshness-keyed response cache for the read endpoints.
 
 Every cacheable response is a pure function of ``(endpoint, params,
-watermark)``: queries at the same watermark see the same detection
-state and the same (static) datasets, so the body can be replayed
-verbatim.  When ingest advances the watermark the whole cache is
-invalidated at once — cheaper and simpler than per-entry tracking, and
-exactly right for a service whose every write potentially changes every
-flagged-set answer.
+freshness token)``.  Two invalidation policies:
+
+``wholesale``
+    The historical scheme: one shared token (the ingest watermark);
+    whenever it moves the whole cache is cleared.  Simple, but on a
+    mixed workload every ingest batch blows away the ``datasets``
+    entries too — responses that never depended on the watermark at
+    all.
+
+``keyed``
+    Per-entry invalidation (the default): each entry remembers the
+    freshness token its endpoint depended on when it was stored, and a
+    lookup hits only if the endpoint's *current* token still matches.
+    The service derives tokens per endpoint — ``datasets`` bodies are
+    static (token never moves), ``flagged`` bodies change only when the
+    online detector actually emits a cluster (its change ``version``),
+    and ``metrics`` bodies track the watermark — so an ingest batch
+    that flags nothing new no longer evicts a single query response.
 
 Eviction is FIFO over insertion order, which is deterministic under the
 virtual-time loop's deterministic request schedule; hit/miss/eviction
-counts land in ``serve.cache_*`` metrics for the bench to pin.
+counts land in ``serve.cache_*`` metrics for the bench to pin.  Under
+``keyed`` a stale entry found at lookup is dropped in place and counted
+as an invalidation, so the ``serve.cache_invalidations`` counter keeps
+meaning "entries discarded for staleness" across both policies.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Mapping, Optional, Tuple
+from typing import Dict, Mapping, Optional, Tuple
 
 from repro.obs import NULL_OBS, Observability
 
 CacheKey = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+#: Recognised invalidation policies.
+CACHE_POLICIES = ("wholesale", "keyed")
 
 
 def params_key(params: Mapping[str, object]) -> Tuple[Tuple[str, str], ...]:
@@ -29,15 +47,23 @@ def params_key(params: Mapping[str, object]) -> Tuple[Tuple[str, str], ...]:
 
 
 class WatermarkCache:
-    """Response cache invalidated wholesale on watermark movement."""
+    """Response cache with wholesale or per-entry invalidation."""
 
     def __init__(self, obs: Optional[Observability] = None,
-                 max_entries: int = 512) -> None:
+                 max_entries: int = 512,
+                 policy: str = "keyed") -> None:
         if max_entries < 1:
             raise ValueError("max_entries must be positive")
+        if policy not in CACHE_POLICIES:
+            known = ", ".join(CACHE_POLICIES)
+            raise ValueError(
+                f"unknown cache policy {policy!r} (known: {known})")
         self.obs = obs or NULL_OBS
         self.max_entries = max_entries
-        self._entries: "OrderedDict[CacheKey, object]" = OrderedDict()
+        self.policy = policy
+        #: key -> (freshness token at store time, body).
+        self._entries: "OrderedDict[CacheKey, Tuple[int, object]]" = (
+            OrderedDict())
         self._watermark = -1
         self.hits = 0
         self.misses = 0
@@ -51,32 +77,46 @@ class WatermarkCache:
     def watermark(self) -> int:
         return self._watermark
 
-    def _sync_watermark(self, watermark: int) -> None:
-        if watermark != self._watermark:
+    def _sync_watermark(self, token: int) -> None:
+        """Wholesale only: clear everything when the shared token moves."""
+        if self.policy == "wholesale" and token != self._watermark:
             if self._entries:
                 self.invalidations += 1
                 self.obs.metrics.inc("serve.cache_invalidations")
                 self._entries.clear()
-            self._watermark = watermark
+        self._watermark = max(self._watermark, token)
 
     def lookup(self, endpoint: str, params: Mapping[str, object],
-               watermark: int) -> Tuple[bool, object]:
-        """``(hit, body)``; body is only meaningful when hit is True."""
-        self._sync_watermark(watermark)
+               token: int) -> Tuple[bool, object]:
+        """``(hit, body)``; body is only meaningful when hit is True.
+
+        ``token`` is the endpoint's current freshness token (the
+        service's call; under ``wholesale`` every endpoint passes the
+        shared watermark).
+        """
+        self._sync_watermark(token)
         key = (endpoint, params_key(params))
-        if key in self._entries:
-            self.hits += 1
-            self.obs.metrics.inc("serve.cache_hits", endpoint=endpoint)
-            return True, self._entries[key]
+        entry = self._entries.get(key)
+        if entry is not None:
+            stored_token, body = entry
+            if stored_token == token:
+                self.hits += 1
+                self.obs.metrics.inc("serve.cache_hits", endpoint=endpoint)
+                return True, body
+            # Stale under keyed policy: drop in place so the slot is
+            # reused by the fresh store that follows this miss.
+            del self._entries[key]
+            self.invalidations += 1
+            self.obs.metrics.inc("serve.cache_invalidations")
         self.misses += 1
         self.obs.metrics.inc("serve.cache_misses", endpoint=endpoint)
         return False, None
 
     def store(self, endpoint: str, params: Mapping[str, object],
-              watermark: int, body: object) -> None:
-        self._sync_watermark(watermark)
+              token: int, body: object) -> None:
+        self._sync_watermark(token)
         key = (endpoint, params_key(params))
-        self._entries[key] = body
+        self._entries[key] = (token, body)
         if len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
             self.evictions += 1
@@ -85,3 +125,37 @@ class WatermarkCache:
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    # -- checkpoint/restore ---------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """Entries in insertion order (FIFO eviction depends on it).
+
+        Bodies are JSON-shaped response dicts; callers never compare
+        them structurally after a restore, only replay them, so the
+        tuple->list laundering of a JSON round trip is harmless.
+        """
+        return {
+            "policy": self.policy,
+            "watermark": self._watermark,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "entries": [
+                [endpoint, [list(pair) for pair in params], token, body]
+                for (endpoint, params), (token, body)
+                in self._entries.items()],
+        }
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        self._watermark = int(state["watermark"])  # type: ignore[arg-type]
+        self.hits = int(state["hits"])             # type: ignore[arg-type]
+        self.misses = int(state["misses"])         # type: ignore[arg-type]
+        self.evictions = int(state["evictions"])   # type: ignore[arg-type]
+        self.invalidations = int(state["invalidations"])  # type: ignore[arg-type]
+        self._entries = OrderedDict()
+        for endpoint, params, token, body in state["entries"]:  # type: ignore[union-attr]
+            key = (str(endpoint),
+                   tuple((str(k), str(v)) for k, v in params))
+            self._entries[key] = (int(token), body)

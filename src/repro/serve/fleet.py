@@ -42,6 +42,7 @@ from repro.net.client import CircuitBreaker, RetryPolicy
 from repro.net.errors import CircuitOpenError, TransientNetworkError
 from repro.obs import NULL_OBS, Observability
 from repro.parallel.hashing import derive_rng
+from repro.recovery.state import dump_rng, load_rng
 from repro.serve.service import DetectionService, ServeRequest, ServeResponse
 from repro.serve.vtime import DAY_SECONDS, VirtualClock
 
@@ -137,27 +138,54 @@ class FleetClient:
         self._campaigns: List[_Campaign] = []
         self._campaign_seq = 0
         self._organic_seq = 0
+        #: Absolute virtual time of the next arrival; None until the
+        #: first gap is drawn.  Kept across ``run_until`` segments so a
+        #: client parked at a day boundary wakes at the exact instant
+        #: it would have in an unsegmented run.
+        self._wake_at: Optional[float] = None
+        #: Shots left in the burst currently draining (0 = the next
+        #: arrival decides a fresh burst).
+        self._burst_left = 0
 
     # -- traffic generation --------------------------------------------------
 
     async def run(self) -> None:
+        await self.run_until(self.config.days * DAY_SECONDS)
+
+    async def run_until(self, stop_vt: float) -> None:
+        """Send requests until the next arrival falls at or past
+        ``stop_vt`` (capped at the run horizon), then park.
+
+        The arrival schedule is client state (``_wake_at`` /
+        ``_burst_left`` / the RNG), not loop state, so running the
+        horizon as one segment or as per-day segments replays the same
+        absolute arrival instants — which is what lets the serve runner
+        checkpoint at day boundaries and a resumed run rejoin the exact
+        schedule.
+        """
         rng = self.rng
         config = self.config
-        horizon = config.days * DAY_SECONDS
+        stop = min(stop_vt, config.days * DAY_SECONDS)
         mean_gap = DAY_SECONDS / config.requests_per_client_day
         while True:
-            await self.vclock.sleep(rng.expovariate(1.0 / mean_gap))
-            if self.vclock.now() >= horizon:
+            if self._wake_at is None:
+                self._wake_at = (self.vclock.now()
+                                 + rng.expovariate(1.0 / mean_gap))
+            if self._wake_at >= stop:
                 return
-            burst = 1
-            if rng.random() < config.burst_probability:
-                burst = rng.randint(*config.burst_span)
-            for shot in range(burst):
-                if shot:
-                    await self.vclock.sleep(config.burst_gap_seconds)
-                    if self.vclock.now() >= horizon:
-                        return
-                await self._send(self._next_request())
+            await self.vclock.sleep(self._wake_at - self.vclock.now())
+            if self._burst_left == 0:
+                self._burst_left = 1
+                if rng.random() < config.burst_probability:
+                    self._burst_left = rng.randint(*config.burst_span)
+            await self._send(self._next_request())
+            self._burst_left -= 1
+            if self._burst_left > 0:
+                self._wake_at = (self.vclock.now()
+                                 + config.burst_gap_seconds)
+            else:
+                self._wake_at = (self.vclock.now()
+                                 + rng.expovariate(1.0 / mean_gap))
 
     def _next_request(self) -> ServeRequest:
         roll = self.rng.random()
@@ -305,6 +333,53 @@ class FleetClient:
         metrics.inc("serve.fleet.gave_up")
         return response
 
+    # -- checkpoint/restore ---------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """Everything the arrival schedule and traffic model depend on.
+
+        Campaign and pool order are preserved exactly: the device-reuse
+        and live-campaign draws index into them by position.
+        """
+        return {
+            "rng": dump_rng(self.rng),
+            "wake_at": self._wake_at,
+            "burst_left": self._burst_left,
+            "campaign_seq": self._campaign_seq,
+            "organic_seq": self._organic_seq,
+            "stats": {key: self.stats[key] for key in sorted(self.stats)},
+            "pool": [list(device) for device in self._pool],
+            "campaigns": [
+                {"package": campaign.package,
+                 "waves_left": campaign.waves_left,
+                 "farm": campaign.farm,
+                 "farm_devices": [list(device)
+                                  for device in campaign.farm_devices]}
+                for campaign in self._campaigns],
+            "breaker": self.breaker.state_dict(),
+        }
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        load_rng(self.rng, state["rng"])  # type: ignore[arg-type]
+        wake_at = state["wake_at"]
+        self._wake_at = None if wake_at is None else float(wake_at)  # type: ignore[arg-type]
+        self._burst_left = int(state["burst_left"])  # type: ignore[arg-type]
+        self._campaign_seq = int(state["campaign_seq"])  # type: ignore[arg-type]
+        self._organic_seq = int(state["organic_seq"])  # type: ignore[arg-type]
+        self.stats = Counter(
+            {str(k): int(v) for k, v in state["stats"].items()})  # type: ignore[union-attr]
+        self._pool = [(str(d), str(b), str(s))
+                      for d, b, s in state["pool"]]  # type: ignore[union-attr]
+        self._campaigns = []
+        for data in state["campaigns"]:  # type: ignore[union-attr]
+            campaign = _Campaign(package=str(data["package"]),
+                                 waves_left=int(data["waves_left"]),  # type: ignore[arg-type]
+                                 farm=bool(data["farm"]))
+            campaign.farm_devices = [(str(d), str(b), str(s))
+                                     for d, b, s in data["farm_devices"]]
+            self._campaigns.append(campaign)
+        self.breaker.load_state(state["breaker"])  # type: ignore[arg-type]
+
 
 class ClientFleet:
     """All clients for one run, launched in index order."""
@@ -339,8 +414,32 @@ class ClientFleet:
         await asyncio.gather(*(asyncio.ensure_future(client.run())
                                for client in self.clients))
 
+    async def run_until(self, stop_vt: float) -> None:
+        """One day segment: every client runs to ``stop_vt`` and parks.
+
+        Clients are scheduled in index order at each segment start, so
+        tie-breaking among same-instant arrivals is identical across
+        segments, across runs, and across a crash/resume boundary.
+        """
+        await asyncio.gather(*(asyncio.ensure_future(
+            client.run_until(stop_vt)) for client in self.clients))
+
     def stats(self) -> Dict[str, int]:
         totals: Counter = Counter()
         for client in self.clients:
             totals.update(client.stats)
         return {key: totals[key] for key in sorted(totals)}
+
+    # -- checkpoint/restore ---------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        return {"clients": [client.state_dict() for client in self.clients]}
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        states = state["clients"]
+        if len(states) != len(self.clients):  # type: ignore[arg-type]
+            raise ValueError(
+                f"checkpoint has {len(states)} fleet clients, "  # type: ignore[arg-type]
+                f"this run has {len(self.clients)}")
+        for client, client_state in zip(self.clients, states):  # type: ignore[arg-type]
+            client.load_state(client_state)

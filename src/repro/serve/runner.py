@@ -2,31 +2,53 @@
 
 ``run_serve`` wires one :class:`~repro.serve.service.DetectionService`
 and one :class:`~repro.serve.fleet.ClientFleet` onto a fresh
-virtual-time loop, runs the fleet to its horizon, then closes the run:
-finalize the online detector, compare its flagged set against the batch
-:class:`~repro.detection.lockstep.LockstepDetector` on the same install
-log (the acceptance criterion), score against ground truth, and fold
-everything — per-endpoint latency percentiles included — into one
-deterministic report dict.  Same config + same seed ⇒ byte-identical
-report, flagged dump, and metrics snapshot.
+virtual-time loop, drives the fleet one simulated day at a time, then
+closes the run: finalize the online detector, compare its flagged set
+against the batch :class:`~repro.detection.lockstep.LockstepDetector`
+on the same install log (the acceptance criterion), score against
+ground truth, and fold everything — per-endpoint latency percentiles
+included — into one deterministic report dict.  Same config + same
+seed ⇒ byte-identical report, flagged dump, and metrics snapshot.
+
+Day segmentation and recovery
+-----------------------------
+The fleet always runs in day segments (``fleet.run_until`` per day)
+whether or not recovery is enabled, so a plain run and a
+checkpoint-writing run execute the identical callback schedule.  Each
+segment boundary is a quiescent barrier for free: every client awaits
+its in-flight response before scheduling its next arrival, so when the
+day's gather completes the admission queue is drained and the workers
+are idle — the checkpoint captures scalar state only, never an
+in-flight request.
+
+A resumed run rebuilds the streaming detection state by replaying the
+write-ahead log through the event bus, restores the scalar service and
+fleet state, and restores the observability snapshot *last* so any
+counters the replay ticked are overwritten with the checkpointed exact
+values.  The loop itself is constructed at the checkpointed virtual
+instant, which makes every post-resume timestamp (arrival times, queue
+waits, latency percentiles) match the uninterrupted run bit for bit.
 """
 
 from __future__ import annotations
 
+import asyncio
 import hashlib
 import json
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from repro.detection.events import DeviceInstallEvent
 from repro.detection.lockstep import LockstepDetector
 from repro.net.chaos import ChaosScenario
 from repro.obs import Observability
+from repro.recovery.checkpoint import RecoveryContext
 from repro.serve.admission import AdmissionConfig
 from repro.serve.cache import WatermarkCache
 from repro.serve.datasets import DatasetRegistry, build_serve_datasets
 from repro.serve.fleet import ClientFleet, FleetConfig
 from repro.serve.service import DetectionService, ServiceConfig
-from repro.serve.vtime import VirtualClock, VirtualTimeEventLoop
+from repro.serve.vtime import DAY_SECONDS, VirtualClock, VirtualTimeEventLoop
 from repro.simulation.clock import SimulationClock
 
 #: Latency endpoints reported even when a profile never hit them.
@@ -53,6 +75,8 @@ class ServeRunConfig:
     chaos_seed: Optional[int] = None
     #: Mean requests per client per simulated day (bench-tunable).
     requests_per_client_day: float = 700.0
+    #: Response-cache invalidation policy (see :mod:`repro.serve.cache`).
+    cache_policy: str = "keyed"
 
 
 @dataclass
@@ -129,7 +153,8 @@ def _latency_summary(obs: Observability, name: str,
 
 
 def run_serve(config: ServeRunConfig,
-              obs: Optional[Observability] = None) -> ServeRunReport:
+              obs: Optional[Observability] = None,
+              recovery: Optional[RecoveryContext] = None) -> ServeRunReport:
     """One full deterministic service run."""
     obs = obs or Observability()
     clock = SimulationClock()
@@ -137,7 +162,18 @@ def run_serve(config: ServeRunConfig,
     chaos_seed = (config.chaos_seed if config.chaos_seed is not None
                   else config.seed)
     chaos = ChaosScenario.profile(config.chaos_profile, seed=chaos_seed)
-    loop = VirtualTimeEventLoop()
+
+    start_day = 0
+    start_vt = 0.0
+    restored = None
+    if recovery is not None and recovery.resume:
+        loaded = recovery.store.latest()
+        if loaded is not None:
+            cursor, restored = loaded
+            start_day = cursor + 1
+            start_vt = float(restored["virtual_now"])
+
+    loop = VirtualTimeEventLoop(start_time=start_vt)
     vclock = VirtualClock(loop)
     registry = DatasetRegistry(build_serve_datasets(config.seed,
                                                     scale=config.scale))
@@ -145,7 +181,8 @@ def run_serve(config: ServeRunConfig,
         vclock=vclock,
         clock=clock,
         obs=obs,
-        config=ServiceConfig(workers=config.shards),
+        config=ServiceConfig(workers=config.shards,
+                             cache_policy=config.cache_policy),
         admission=AdmissionConfig(qps=config.qps, burst=config.burst,
                                   max_queue=config.max_queue),
         datasets=registry,
@@ -159,15 +196,58 @@ def run_serve(config: ServeRunConfig,
         scale=config.scale,
         requests_per_client_day=config.requests_per_client_day,
     ), config.seed, obs=obs)
+    if recovery is not None:
+        service.attach_recovery(recovery)
+
+    if restored is not None:
+        # Rebuild the streaming detection state (install log, online
+        # detector, its cache-freshness version) by replaying every
+        # durably logged ingest event through the bus, capped at the
+        # checkpoint's watermark.
+        service_state = restored["service"]
+        for record in recovery.wal.replay(
+                start_day - 1, limit=int(service_state["watermark"])):
+            event = DeviceInstallEvent.from_dict(record["event"])
+            if record["incentivized"]:
+                service.incentivized.add(event.device_id)
+            service.bus.publish(event)
+        service.load_state(service_state)
+        fleet.load_state(restored["fleet"])
+        # Observability last: replay double-ticked bus/detector
+        # counters; the snapshot restores the exact barrier values.
+        obs.load_state(restored["obs"])
+        recovery.mark_resumed(start_day - 1)
 
     async def main() -> None:
         await service.start()
-        await fleet.run()
+        for day in range(start_day, config.days):
+            if recovery is not None:
+                recovery.crash_point("serve.day", day)
+                recovery.wal.open_day(day)
+            await fleet.run_until((day + 1) * DAY_SECONDS)
+            if recovery is not None:
+                recovery.store.write(day, {
+                    "virtual_now": vclock.now(),
+                    "service": service.state_dict(),
+                    "fleet": fleet.state_dict(),
+                    "obs": obs.state_dict(),
+                })
+                recovery.crash_point("serve.checkpoint", day)
         await service.stop()
 
     try:
         loop.run_until_complete(main())
     finally:
+        # A simulated crash leaves worker tasks (and possibly sibling
+        # client coroutines) pending; cancel them so the loop closes
+        # without "task was destroyed" noise on stderr.
+        pending = [task for task in asyncio.all_tasks(loop)
+                   if not task.done()]
+        for task in pending:
+            task.cancel()
+        if pending:
+            loop.run_until_complete(
+                asyncio.gather(*pending, return_exceptions=True))
         loop.close()
 
     flagged_online = service.finalize()
@@ -219,6 +299,7 @@ def run_serve(config: ServeRunConfig,
             "accounting_consistent": admission.accounting_consistent(),
         },
         "cache": {
+            "policy": cache.policy,
             "hits": cache.hits,
             "misses": cache.misses,
             "hit_rate": round(cache.hit_rate(), 4),

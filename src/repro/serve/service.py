@@ -18,7 +18,20 @@ The frontdoor consults a :class:`~repro.net.chaos.ChaosScenario` for
 injected connection resets and 429/503s (same hashed-decision scheme as
 :class:`~repro.net.chaos.FaultPlan`), admission sheds with 429s, and
 read endpoints are served from a :class:`~repro.serve.cache.
-WatermarkCache` when the watermark has not moved.
+WatermarkCache` keyed by a per-endpoint freshness token (see
+:meth:`DetectionService._freshness`).
+
+Crash recovery
+--------------
+When a :class:`~repro.recovery.checkpoint.RecoveryContext` is attached,
+every admitted ingest batch is appended to the context's write-ahead
+log *before* it is published onto the bus, and ``submit`` exposes the
+``serve.request`` crash point.  The streaming detection state (install
+log, online detector, its ``version`` token) is deliberately *not*
+checkpointed: a resumed run reconstructs it exactly by replaying the
+WAL through the bus, then restores the cheap scalar state
+(:meth:`DetectionService.load_state`) and finally the observability
+snapshot, which overwrites any counters the replay double-ticked.
 
 Ingestion-time stamping
 -----------------------
@@ -51,8 +64,9 @@ from repro.net.chaos import INJECTED_STATUSES, ChaosScenario
 from repro.net.errors import TransientNetworkError
 from repro.obs import NULL_OBS, Observability
 from repro.parallel.hashing import stable_hash
+from repro.recovery.checkpoint import RecoveryContext
 from repro.serve.admission import ADMIT, AdmissionConfig, AdmissionController
-from repro.serve.cache import WatermarkCache
+from repro.serve.cache import CACHE_POLICIES, WatermarkCache
 from repro.serve.datasets import DatasetRegistry, build_serve_datasets
 from repro.serve.vtime import VirtualClock
 from repro.simulation.clock import SimulationClock
@@ -60,7 +74,9 @@ from repro.simulation.clock import SimulationClock
 #: The service's query surface.
 ENDPOINTS = ("ingest", "flagged", "datasets", "health", "metrics")
 
-#: Read endpoints whose bodies are pure functions of the watermark.
+#: Read endpoints whose bodies are pure functions of their freshness
+#: token (static for ``datasets``, detector emissions for ``flagged``,
+#: the ingest watermark for ``metrics``).
 CACHED_ENDPOINTS = ("flagged", "datasets", "metrics")
 
 #: Detector thresholds tuned for service-sized ingest batches (the
@@ -104,12 +120,19 @@ class ServiceConfig:
     per_op_ms: float = 0.25
     #: Virtual milliseconds for serving a cache hit.
     cache_hit_ms: float = 0.2
+    #: Response-cache invalidation policy (see :mod:`repro.serve.cache`).
+    cache_policy: str = "keyed"
     detector: DetectorConfig = field(
         default_factory=lambda: SERVE_DETECTOR_CONFIG)
 
     def __post_init__(self) -> None:
         if self.workers < 1:
             raise ValueError("the service needs at least one worker")
+        if self.cache_policy not in CACHE_POLICIES:
+            known = ", ".join(CACHE_POLICIES)
+            raise ValueError(
+                f"unknown cache policy {self.cache_policy!r} "
+                f"(known: {known})")
 
 
 class FrontdoorChaos:
@@ -160,6 +183,17 @@ class FrontdoorChaos:
             return status
         return None
 
+    # -- checkpoint/restore ---------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """Per-client fault-dice sequence numbers; without them a
+        resumed run would re-roll the same injected faults."""
+        return {"seq": dict(sorted(self._seq.items()))}
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        self._seq = {str(client): int(seq)
+                     for client, seq in state["seq"].items()}  # type: ignore[union-attr]
+
 
 class DetectionService:
     """The long-lived service: state, frontdoor, workers, handlers."""
@@ -186,7 +220,9 @@ class DetectionService:
         self.watermark = 0
         self.admission = AdmissionController(
             admission or AdmissionConfig(), now=vclock.now, obs=self.obs)
-        self.cache = WatermarkCache(obs=self.obs)
+        self.cache = WatermarkCache(obs=self.obs,
+                                    policy=self.config.cache_policy)
+        self.recovery: Optional[RecoveryContext] = None
         self.datasets = datasets or DatasetRegistry(
             build_serve_datasets(seed))
         self.chaos = chaos or ChaosScenario.off()
@@ -196,6 +232,10 @@ class DetectionService:
             maxsize=self.admission.config.max_queue)
         self._workers: List["asyncio.Task"] = []
         self._started_at = 0.0
+        #: Set by :meth:`load_state`; keeps :meth:`start` from
+        #: re-stamping ``_started_at`` (and re-counting
+        #: ``serve.started``) on a resumed run.
+        self._restored = False
         self._handlers: Dict[str, Callable[[Mapping[str, object]],
                                            Dict[str, object]]] = {
             "ingest": self._handle_ingest,
@@ -210,11 +250,12 @@ class DetectionService:
     async def start(self) -> None:
         if self._workers:
             raise RuntimeError("service already started")
-        self._started_at = self.vclock.now()
+        if not self._restored:
+            self._started_at = self.vclock.now()
+            self.obs.metrics.inc("serve.started")
         self._workers = [
             asyncio.ensure_future(self._worker())
             for _ in range(self.config.workers)]
-        self.obs.metrics.inc("serve.started")
 
     async def stop(self) -> None:
         for _ in self._workers:
@@ -225,11 +266,26 @@ class DetectionService:
     def uptime_vt_seconds(self) -> float:
         return self.vclock.now() - self._started_at
 
+    def attach_recovery(self, recovery: RecoveryContext) -> None:
+        """Enable WAL-before-publish on ingest and the ``serve.request``
+        crash point.  The context's WAL must exist: the serve tier
+        cannot reconstruct its streaming detector without one."""
+        if recovery.wal is None:
+            raise ValueError(
+                "serve recovery requires a write-ahead log "
+                "(RecoveryContext.create(..., with_wal=True))")
+        self.recovery = recovery
+
     # -- frontdoor -----------------------------------------------------------
 
     async def submit(self, request: ServeRequest) -> ServeResponse:
         """The client-facing entry point: chaos → admission → queue."""
         self._sync_day()
+        if self.recovery is not None:
+            # Mid-day kill point: fires before the request touches any
+            # service state, so the WAL's partial day segment is the
+            # only artifact a resume has to reconcile (by truncation).
+            self.recovery.crash_point("serve.request", self.clock.day)
         injected = self._frontdoor.decide(request)
         if injected is not None:
             return ServeResponse(injected, {"error": "injected fault"})
@@ -272,8 +328,8 @@ class DetectionService:
         ops_before = self.obs.ops.value
         cached = False
         if endpoint in CACHED_ENDPOINTS:
-            hit, body = self.cache.lookup(endpoint, request.params,
-                                          self.watermark)
+            token = self._freshness(endpoint)
+            hit, body = self.cache.lookup(endpoint, request.params, token)
             if hit:
                 cached = True
                 response = ServeResponse(200, body, cached=True)
@@ -281,7 +337,7 @@ class DetectionService:
                 response = self._handle(request)
                 if response.ok:
                     self.cache.store(endpoint, request.params,
-                                     self.watermark, response.body)
+                                     token, response.body)
         else:
             response = self._handle(request)
         ops_delta = self.obs.ops.value - ops_before
@@ -312,6 +368,24 @@ class DetectionService:
             return ServeResponse(400, {"error": str(exc)})
         return ServeResponse(200, body)
 
+    def _freshness(self, endpoint: str) -> int:
+        """The freshness token a cached response depends on.
+
+        ``datasets`` bodies are static, ``flagged`` bodies change only
+        when the online detector emits (its ``version``), ``metrics``
+        bodies track the ingest watermark.  Under the ``wholesale``
+        policy every endpoint shares the watermark — the historical
+        clear-everything-per-ingest behaviour the bench compares
+        against.
+        """
+        if self.cache.policy == "wholesale":
+            return self.watermark
+        if endpoint == "datasets":
+            return 0
+        if endpoint == "flagged":
+            return self.online.version
+        return self.watermark
+
     def _charge(self, units: int, per: int = 32) -> None:
         """Tick the op counter in proportion to a response's payload —
         the deterministic stand-in for serialization cost."""
@@ -328,10 +402,18 @@ class DetectionService:
         events: Sequence[DeviceInstallEvent] = params.get("events", ())  # type: ignore[assignment]
         stamped = [self._stamp(event) for event in events]
         self._sync_day()
+        incentivized = set(params.get("incentivized", ()))  # type: ignore[arg-type]
+        if self.recovery is not None:
+            # Write-ahead: the batch is durable before any detector
+            # state changes, so a crash between the two replays it.
+            for event in stamped:
+                self.recovery.wal.append({
+                    "event": event.to_dict(),
+                    "incentivized": event.device_id in incentivized,
+                })
         self.bus.publish_all(stamped)
         self.watermark += len(stamped)
-        incentivized = params.get("incentivized", ())
-        self.incentivized.update(incentivized)  # type: ignore[arg-type]
+        self.incentivized.update(incentivized)
         return {"ingested": len(stamped), "watermark": self.watermark}
 
     def _handle_flagged(self, params: Mapping[str, object]) -> Dict[str, object]:
@@ -395,3 +477,38 @@ class DetectionService:
     def finalize(self) -> Set[str]:
         """Flush pending windows; only meaningful once ingest stopped."""
         return self.online.finalize()
+
+    # -- checkpoint/restore --------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """Scalar service state for a day-boundary checkpoint.
+
+        Taken at a quiescent barrier (queue drained, workers idle), so
+        there is no in-flight request state to capture.  The streaming
+        detection state (install log, online detector) is rebuilt from
+        the WAL on resume rather than snapshotted here.
+        """
+        return {
+            "watermark": self.watermark,
+            "incentivized": sorted(self.incentivized),
+            "started_at": self._started_at,
+            "clock_day": self.clock.day,
+            "admission": self.admission.state_dict(),
+            "cache": self.cache.state_dict(),
+            "frontdoor": self._frontdoor.state_dict(),
+        }
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        """Restore scalar state; call *after* WAL replay (replay mutates
+        the watermark-adjacent counters via the bus) and *before* the
+        observability snapshot restore that makes the counters exact."""
+        self.watermark = int(state["watermark"])  # type: ignore[arg-type]
+        self.incentivized = set(state["incentivized"])  # type: ignore[arg-type]
+        self._started_at = float(state["started_at"])  # type: ignore[arg-type]
+        self._restored = True
+        day = int(state["clock_day"])  # type: ignore[arg-type]
+        if day > self.clock.day:
+            self.clock.advance(day - self.clock.day)
+        self.admission.load_state(state["admission"])  # type: ignore[arg-type]
+        self.cache.load_state(state["cache"])          # type: ignore[arg-type]
+        self._frontdoor.load_state(state["frontdoor"])  # type: ignore[arg-type]

@@ -55,11 +55,17 @@ class VirtualTimeEventLoop(asyncio.SelectorEventLoop):
     before delegating to the stock ``_run_once``, which then computes a
     zero select timeout and fires the timer immediately — no wall-clock
     sleeping ever happens.
+
+    ``start_time`` seeds the virtual clock: a resumed service run
+    constructs its loop at the checkpointed virtual instant so every
+    timestamp downstream of the barrier matches the uninterrupted run.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, start_time: float = 0.0) -> None:
         super().__init__(selectors.SelectSelector())
-        self._virtual_now = 0.0
+        if start_time < 0:
+            raise ValueError("virtual time cannot start negative")
+        self._virtual_now = float(start_time)
 
     def time(self) -> float:
         return self._virtual_now

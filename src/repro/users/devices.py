@@ -85,6 +85,37 @@ class Device:
     def __repr__(self) -> str:
         return f"Device({self.profile.device_id!r}, {self.address})"
 
+    # -- checkpoint/restore ---------------------------------------------------
+
+    def to_state(self) -> dict:
+        """Flat JSON form (address as its integer value).  Enough to
+        rebuild an equivalent device: IP allocation is a pure RNG draw,
+        so reconstruction never disturbs shared allocator state."""
+        return {
+            "device_id": self.profile.device_id,
+            "build": self.profile.build,
+            "is_rooted": self.profile.is_rooted,
+            "ssid": self.profile.ssid,
+            "country": self.profile.country,
+            "address": self.address.value,
+            "installed": sorted(self.installed_packages),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict,
+                   trust_store: Optional[TrustStore] = None) -> "Device":
+        profile = DeviceProfile(
+            device_id=str(state["device_id"]),
+            build=str(state["build"]),
+            is_rooted=bool(state["is_rooted"]),
+            ssid=str(state["ssid"]),
+            country=str(state["country"]),
+        )
+        device = cls(profile, IPv4Address(int(state["address"])), trust_store)
+        for package in state["installed"]:
+            device.install(str(package))
+        return device
+
 
 class DeviceFactory:
     """Builds devices with realistic network attachments.
@@ -106,6 +137,15 @@ class DeviceFactory:
         if self._namespace:
             return f"{prefix}-{self._namespace}-{self._counter:06d}"
         return f"{prefix}-{self._counter:06d}"
+
+    def state_dict(self) -> dict:
+        from repro.recovery.state import dump_rng
+        return {"counter": self._counter, "rng": dump_rng(self._rng)}
+
+    def load_state(self, state: dict) -> None:
+        from repro.recovery.state import load_rng
+        self._counter = int(state["counter"])
+        load_rng(self._rng, state["rng"])
 
     def real_phone(self, country: str, rooted: bool = False,
                    trust_store: Optional[TrustStore] = None) -> Device:

@@ -1,0 +1,132 @@
+"""Crawler retry-queue carry-over under repeated faults.
+
+The paper's crawler re-tried coverage gaps on later visit days.  These
+tests pin the queue's lifecycle across *repeated* failures: a package
+that fails again on its retry visit goes back in the queue, a queued
+package dropped from the tracked set is still retried (longitudinal
+series), and a checkpointed queue survives a restart mid-gap.
+"""
+
+import pytest
+
+from repro.monitor.crawler import PlayStoreCrawler
+from repro.net.errors import TransientNetworkError
+from repro.obs import Observability
+from repro.playstore.catalog import AppListing, Developer
+from repro.playstore.frontend import PLAY_HOST, PlayStoreFrontend
+from repro.playstore.ledger import InstallSource
+from repro.playstore.store import PlayStore
+from tests.conftest import make_client
+
+pytestmark = pytest.mark.chaos
+
+HTTPS = 443
+ALPHA, BETA = "com.app.alpha", "com.app.beta"
+
+
+@pytest.fixture()
+def rig(fabric, root_ca, rng, trust_store):
+    store = PlayStore()
+    developer = Developer(developer_id="dev1", name="Example", country="US")
+    for package in (ALPHA, BETA):
+        store.publish(AppListing(package=package, title=package,
+                                 genre="Tools", developer=developer,
+                                 release_day=0))
+    store.record_install_batch(ALPHA, 0, InstallSource.ORGANIC, 700)
+    clock = {"day": 0}
+    PlayStoreFrontend(fabric, store, root_ca, rng,
+                      current_day=lambda: clock["day"])
+    client = make_client(fabric, trust_store, rng)
+    crawler = PlayStoreCrawler(client, PLAY_HOST, obs=Observability())
+    return clock, crawler, fabric
+
+
+def retry_totals(crawler):
+    total = crawler.obs.metrics.counter_total
+    return {
+        "queued": total("monitor.crawl_retry_queued"),
+        "drained": total("monitor.crawl_retry_drained"),
+        "recovered": total("monitor.crawl_retry_recovered"),
+    }
+
+
+class TestRepeatedFaults:
+    def test_failed_retry_goes_back_in_the_queue(self, rig):
+        clock, crawler, fabric = rig
+        fabric.inject_fault(PLAY_HOST, HTTPS, TransientNetworkError("reset"))
+        crawler.crawl_everything([ALPHA], day=0)
+        assert crawler.retry_queue == [ALPHA]
+
+        # Visit 2, still down: the queued retry is drained, fails
+        # again, and is re-queued — the gap carries over, it is never
+        # silently dropped.
+        clock["day"] = 1
+        crawler.crawl_everything([ALPHA], day=1)
+        assert crawler.retry_queue == [ALPHA]
+        assert retry_totals(crawler) == {
+            "queued": 2, "drained": 1, "recovered": 0}
+
+        # Visit 3, healed: the second retry drains and recovers.
+        fabric.clear_fault(PLAY_HOST, HTTPS)
+        clock["day"] = 2
+        crawler.crawl_everything([ALPHA], day=2)
+        assert crawler.retry_queue == []
+        assert retry_totals(crawler) == {
+            "queued": 2, "drained": 2, "recovered": 1}
+        assert crawler.archive.profile(ALPHA, 2) is not None
+
+    def test_tracked_and_queued_package_costs_one_retry_fetch(self, rig):
+        clock, crawler, fabric = rig
+        fabric.inject_fault(PLAY_HOST, HTTPS, TransientNetworkError("reset"))
+        crawler.crawl_everything([ALPHA], day=0)
+        fabric.clear_fault(PLAY_HOST, HTTPS)
+
+        # ALPHA is both in the retry queue and still tracked: the visit
+        # drains it once and pays one profile fetch, not two.
+        clock["day"] = 1
+        requests_before = crawler.requests_made
+        crawler.crawl_everything([ALPHA], day=1)
+        profile_fetches = crawler.requests_made - requests_before - 3  # charts
+        assert profile_fetches == 1
+        assert retry_totals(crawler)["drained"] == 1
+        assert retry_totals(crawler)["recovered"] == 1
+
+    def test_orphaned_package_is_still_retried(self, rig):
+        clock, crawler, fabric = rig
+        fabric.inject_fault(PLAY_HOST, HTTPS, TransientNetworkError("reset"))
+        crawler.crawl_everything([ALPHA], day=0)
+        assert crawler.retry_queue == [ALPHA]
+        fabric.clear_fault(PLAY_HOST, HTTPS)
+
+        # ALPHA is no longer tracked on the next visit, but the queued
+        # gap is retried anyway so the archive keeps its series.
+        clock["day"] = 1
+        crawler.crawl_everything([BETA], day=1)
+        assert crawler.retry_queue == []
+        assert retry_totals(crawler)["recovered"] == 1
+        assert crawler.archive.profile(ALPHA, 1) is not None
+        assert crawler.archive.profile(BETA, 1) is not None
+
+
+class TestQueueAcrossRestart:
+    def test_checkpointed_queue_drains_after_a_restart(
+            self, rig, fabric, root_ca, rng, trust_store):
+        clock, crawler, _ = rig
+        fabric.inject_fault(PLAY_HOST, HTTPS, TransientNetworkError("reset"))
+        crawler.crawl_everything([ALPHA], day=0)
+        state = crawler.state_dict()
+        assert state["retry_queue"] == [ALPHA]
+        fabric.clear_fault(PLAY_HOST, HTTPS)
+
+        # A fresh crawler restored from the checkpoint still owes the
+        # retry and recovers it on its first visit.
+        restored = PlayStoreCrawler(make_client(fabric, trust_store, rng),
+                                    PLAY_HOST, obs=Observability())
+        restored.load_state(state)
+        assert restored.retry_queue == [ALPHA]
+        clock["day"] = 1
+        restored.crawl_everything([ALPHA], day=1)
+        assert restored.retry_queue == []
+        assert retry_totals(restored) == {
+            "queued": 0, "drained": 1, "recovered": 1}
+        assert restored.archive.profile(ALPHA, 1) is not None

@@ -1,0 +1,64 @@
+"""Crash plans: kill-point parsing, seq counters, hashed determinism."""
+
+import pytest
+
+from repro.recovery import CrashPlan, SimulatedCrash, parse_kill_point
+
+
+class TestParseKillPoint:
+    def test_two_and_three_part_forms(self):
+        assert parse_kill_point("wild.day:3") == ("wild.day", 3, 0)
+        assert parse_kill_point("serve.request:1:57") == \
+            ("serve.request", 1, 57)
+
+    @pytest.mark.parametrize("bad", ["wild.day", "a:b", ":1", "a:1:2:3"])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(ValueError, match="bad kill point"):
+            parse_kill_point(bad)
+
+
+class TestExplicitPoints:
+    def test_fires_at_the_named_seq_only(self):
+        plan = CrashPlan.at("stage", 2, seq=1)
+        plan.maybe_crash("stage", 2)  # seq 0: survives
+        with pytest.raises(SimulatedCrash) as crashed:
+            plan.maybe_crash("stage", 2)  # seq 1: dies
+        assert (crashed.value.stage, crashed.value.day,
+                crashed.value.seq) == ("stage", 2, 1)
+
+    def test_seq_counters_are_per_stage_and_day(self):
+        plan = CrashPlan.at("stage", 1, seq=0)
+        plan.maybe_crash("stage", 0)
+        plan.maybe_crash("other", 1)
+        with pytest.raises(SimulatedCrash):
+            plan.maybe_crash("stage", 1)
+
+    def test_disabled_plan_never_counts(self):
+        plan = CrashPlan()
+        for _ in range(3):
+            plan.maybe_crash("stage", 0)
+        # A disabled plan tracks no seq state: attaching points later
+        # still sees a fresh counter (the resumed-run contract).
+        assert plan._seq == {}
+
+
+class TestHashedRate:
+    def test_same_seed_same_schedule(self):
+        def survivors(seed):
+            plan = CrashPlan(seed=seed, rate=0.5)
+            alive = []
+            for day in range(30):
+                try:
+                    plan.maybe_crash("stage", day)
+                    alive.append(day)
+                except SimulatedCrash:
+                    pass
+            return alive
+
+        assert survivors(7) == survivors(7)
+        assert survivors(7) != survivors(8)
+
+    def test_rate_zero_never_fires(self):
+        plan = CrashPlan(seed=1, rate=0.0)
+        for day in range(50):
+            plan.maybe_crash("stage", day)

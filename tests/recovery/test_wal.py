@@ -1,0 +1,51 @@
+"""Write-ahead log: segment layout, truncation on reopen, replay cap."""
+
+from repro.obs import Observability
+from repro.recovery import WriteAheadLog
+
+
+def records(day, count):
+    return [{"day": day, "n": index} for index in range(count)]
+
+
+class TestSegments:
+    def test_append_and_replay_in_write_order(self, tmp_path):
+        wal = WriteAheadLog(tmp_path)
+        for day in (0, 1):
+            wal.open_day(day)
+            for record in records(day, 3):
+                wal.append(record)
+        wal.close()
+        assert [p.name for p in wal.segments()] == \
+            ["day_00000.jsonl", "day_00001.jsonl"]
+        assert list(wal.replay(1)) == records(0, 3) + records(1, 3)
+
+    def test_replay_stops_at_through_day(self, tmp_path):
+        wal = WriteAheadLog(tmp_path)
+        for day in (0, 1):
+            wal.open_day(day)
+            wal.append({"day": day})
+        wal.close()
+        assert list(wal.replay(0)) == [{"day": 0}]
+
+    def test_open_day_truncates_a_partial_segment(self, tmp_path):
+        wal = WriteAheadLog(tmp_path)
+        wal.open_day(0)
+        for record in records(0, 5):
+            wal.append(record)
+        wal.close()
+        # The crashed run's partial day is rewritten from scratch.
+        wal.open_day(0)
+        wal.append({"day": 0, "n": "fresh"})
+        wal.close()
+        assert list(wal.replay(0)) == [{"day": 0, "n": "fresh"}]
+
+    def test_limit_caps_total_replayed(self, tmp_path):
+        obs = Observability()
+        wal = WriteAheadLog(tmp_path, obs=obs)
+        wal.open_day(0)
+        for record in records(0, 6):
+            wal.append(record)
+        wal.close()
+        assert list(wal.replay(0, limit=4)) == records(0, 4)
+        assert obs.metrics.counter_total("recovery.wal_replayed") == 4

@@ -1,4 +1,6 @@
-"""Watermark cache: hits, wholesale invalidation, FIFO eviction."""
+"""Watermark cache: hits, keyed vs wholesale invalidation, eviction."""
+
+import pytest
 
 from repro.obs import Observability
 from repro.serve import WatermarkCache, params_key
@@ -13,9 +15,9 @@ class TestParamsKey:
 
 
 class TestWatermarkCache:
-    def test_miss_then_hit_at_the_same_watermark(self):
+    def test_miss_then_hit_at_the_same_token(self):
         cache = WatermarkCache(Observability())
-        hit, _ = cache.lookup("flagged", {"min_clusters": 2}, watermark=5)
+        hit, _ = cache.lookup("flagged", {"min_clusters": 2}, token=5)
         assert not hit
         cache.store("flagged", {"min_clusters": 2}, 5, {"devices": 3})
         hit, body = cache.lookup("flagged", {"min_clusters": 2}, 5)
@@ -29,22 +31,9 @@ class TestWatermarkCache:
         hit, body = cache.lookup("datasets", {"name": "x", "op": "load"}, 1)
         assert hit and body == "body"
 
-    def test_watermark_movement_invalidates_everything(self):
-        cache = WatermarkCache(Observability())
-        cache.store("flagged", {}, 1, "old")
-        cache.store("metrics", {}, 1, "old")
-        hit, _ = cache.lookup("flagged", {}, watermark=2)
-        assert not hit
-        assert len(cache) == 0
-        assert cache.invalidations == 1
-        assert cache.obs.metrics.counter_total(
-            "serve.cache_invalidations") == 1
-
-    def test_invalidation_not_counted_when_cache_was_empty(self):
-        cache = WatermarkCache(Observability())
-        cache.lookup("flagged", {}, watermark=1)
-        cache.lookup("flagged", {}, watermark=2)
-        assert cache.invalidations == 0
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="policy"):
+            WatermarkCache(Observability(), policy="sometimes")
 
     def test_fifo_eviction_drops_the_oldest_entry(self):
         cache = WatermarkCache(Observability(), max_entries=2)
@@ -57,3 +46,56 @@ class TestWatermarkCache:
         assert not cache.lookup("datasets", {"n": 1}, 0)[0]
         assert cache.lookup("datasets", {"n": 2}, 0)[0]
         assert cache.lookup("datasets", {"n": 3}, 0)[0]
+
+
+class TestWholesalePolicy:
+    def test_token_movement_invalidates_everything(self):
+        cache = WatermarkCache(Observability(), policy="wholesale")
+        cache.store("flagged", {}, 1, "old")
+        cache.store("metrics", {}, 1, "old")
+        hit, _ = cache.lookup("flagged", {}, token=2)
+        assert not hit
+        assert len(cache) == 0
+        assert cache.invalidations == 1
+        assert cache.obs.metrics.counter_total(
+            "serve.cache_invalidations") == 1
+
+    def test_invalidation_not_counted_when_cache_was_empty(self):
+        cache = WatermarkCache(Observability(), policy="wholesale")
+        cache.lookup("flagged", {}, token=1)
+        cache.lookup("flagged", {}, token=2)
+        assert cache.invalidations == 0
+
+
+class TestKeyedPolicy:
+    def test_stale_entry_dropped_without_touching_the_rest(self):
+        cache = WatermarkCache(Observability())
+        cache.store("flagged", {}, 1, "flagged@1")
+        cache.store("datasets", {}, 0, "static")
+        # flagged's token moved; datasets' did not.
+        hit, _ = cache.lookup("flagged", {}, token=2)
+        assert not hit
+        assert cache.invalidations == 1
+        assert len(cache) == 1
+        assert cache.lookup("datasets", {}, 0) == (True, "static")
+
+    def test_entries_hit_at_their_own_tokens(self):
+        cache = WatermarkCache(Observability())
+        cache.store("datasets", {}, 0, "static")
+        cache.store("metrics", {}, 7, "wm7")
+        assert cache.lookup("datasets", {}, 0)[0]
+        assert cache.lookup("metrics", {}, 7)[0]
+        # The shared watermark property still tracks the max token seen.
+        assert cache.watermark == 7
+
+    def test_restored_cache_behaves_identically(self):
+        cache = WatermarkCache(Observability(), max_entries=3)
+        cache.store("flagged", {}, 1, "one")
+        cache.store("datasets", {"n": 1}, 0, "two")
+        cache.lookup("flagged", {}, 1)
+        cache.lookup("flagged", {}, 2)  # stale drop
+        clone = WatermarkCache(Observability(), max_entries=3)
+        clone.load_state(cache.state_dict())
+        assert clone.state_dict() == cache.state_dict()
+        assert (clone.hits, clone.misses, clone.invalidations) == (1, 1, 1)
+        assert clone.lookup("datasets", {"n": 1}, 0) == (True, "two")

@@ -122,7 +122,7 @@ class TestFlaggedConvergence:
 
 
 class TestCachingBehaviour:
-    def test_repeat_query_hits_the_cache_until_ingest_moves_watermark(self):
+    def _flagged_around_ingest(self, **service_kwargs):
         async def scenario(service):
             first = await service.submit(ServeRequest("flagged"))
             second = await service.submit(ServeRequest("flagged"))
@@ -131,12 +131,39 @@ class TestCachingBehaviour:
             third = await service.submit(ServeRequest("flagged"))
             return first, second, third
 
-        (first, second, third), service = run_service(scenario)
+        return run_service(scenario, **service_kwargs)
+
+    def test_keyed_flagged_survives_an_ingest_that_flags_nothing(self):
+        # Two events never make the online detector emit, so the
+        # flagged body is still current after the ingest — the keyed
+        # policy serves it from cache where wholesale used to discard.
+        (first, second, third), service = self._flagged_around_ingest()
+        assert not first.cached
+        assert second.cached and second.body == first.body
+        assert third.cached
+        assert service.cache.hits == 2
+        assert service.cache.invalidations == 0
+
+    def test_wholesale_discards_flagged_when_the_watermark_moves(self):
+        (first, second, third), service = self._flagged_around_ingest(
+            config=ServiceConfig(cache_policy="wholesale"))
         assert not first.cached
         assert second.cached
-        assert second.body == first.body
         assert not third.cached
         assert service.cache.hits == 1
+
+    def test_keyed_metrics_tracks_the_watermark(self):
+        async def scenario(service):
+            first = await service.submit(ServeRequest("metrics"))
+            await service.submit(ServeRequest("ingest", {
+                "events": burst("com.b", 2)}))
+            second = await service.submit(ServeRequest("metrics"))
+            return first, second
+
+        (first, second), _ = run_service(scenario)
+        assert not first.cached
+        assert not second.cached
+        assert second.body["watermark"] == 2
 
     def test_cache_hits_are_cheaper_in_virtual_time(self):
         async def scenario(service):
