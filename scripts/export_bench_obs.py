@@ -38,7 +38,9 @@ from __future__ import annotations
 
 import argparse
 import os
+import resource
 import time
+import timeit
 from pathlib import Path
 
 from obs_export import (
@@ -60,6 +62,7 @@ SEED = int(os.environ.get("REPRO_BENCH_SEED", "2019"))
 SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.35"))
 DAYS = int(os.environ.get("REPRO_BENCH_DAYS", "110"))
 SHARDS = int(os.environ.get("REPRO_BENCH_SHARDS", "1"))
+BACKEND = os.environ.get("REPRO_BENCH_BACKEND", "thread")
 HONEY_INSTALLS = int(os.environ.get("REPRO_BENCH_HONEY_INSTALLS", "500"))
 HONEY_SHARDS = int(os.environ.get("REPRO_BENCH_HONEY_SHARDS", "1"))
 
@@ -79,7 +82,8 @@ def run_wild(crawl_cache: bool) -> tuple:
         scale=SCALE, measurement_days=DAYS))
     scenario.build()
     measurement = WildMeasurement(world, scenario, WildMeasurementConfig(
-        measurement_days=DAYS, shards=SHARDS, crawl_cache=crawl_cache))
+        measurement_days=DAYS, shards=SHARDS, backend=BACKEND,
+        crawl_cache=crawl_cache))
     started = time.monotonic()
     results = measurement.run()
     elapsed = time.monotonic() - started
@@ -101,6 +105,37 @@ def stage_quantiles(world, names=STAGE_HISTOGRAMS) -> dict:
     return _stage_quantiles(world, names)
 
 
+def peak_rss_mb() -> dict:
+    """Peak resident set size so far, in MB.  ``children`` covers
+    reaped process-backend workers (zero on in-process backends)."""
+    kb = 1024.0
+    own = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / kb
+    children = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss / kb
+    return {
+        "self": round(own, 1),
+        "children": round(children, 1),
+        "total": round(own + children, 1),
+    }
+
+
+def scheduler_microbench() -> dict:
+    """Time the scheduler's routing hash: ``shard_of`` is memoised
+    per-run, so steady-state task routing is a dict hit, not a sha256."""
+    from repro.parallel import ShardScheduler
+
+    scheduler = ShardScheduler(4)
+    keys = [f"com.example.app{i}" for i in range(64)]
+    calls = 100_000
+    elapsed = timeit.timeit(
+        lambda: [scheduler.shard_of(key) for key in keys], number=calls // 64)
+    return {
+        "memoised_calls_per_sec": int(calls / elapsed),
+        "note": "shard_of memoises the sha256-derived bucket per key for "
+                "the scheduler's lifetime; routing the same package on "
+                "every crawl day costs a dict lookup after day one",
+    }
+
+
 def build_report() -> dict:
     """The full bench report; ``deterministic`` holds the committed
     subset (everything except wall-clock timings)."""
@@ -120,6 +155,7 @@ def build_report() -> dict:
             "scale": SCALE,
             "days": DAYS,
             "shards": SHARDS,
+            "backend": BACKEND,
         },
         "fabric": {
             "requests": requests,
@@ -147,6 +183,12 @@ def build_report() -> dict:
         "measured": round(elapsed, 2),
         "baseline_uncached": round(base_elapsed, 2),
     }
+    report["devices_per_sec"] = {
+        "measured": round(results.milk_runs / elapsed, 2),
+        "baseline_uncached": round(base_results.milk_runs / base_elapsed, 2),
+    }
+    report["peak_rss_mb"] = peak_rss_mb()
+    report["scheduler"] = scheduler_microbench()
     return report
 
 

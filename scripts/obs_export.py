@@ -40,11 +40,18 @@ def render(snapshot: dict) -> str:
     return json.dumps(snapshot, indent=1, sort_keys=True) + "\n"
 
 
+#: Report sections that depend on the host — wall clock, RSS, derived
+#: throughput, microbench rates — and so never belong in a committed
+#: snapshot.
+HOST_DEPENDENT_SECTIONS = frozenset(
+    {"wall_seconds", "devices_per_sec", "peak_rss_mb", "scheduler"})
+
+
 def deterministic_subset(report: dict) -> dict:
-    """Strip the wall-clock section; everything left must be a pure
-    function of the run's seeds and parameters."""
+    """Strip the host-dependent sections; everything left must be a
+    pure function of the run's seeds and parameters."""
     return {key: value for key, value in report.items()
-            if key != "wall_seconds"}
+            if key not in HOST_DEPENDENT_SECTIONS}
 
 
 def stage_quantiles(world, names) -> dict:

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import bisect
 from collections import defaultdict
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
@@ -10,7 +11,7 @@ from repro.analysis.classify import ClassifiedOffer, OfferClassifier
 from repro.analysis.stats import mean, median
 from repro.iip.offers import ActivityKind, OfferCategory
 from repro.monitor.crawler import CrawlArchive
-from repro.monitor.dataset import OfferDataset, OfferRecord
+from repro.monitor.dataset import OfferDataset
 
 
 @dataclass(frozen=True)
@@ -43,11 +44,22 @@ class IipSummaryRow:
 def classify_dataset(dataset: OfferDataset,
                      classifier: Optional[OfferClassifier] = None
                      ) -> Dict[Tuple[str, str], ClassifiedOffer]:
-    """(iip, offer_id) -> classification, for the whole corpus."""
+    """(iip, offer_id) -> classification, for the whole corpus.
+
+    Runs the regex rules once per *unique* description (the columnar
+    frame's distinct set), then fans the labels out over the records —
+    the corpus repeats descriptions heavily, and several tables call
+    this per report.
+    """
     classifier = classifier or OfferClassifier()
+    frame = dataset.frame()
+    by_description = {
+        description: classifier.classify(description)
+        for description in frame.distinct("description")}
     return {
-        (record.iip_name, record.offer_id): classifier.classify(record.description)
-        for record in dataset.offers()
+        (iip_name, offer_id): by_description[description]
+        for iip_name, offer_id, description in frame.rows(
+            "iip_name", "offer_id", "description")
     }
 
 
@@ -56,21 +68,22 @@ def offer_type_table(dataset: OfferDataset,
                      ) -> List[OfferTypeRow]:
     """Table 3: prevalence and average payout per offer type."""
     labels = classify_dataset(dataset, classifier)
-    records = dataset.offers()
-    total = len(records)
+    frame = dataset.frame()
+    total = len(frame)
     if total == 0:
         return []
     buckets: Dict[str, List[float]] = defaultdict(list)
-    for record in records:
-        classified = labels[(record.iip_name, record.offer_id)]
+    for iip_name, offer_id, payout_usd in frame.rows(
+            "iip_name", "offer_id", "payout_usd"):
+        classified = labels[(iip_name, offer_id)]
         if classified.category is OfferCategory.NO_ACTIVITY:
-            buckets["No activity"].append(record.payout_usd)
+            buckets["No activity"].append(payout_usd)
         else:
-            buckets["Activity"].append(record.payout_usd)
+            buckets["Activity"].append(payout_usd)
             kind = classified.activity_kind
             assert kind is not None
             buckets[f"Activity ({kind.value.capitalize()})"].append(
-                record.payout_usd)
+                payout_usd)
     order = ("No activity", "Activity", "Activity (Usage)",
              "Activity (Registration)", "Activity (Purchase)")
     rows = []
@@ -97,14 +110,16 @@ def iip_summary_table(dataset: OfferDataset,
     counts as the binned value at first observation.
     """
     labels = classify_dataset(dataset, classifier)
+    groups = dataset.frame().group_by("iip_name")
     rows = []
-    for iip_name in dataset.iips_observed():
-        records = dataset.offers_for_iip(iip_name)
-        payouts = [record.payout_usd for record in records]
+    for iip_name in sorted(groups):
+        group = groups[iip_name]
+        records = len(group)
+        payouts = group.column("payout_usd")
         activity = sum(
-            1 for record in records
-            if labels[(iip_name, record.offer_id)].is_activity)
-        packages = dataset.packages_for_iip(iip_name)
+            1 for offer_id in group.column("offer_id")
+            if labels[(iip_name, offer_id)].is_activity)
+        packages = group.distinct("package")
         developers, countries, genres = set(), set(), set()
         install_counts: List[float] = []
         ages: List[float] = []
@@ -122,8 +137,8 @@ def iip_summary_table(dataset: OfferDataset,
             iip_name=iip_name,
             iip_type="Vetted" if iip_name in vetted_names else "Unvetted",
             median_offer_payout_usd=median(payouts) if payouts else 0.0,
-            no_activity_fraction=(1.0 - activity / len(records)) if records else 0.0,
-            activity_fraction=(activity / len(records)) if records else 0.0,
+            no_activity_fraction=(1.0 - activity / records) if records else 0.0,
+            activity_fraction=(activity / records) if records else 0.0,
             app_count=len(packages),
             developer_count=len(developers),
             country_count=len(countries),
@@ -144,11 +159,5 @@ def install_count_histogram(values: Sequence[int],
               "10M-100M", "100M-1000M", "1000M+"]
     counts = [0] * len(labels)
     for value in values:
-        index = 0
-        for edge in edges:
-            if value >= edge:
-                index += 1
-            else:
-                break
-        counts[index] += 1
+        counts[bisect.bisect_right(edges, value)] += 1
     return list(zip(labels, counts))

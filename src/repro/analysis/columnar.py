@@ -1,0 +1,128 @@
+"""A stdlib-only columnar frame for the analysis layer.
+
+The analysis stage used to re-walk Python object lists once per table:
+every ``classify_dataset`` call re-ran the regex classifier over every
+record, every ``campaign_window`` query scanned the whole corpus for
+one package, and every per-package archive lookup was a full-archive
+scan.  ``ColumnarFrame`` is the dict-of-typed-lists answer: built once
+from the measured records, grouped/filtered with single-pass index
+maps, and shared by every downstream table.
+
+Deliberately not a dataframe library: only the operations the paper's
+tables need (column access, equality filters, group-by index maps,
+grouped min/max, distinct values), all deterministic — group keys keep
+first-seen order internally and queries sort where the analysis needs
+canonical output.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Mapping, Sequence, Tuple
+
+
+class ColumnarFrame:
+    """Immutable-by-convention columns of equal length."""
+
+    __slots__ = ("_columns", "_length")
+
+    def __init__(self, columns: Mapping[str, Sequence]) -> None:
+        lengths = {name: len(values) for name, values in columns.items()}
+        if len(set(lengths.values())) > 1:
+            raise ValueError(f"ragged columns: {lengths}")
+        self._columns: Dict[str, List] = {
+            name: list(values) for name, values in columns.items()}
+        self._length = next(iter(lengths.values()), 0)
+
+    @classmethod
+    def from_records(cls, records: Iterable[object],
+                     fields: Sequence[str]) -> "ColumnarFrame":
+        """Columnarise an attribute per field from a record iterable."""
+        columns: Dict[str, List] = {field: [] for field in fields}
+        appenders = [(columns[field], field) for field in fields]
+        for record in records:
+            for values, field in appenders:
+                values.append(getattr(record, field))
+        return cls(columns)
+
+    # -- shape ----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._length
+
+    @property
+    def fields(self) -> List[str]:
+        return list(self._columns)
+
+    def column(self, name: str) -> List:
+        return self._columns[name]
+
+    def rows(self, *names: str) -> Iterable[Tuple]:
+        """Iterate tuples of the named columns (zip of the lists)."""
+        return zip(*(self._columns[name] for name in names))
+
+    # -- filtering ------------------------------------------------------------
+
+    def select(self, indexes: Sequence[int]) -> "ColumnarFrame":
+        """A new frame containing the given rows, in the given order."""
+        return ColumnarFrame({
+            name: [values[i] for i in indexes]
+            for name, values in self._columns.items()})
+
+    def filter_eq(self, **criteria) -> "ColumnarFrame":
+        """Rows where every ``column=value`` criterion holds."""
+        indexes = range(self._length)
+        for name, wanted in criteria.items():
+            values = self._columns[name]
+            indexes = [i for i in indexes if values[i] == wanted]
+        return self.select(list(indexes))
+
+    def filter_by(self, name: str, predicate: Callable[[object], bool]
+                  ) -> "ColumnarFrame":
+        values = self._columns[name]
+        return self.select([i for i in range(self._length)
+                            if predicate(values[i])])
+
+    # -- grouping -------------------------------------------------------------
+
+    def group_indexes(self, name: str) -> Dict[object, List[int]]:
+        """value -> row indexes, single pass, first-seen key order."""
+        groups: Dict[object, List[int]] = {}
+        for i, value in enumerate(self._columns[name]):
+            bucket = groups.get(value)
+            if bucket is None:
+                groups[value] = [i]
+            else:
+                bucket.append(i)
+        return groups
+
+    def group_by(self, name: str) -> Dict[object, "ColumnarFrame"]:
+        return {value: self.select(indexes)
+                for value, indexes in self.group_indexes(name).items()}
+
+    def group_min_max(self, key: str, min_field: str,
+                      max_field: str) -> Dict[object, Tuple[object, object]]:
+        """key value -> (min of min_field, max of max_field), one pass.
+
+        The shape of every "campaign window" style query: per package,
+        the earliest first-seen and the latest last-seen day.
+        """
+        out: Dict[object, Tuple[object, object]] = {}
+        keys = self._columns[key]
+        lows = self._columns[min_field]
+        highs = self._columns[max_field]
+        for i in range(self._length):
+            value = keys[i]
+            current = out.get(value)
+            if current is None:
+                out[value] = (lows[i], highs[i])
+            else:
+                low, high = current
+                out[value] = (lows[i] if lows[i] < low else low,
+                              highs[i] if highs[i] > high else high)
+        return out
+
+    # -- reductions -----------------------------------------------------------
+
+    def distinct(self, name: str) -> List:
+        """Sorted unique values of a column."""
+        return sorted(set(self._columns[name]))

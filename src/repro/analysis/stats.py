@@ -8,6 +8,7 @@ function -- and cross-checked against scipy in the test suite.
 
 from __future__ import annotations
 
+import bisect
 import math
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
@@ -196,18 +197,10 @@ def mean(values: Sequence[float]) -> float:
 
 def empirical_cdf(values: Sequence[float],
                   points: Sequence[float]) -> List[float]:
-    """P(X <= p) for each p in ``points``."""
+    """P(X <= p) for each p in ``points`` (one sort + binary searches,
+    not a rescan of the sample per point)."""
     if not values:
         raise ValueError("empty sample")
     ordered = sorted(values)
     n = len(ordered)
-    result = []
-    for point in points:
-        count = 0
-        for value in ordered:
-            if value <= point:
-                count += 1
-            else:
-                break
-        result.append(count / n)
-    return result
+    return [bisect.bisect_right(ordered, point) / n for point in points]

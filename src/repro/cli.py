@@ -61,6 +61,16 @@ def _add_shards_flag(parser, what: str) -> None:
                              "(default: 1, serial)")
 
 
+def _add_backend_flag(parser) -> None:
+    """The ``--backend`` flag shared by the sharded pipelines."""
+    parser.add_argument("--backend", default="thread",
+                        choices=("thread", "serial", "process"),
+                        help="shard execution backend: in-process threads "
+                             "(default), inline serial, or spawned worker "
+                             "processes; every backend yields byte-identical "
+                             "results at the same seed")
+
+
 def _chaos_scenario(args):
     """Build the :class:`ChaosScenario` the shared flags describe."""
     from repro.net.chaos import ChaosScenario
@@ -109,6 +119,11 @@ def _recovery_context(args, kind: str, with_wal: bool = False):
                   file=sys.stderr)
             raise SystemExit(2)
         return None
+    if getattr(args, "backend", None) == "process":
+        print("error: --checkpoint-dir/--resume require an in-process "
+              "backend (serial or thread), not --backend process",
+              file=sys.stderr)
+        raise SystemExit(2)
     from repro.recovery import CrashPlan, RecoveryContext, parse_kill_point
     crash = None
     if args.crash_at or args.crash_rate > 0.0:
@@ -142,6 +157,7 @@ def _add_honey(subparsers) -> None:
                         help="installs to purchase from each IIP "
                              "(default: the paper's 500)")
     _add_shards_flag(parser, "the three IIP campaigns")
+    _add_backend_flag(parser)
     parser.add_argument("--no-tls-resumption", action="store_true",
                         help="disable the TLS session cache (every "
                              "telemetry upload pays a full handshake)")
@@ -162,6 +178,7 @@ def _add_wild(subparsers) -> None:
                         help="write the crawl archive JSON here")
     _add_chaos_flags(parser)
     _add_shards_flag(parser, "milking and crawling")
+    _add_backend_flag(parser)
     _add_recovery_flags(parser, "wild.day, wild.milk, wild.checkpoint")
 
 
@@ -310,6 +327,7 @@ def _cmd_honey(args) -> int:
                 else paperdata.HONEY_INSTALLS_PURCHASED)
     experiment = HoneyAppExperiment(
         world, installs_per_iip=installs, shards=args.shards,
+        backend=args.backend,
         tls_resumption=not args.no_tls_resumption)
     recovery = _recovery_context(args, "honey")
     try:
@@ -347,7 +365,8 @@ def _cmd_wild(args) -> int:
         scale=args.scale, measurement_days=args.days))
     scenario.build()
     measurement = WildMeasurement(world, scenario, WildMeasurementConfig(
-        measurement_days=args.days, shards=args.shards))
+        measurement_days=args.days, shards=args.shards,
+        backend=args.backend))
     recovery = _recovery_context(args, "wild")
     try:
         results = measurement.run(recovery=recovery)

@@ -1,0 +1,83 @@
+"""The honey experiment's process-backend worker host.
+
+A ``backend="process"`` honey run ships each of the three IIP
+campaigns to a worker process as a plain ``("campaign", iip_name)``
+payload.  The worker rebuilds the **whole deterministic world** from
+``(seed, vpn_countries, chaos)`` plus a replica experiment, and runs
+the campaign through the exact same entry point the serial and thread
+backends use — ``HoneyAppExperiment.run_campaign_payload``.
+
+Unlike wild milking (read-only on shared state), a campaign *writes*
+shared domain state: installs into the store ledger, telemetry into
+the collector, transfers into the money ledger, conversions into the
+attribution mediator, and enforcement actions.  All of those logs are
+append-only, so the worker brackets each task with
+``World.domain_cursor``/``collect_domain_delta`` and ships the delta
+home inside the result envelope; the parent replays the deltas in
+canonical campaign order (``apply_domain_deltas``), reconstructing the
+exact domain state a serial run would have.  Campaign windows do not
+overlap and every campaign cell keys its own RNG streams, so a replica
+that runs only its pinned campaigns produces byte-identical effects.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.parallel.procpool import WorkerHostSpec
+
+
+def honey_worker_spec(world, installs_per_iip: int, tls_resumption: bool,
+                      collect_events: bool) -> WorkerHostSpec:
+    """The picklable bootstrap recipe for one honey campaign worker."""
+    return WorkerHostSpec(
+        factory="repro.core.honey_worker:build_honey_worker",
+        config={
+            "seed": world.seeds.root_seed,
+            "vpn_countries": world.vpn_countries,
+            "chaos": world.chaos,
+            "installs_per_iip": installs_per_iip,
+            "tls_resumption": tls_resumption,
+            "collect_events": collect_events,
+        },
+    )
+
+
+def build_honey_worker(seed, vpn_countries, chaos, installs_per_iip,
+                       tls_resumption, collect_events) -> "HoneyWorkerHost":
+    """Module-level factory (spawn-picklable by name)."""
+    from repro.core.honey_experiment import HoneyAppExperiment
+    from repro.simulation.world import World
+
+    world = World(seed=seed, vpn_countries=vpn_countries, chaos=chaos)
+    experiment = HoneyAppExperiment(
+        world, installs_per_iip=installs_per_iip, shards=1,
+        backend="serial", tls_resumption=tls_resumption,
+        collect_install_events=collect_events)
+    return HoneyWorkerHost(world, experiment)
+
+
+class HoneyWorkerHost:
+    """Interprets campaign task payloads against the replica world."""
+
+    def __init__(self, world, experiment) -> None:
+        self.world = world
+        self.experiment = experiment
+
+    def on_broadcast(self, payload: Tuple[str, ...]) -> None:
+        # The honey experiment never advances a scenario clock, so no
+        # broadcast kind is defined for it (yet).
+        raise ValueError(f"unknown broadcast {payload[0]!r}")
+
+    def run_task(self, payload: Tuple) -> Dict[str, object]:
+        if payload[0] != "campaign":
+            raise ValueError(f"unknown task {payload[0]!r}")
+        token = self.world.obs.begin_delta()
+        domain_cursor = self.world.domain_cursor()
+        try:
+            result, task_obs = self.experiment.run_campaign_payload(payload)
+        finally:
+            delta = self.world.obs.collect_delta(token)
+        return {"result": result, "task_obs": task_obs.state_dict(),
+                "world": delta,
+                "domain": self.world.collect_domain_delta(domain_cursor)}

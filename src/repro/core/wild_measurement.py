@@ -31,11 +31,16 @@ from repro.monitor.dataset import (
     observed_offer_to_state,
 )
 from repro.monitor.milker import Milker, MilkRun
-from repro.net.client import CircuitBreaker, RetryPolicy
+from repro.net.client import CircuitBreaker, RetryPolicy, TlsSessionCache
 from repro.net.ip import MILKER_COUNTRIES
 from repro.net.tls import TrustStore
 from repro.obs import Observability
-from repro.parallel import ShardScheduler, flow_scope
+from repro.parallel import (
+    ShardScheduler,
+    apply_world_deltas,
+    flow_scope,
+    unwrap_result,
+)
 from repro.playstore.frontend import PLAY_HOST
 from repro.simulation import paperdata
 from repro.simulation.scenarios import WildScenario
@@ -66,6 +71,11 @@ class WildMeasurementConfig:
     #: Shard count for the milk/crawl schedulers; 1 = serial in-thread.
     #: Any value produces byte-identical exports at the same seed.
     shards: int = 1
+    #: Scheduler backend: ``thread`` (default), ``serial``, or
+    #: ``process`` (each occupied shard runs in a spawn worker that
+    #: rebuilds the world from the seed — see repro.core.wild_worker).
+    #: Every backend produces byte-identical exports at the same seed.
+    backend: str = "thread"
     #: Crawl every charted app's profile too (the paper archived the
     #: top-chart apps alongside the tracked set); the request cache
     #: absorbs the overlap with the tracked packages.
@@ -183,7 +193,16 @@ class WildMeasurement:
         self.world = world
         self.scenario = scenario
         self.config = config or WildMeasurementConfig()
-        self._scheduler = ShardScheduler(self.config.shards)
+        worker_host = None
+        if self.config.backend == "process":
+            # Imported lazily: wild_worker imports this module back for
+            # the replica bootstrap, and non-process runs never need it.
+            from repro.core.wild_worker import wild_worker_spec
+            worker_host = wild_worker_spec(world, scenario.config,
+                                           self.config)
+        self._scheduler = ShardScheduler(self.config.shards,
+                                         backend=self.config.backend,
+                                         worker_host=worker_host)
         #: Live detection hook; when set, each milk day's merged offer
         #: stream is bridged into install events.  The bridge derives
         #: its RNG from its own seed stream, so attaching it never
@@ -218,7 +237,8 @@ class WildMeasurement:
                 world.fabric, self.phone, mitm, world.walls,
                 world.seeds.rng(f"milker:{country}"), vpn=world.vpn,
                 obs=world.obs, retry_policy=self.retry_policy,
-                breaker=CircuitBreaker(obs=world.obs))
+                breaker=CircuitBreaker(obs=world.obs),
+                session_cache=TlsSessionCache())
         self.dataset = OfferDataset(AFFILIATE_SPECS, obs=world.obs)
         self.crawler = PlayStoreCrawler(
             world.measurement_client(retry_policy=self.retry_policy),
@@ -260,8 +280,12 @@ class WildMeasurement:
         (``tests/recovery/`` enforces it).
         """
         config = self.config
+        if recovery is not None and config.backend == "process":
+            # Worker replicas rebuild the world from the seed; they have
+            # no way to adopt a parent checkpoint's mid-run cell state.
+            raise ValueError("checkpoint/resume requires an in-process "
+                             "backend (serial or thread), not process")
         tracer = self.world.obs.tracer
-        metrics = self.world.obs.metrics
         start_day = 0
         adopted_span = None
         if recovery is not None and recovery.resume:
@@ -279,12 +303,24 @@ class WildMeasurement:
         run_span = (tracer.adopt(adopted_span) if adopted_span is not None
                     else tracer.span("wild.run",
                                      days=config.measurement_days))
+        try:
+            return self._run_days(run_span, start_day, recovery)
+        finally:
+            self._scheduler.close()
+
+    def _run_days(self, run_span, start_day: int, recovery) -> WildResults:
+        config = self.config
+        tracer = self.world.obs.tracer
+        metrics = self.world.obs.metrics
         with run_span:
             for day in range(start_day, config.measurement_days):
                 if recovery is not None:
                     recovery.crash_point("wild.day", day)
                 with tracer.span("wild.scenario", day=day):
                     self.scenario.run_day(day)
+                # Keep process workers' replica worlds in day lockstep
+                # (no-op on in-process backends).
+                self._scheduler.broadcast(("day", day))
                 if day % config.milk_cadence_days == 0:
                     if recovery is not None:
                         recovery.crash_point("wild.milk", day)
@@ -303,9 +339,8 @@ class WildMeasurement:
                 if recovery is not None:
                     recovery.store.write(day, self._checkpoint_state())
                     recovery.crash_point("wild.checkpoint", day)
-            with tracer.span("wild.finalize") as span:
+            with tracer.span("wild.finalize"):
                 results = self._finalize()
-            metrics.observe("wild.analyse_ops", span.duration_ops)
         metrics.set_gauge("core.wild.dataset_offers",
                           self.dataset.offer_count())
         metrics.set_gauge("core.wild.advertised_packages",
@@ -378,20 +413,23 @@ class WildMeasurement:
         return [self.config.countries[(start + i) % len(self.config.countries)]
                 for i in range(count)]
 
-    def _make_milk_task(self, day: int, country: str, spec):
-        """One self-contained milk run: its own observability context
-        and chaos flow scope; the cell's mitm/breaker/RNG are touched by
-        no other country."""
+    def run_milk_payload(self, payload) -> Tuple[MilkRun, Observability]:
+        """Execute one ``("milk", day, country, package)`` spec payload:
+        a self-contained milk run with its own observability context and
+        chaos flow scope; the cell's mitm/breaker/RNG are touched by no
+        other country.
+
+        This is both the scheduler's local runner (serial/thread
+        backends) and what a process-backend worker host calls against
+        its replica measurement — one code path for every backend.
+        """
+        _kind, day, country, package = payload
         cell = self.cells[country]
-        flow_key = f"milk:{day}:{country}:{spec.package}"
-
-        def task() -> Tuple[MilkRun, Observability]:
-            task_obs = Observability(clock=self.world.clock.now)
-            with flow_scope(flow_key):
-                run = cell.milk(spec, day, country=country, obs=task_obs)
-            return run, task_obs
-
-        return task
+        spec = AFFILIATE_SPECS[package]
+        task_obs = Observability(clock=self.world.clock.now)
+        with flow_scope(f"milk:{day}:{country}:{package}"):
+            run = cell.milk(spec, day, country=country, obs=task_obs)
+        return run, task_obs
 
     def _milk(self, day: int) -> None:
         """Milk every (app, country) pair for the day, sharded by
@@ -400,16 +438,21 @@ class WildMeasurement:
         pairs = [(country, spec)
                  for country in self._countries_for(day)
                  for spec in AFFILIATE_SPECS.values()]
-        tasks = [(country, self._make_milk_task(day, country, spec))
+        specs = [(country, ("milk", day, country, spec.package))
                  for country, spec in pairs]
-        results = self._scheduler.run(tasks, salt=f"milk:{day}")
+        results = self._scheduler.run_specs(specs, self.run_milk_payload,
+                                            salt=f"milk:{day}")
         merged = sorted(
             zip(pairs, results),
             key=lambda item: (item[0][1].package, item[0][0]))
+        # Process-backend envelopes ship world-side recording deltas;
+        # apply them all before any task-obs merge, mirroring the serial
+        # order (world ticks land during the task, before the barrier).
+        apply_world_deltas(self.world.obs, [item for _, item in merged])
         impressions: List[str] = []
         day_offers: List = []
-        for (_country, _spec), (run, task_obs) in merged:
-            self.world.obs.merge(task_obs)
+        for (_country, _spec), item in merged:
+            run = unwrap_result(self.world.obs, item)
             self._milk_runs += 1
             self._milk_errors.extend(run.errors)
             self._observations.extend(run.offers)
@@ -451,15 +494,41 @@ class WildMeasurement:
         )
 
     def _finalize(self) -> WildResults:
-        detector = LibRadarDetector()
-        scan: Dict[str, int] = {}
-        for package in (self.dataset.unique_packages()
-                        + self.scenario.baseline_packages()):
-            apk = self.world.apks.get(package)
-            if apk is not None:
-                scan[package] = detector.unique_ad_library_count(apk)
-        snapshot = self.world.crunchbase.snapshot(
-            paperdata.CRUNCHBASE_SNAPSHOT_DAY)
+        """Post-loop analysis prep, one observed span per stage so
+        ``wild.analyse_ops`` histograms real per-stage op costs (APK
+        scanning dominates; the frame build and snapshot are the tail).
+        Pure-computation stages advance the op clock by their unit-of-
+        work count — packages scanned, snapshot rows, frame records,
+        counters rolled up — so the histogram reflects work done, not
+        just the span-boundary ticks."""
+        tracer = self.world.obs.tracer
+        metrics = self.world.obs.metrics
+        ops = self.world.obs.ops
+        with tracer.span("wild.finalize.apk_scan") as span:
+            detector = LibRadarDetector()
+            scan: Dict[str, int] = {}
+            for package in (self.dataset.unique_packages()
+                            + self.scenario.baseline_packages()):
+                apk = self.world.apks.get(package)
+                if apk is not None:
+                    scan[package] = detector.unique_ad_library_count(apk)
+                ops.advance(1)
+        metrics.observe("wild.analyse_ops", span.duration_ops)
+        with tracer.span("wild.finalize.snapshot") as span:
+            snapshot = self.world.crunchbase.snapshot(
+                paperdata.CRUNCHBASE_SNAPSHOT_DAY)
+            ops.advance(len(snapshot.organizations()))
+        metrics.observe("wild.analyse_ops", span.duration_ops)
+        with tracer.span("wild.finalize.frame") as span:
+            # Build the dataset's columnar frame once, inside the
+            # measurement wall clock, so every downstream analysis table
+            # reuses it instead of re-walking the records.
+            ops.advance(len(self.dataset.frame()))
+        metrics.observe("wild.analyse_ops", span.duration_ops)
+        with tracer.span("wild.finalize.coverage") as span:
+            coverage = self._coverage_loss()
+            ops.advance(len(CoverageLossSummary.__dataclass_fields__))
+        metrics.observe("wild.analyse_ops", span.duration_ops)
         return WildResults(
             dataset=self.dataset,
             observations=self._observations,
@@ -471,5 +540,5 @@ class WildMeasurement:
             milk_runs=self._milk_runs,
             milk_errors=self._milk_errors,
             crawl_requests=self.crawler.requests_made,
-            coverage_loss=self._coverage_loss(),
+            coverage_loss=coverage,
         )

@@ -1,0 +1,133 @@
+"""The wild pipeline's process-backend worker host.
+
+A ``--backend process`` run splits the Section-4 pipeline across
+worker processes without sharing any memory: each worker rebuilds the
+**whole deterministic world** from ``(seed, vpn_countries, chaos)``,
+replays the scenario days in lockstep with the parent (the scenario is
+wire-free, so replay is exact — the same property the crash-recovery
+resume path relies on), and then executes only the milk/crawl tasks
+the scheduler pins to it.
+
+Why split-brain replicas preserve export byte-identity:
+
+* milking is *read-only* on shared world state — the UI fuzzer taps
+  tabs and scrolls, it never completes offers or installs anything, so
+  a worker's wall servers answer exactly as the parent's would;
+* every task-scoped RNG is keyed (``milker:{country}``, ``derive_rng``
+  for crawl fetches), never drawn from a shared sequential stream;
+* chaos fault decisions are a function of ``(host, flow scope,
+  per-flow sequence)``, not of global arrival order, so a task's fault
+  schedule is identical no matter which process runs it;
+* the only shared-stream draws a task triggers are the servers'
+  fixed-width TLS ``server_random`` values, which never influence
+  payload semantics or any exported counter.
+
+Task execution goes through the exact same entry points the serial and
+thread backends use — ``WildMeasurement.run_milk_payload`` and
+``PlayStoreCrawler.run_fetch_payload`` — bracketed with
+``Observability.begin_delta``/``collect_delta`` to capture the world
+replica's recordings.  What ships back per task is an *envelope* (see
+:mod:`repro.parallel.envelope`): the picklable result, the task-local
+``Observability`` state, and the world-side delta.  The parent applies
+all world deltas, then merges all task contexts, in canonical input
+order — reproducing the serial op totals exactly (DESIGN.md §8).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.parallel.procpool import WorkerHostSpec
+
+
+def wild_worker_spec(world, scenario_config,
+                     measurement_config) -> WorkerHostSpec:
+    """The picklable bootstrap recipe for one wild shard worker."""
+    import dataclasses
+    replica_config = dataclasses.replace(
+        measurement_config, backend="serial", shards=1)
+    return WorkerHostSpec(
+        factory="repro.core.wild_worker:build_wild_worker",
+        config={
+            "seed": world.seeds.root_seed,
+            "vpn_countries": world.vpn_countries,
+            "chaos": world.chaos,
+            "scenario_config": scenario_config,
+            "measurement_config": replica_config,
+        },
+    )
+
+
+def build_wild_worker(seed, vpn_countries, chaos, scenario_config,
+                      measurement_config) -> "WildWorkerHost":
+    """Module-level factory (spawn-picklable by name)."""
+    # Imported here: the worker bootstraps from the spec pickle, which
+    # itself should pull in nothing heavy.
+    from repro.core.wild_measurement import WildMeasurement
+    from repro.simulation.scenarios import WildScenario
+    from repro.simulation.world import World
+
+    world = World(seed=seed, vpn_countries=vpn_countries, chaos=chaos)
+    scenario = WildScenario(world, scenario_config)
+    scenario.build()
+    measurement = WildMeasurement(world, scenario, measurement_config)
+    return WildWorkerHost(world, scenario, measurement)
+
+
+class WildWorkerHost:
+    """Interprets milk/crawl task payloads against the replica world."""
+
+    def __init__(self, world, scenario, measurement) -> None:
+        self.world = world
+        self.scenario = scenario
+        self.measurement = measurement
+        self._day = -1  # last scenario day replayed
+
+    # -- lockstep day replay --------------------------------------------------
+
+    def on_broadcast(self, payload: Tuple[str, ...]) -> None:
+        kind = payload[0]
+        if kind == "crawl_template":
+            # The parent primed a TLS resumption template against *its*
+            # store front; adopt the ticket here so replica-side crawl
+            # tasks resume exactly like parent-side ones would.  The
+            # replica's server never minted this ticket, so seed its
+            # session table directly (no observability side effects).
+            _kind, host, day, ticket, enc_key, mac_key = payload
+            self.measurement.crawler.install_template(
+                host, int(day), ticket, enc_key, mac_key)
+            self.world.frontend.server.sessions.put(ticket, enc_key, mac_key)
+            return
+        if kind != "day":
+            raise ValueError(f"unknown broadcast {kind!r}")
+        target = int(payload[1])  # type: ignore[arg-type]
+        # Mirror the parent's loop exactly: the clock advances at the
+        # *end* of each day, so when day N's tasks run the clock has
+        # advanced N times and scenario days 0..N have all executed.
+        while self._day < target:
+            self._day += 1
+            if self._day > 0:
+                self.world.clock.advance()
+            self.scenario.run_day(self._day)
+
+    # -- task execution -------------------------------------------------------
+
+    def run_task(self, payload: Tuple) -> Dict[str, object]:
+        kind = payload[0]
+        if kind == "milk":
+            return self._envelope(self.measurement.run_milk_payload, payload)
+        if kind == "crawl":
+            return self._envelope(self.measurement.crawler.run_fetch_payload,
+                                  payload)
+        raise ValueError(f"unknown task {kind!r}")
+
+    def _envelope(self, runner: Callable, payload: Tuple) -> Dict[str, object]:
+        """Run one payload through the shared (backend-agnostic) runner,
+        capturing the replica world's recordings as a shippable delta."""
+        token = self.world.obs.begin_delta()
+        try:
+            result, task_obs = runner(payload)
+        finally:
+            delta = self.world.obs.collect_delta(token)
+        return {"result": result, "task_obs": task_obs.state_dict(),
+                "world": delta}

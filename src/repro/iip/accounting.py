@@ -128,6 +128,30 @@ class MoneyLedger:
                 for day, source, destination, amount, memo in (
                     state["entries"])]  # type: ignore[union-attr]
 
+    # -- domain deltas (process-backend replicas) -----------------------------
+
+    def delta_cursor(self) -> int:
+        with self._lock:
+            return len(self.entries)
+
+    def collect_delta(self, cursor: int) -> List[List[object]]:
+        with self._lock:
+            return [[entry.day, entry.source, entry.destination,
+                     entry.amount_usd, entry.memo]
+                    for entry in self.entries[cursor:]]
+
+    def apply_delta(self, delta: List[List[object]]) -> None:
+        """Replay a replica's transfers in order.  Every balance change
+        goes through mint/transfer, so replaying the entry log rebuilds
+        the wallets exactly."""
+        for day, source, destination, amount, memo in delta:
+            if source == "<external>":
+                self.mint(str(destination), float(amount), day=int(day),
+                          memo=str(memo))
+            else:
+                self.transfer(str(source), str(destination), float(amount),
+                              int(day), str(memo))
+
     def total_received(self, owner: str) -> float:
         return sum(entry.amount_usd for entry in self.entries
                    if entry.destination == owner)

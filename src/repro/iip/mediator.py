@@ -74,6 +74,27 @@ class AttributionMediator:
             self._seen = {(c.offer_id, c.device_id)
                           for c in self._conversions}
 
+    # -- domain deltas (process-backend replicas) -----------------------------
+
+    def delta_cursor(self) -> int:
+        with self._lock:
+            return len(self._conversions)
+
+    def collect_delta(self, cursor: int) -> List[List[object]]:
+        with self._lock:
+            return [[c.offer_id, c.device_id, c.day, list(c.tasks_completed)]
+                    for c in self._conversions[cursor:]]
+
+    def apply_delta(self, delta: List[List[object]]) -> None:
+        with self._lock:
+            for offer_id, device_id, day, tasks in delta:
+                conversion = Conversion(
+                    offer_id=str(offer_id), device_id=str(device_id),
+                    day=int(day),
+                    tasks_completed=tuple(str(t) for t in tasks))
+                self._conversions.append(conversion)
+                self._seen.add((conversion.offer_id, conversion.device_id))
+
     def certify(self, offer_id: str, device_id: str) -> bool:
         return (offer_id, device_id) in self._seen
 

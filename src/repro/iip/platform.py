@@ -181,15 +181,28 @@ class IncentivizedInstallPlatform:
         return None
 
     def live_offers(self, day: int, country: Optional[str] = None) -> List[Offer]:
-        """The wall contents for a viewer in ``country`` on ``day``."""
+        """The wall contents for a viewer in ``country`` on ``day``.
+
+        The ``expire``/``is_live_on`` checks are inlined: the wall runs
+        this for every viewer request, and once most campaigns have
+        ended the loop should cost one state load per dead campaign, not
+        two method calls.
+        """
+        live = CampaignState.LIVE
         offers = []
         for campaign in self._campaigns.values():
-            campaign.expire(day)
-            if not campaign.is_live_on(day):
+            if campaign.state is not live:
                 continue
-            if not campaign.offer.targets(country):
+            offer = campaign.offer
+            if day > offer.end_day:
+                campaign.state = CampaignState.ENDED
                 continue
-            offers.append(campaign.offer)
+            if day < offer.start_day:
+                continue
+            targeted = offer.target_countries
+            if targeted is not None and country not in targeted:
+                continue
+            offers.append(offer)
         return sorted(offers, key=lambda offer: offer.offer_id)
 
     # -- completion and payout ---------------------------------------------------

@@ -8,6 +8,7 @@ longitudinal analysis has to work from.
 
 from __future__ import annotations
 
+import bisect
 from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -15,7 +16,13 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.net.client import HttpClient
 from repro.net.errors import NetError
 from repro.obs import Observability
-from repro.parallel import ShardScheduler, derive_rng, flow_scope
+from repro.parallel import (
+    ShardScheduler,
+    apply_world_deltas,
+    derive_rng,
+    flow_scope,
+    unwrap_result,
+)
 from repro.playstore.charts import ChartKind
 
 DEFAULT_CADENCE_DAYS = 2
@@ -55,13 +62,37 @@ class CrawlArchive:
         self._profiles: Dict[Tuple[str, int], ProfileSnapshot] = {}
         self._chart_days: Dict[Tuple[str, int], List[ChartAppearance]] = {}
         self.crawl_days: List[int] = []
+        # Per-package indexes, maintained incrementally: the analyses
+        # ask for one package's series hundreds of times per report, and
+        # a full-archive scan per ask is O(packages x archive).
+        self._package_days: Dict[str, List[int]] = {}
+        self._chart_by_package: Dict[str, List[ChartAppearance]] = {}
 
     def add_profile(self, snapshot: ProfileSnapshot) -> None:
-        self._profiles[(snapshot.package, snapshot.day)] = snapshot
+        key = (snapshot.package, snapshot.day)
+        if key not in self._profiles:
+            days = self._package_days.setdefault(snapshot.package, [])
+            bisect.insort(days, snapshot.day)
+        self._profiles[key] = snapshot
 
     def add_chart(self, chart: str, day: int,
                   appearances: Sequence[ChartAppearance]) -> None:
-        self._chart_days[(chart, day)] = list(appearances)
+        key = (chart, day)
+        replacing = key in self._chart_days
+        self._chart_days[key] = list(appearances)
+        if replacing:
+            self._rebuild_chart_index()
+        else:
+            for appearance in self._chart_days[key]:
+                self._chart_by_package.setdefault(
+                    appearance.package, []).append(appearance)
+
+    def _rebuild_chart_index(self) -> None:
+        self._chart_by_package = {}
+        for appearances in self._chart_days.values():
+            for appearance in appearances:
+                self._chart_by_package.setdefault(
+                    appearance.package, []).append(appearance)
 
     def note_crawl_day(self, day: int) -> None:
         if day not in self.crawl_days:
@@ -95,6 +126,10 @@ class CrawlArchive:
             self._chart_days[(chart, int(day))] = [
                 _appearance_from_state(item) for item in items]
         self.crawl_days = [int(day) for day in state["crawl_days"]]  # type: ignore[union-attr]
+        self._package_days = {}
+        for package, day in sorted(self._profiles):
+            self._package_days.setdefault(package, []).append(day)
+        self._rebuild_chart_index()
 
     # -- profile queries -------------------------------------------------------
 
@@ -102,7 +137,7 @@ class CrawlArchive:
         return self._profiles.get((package, day))
 
     def profile_days(self, package: str) -> List[int]:
-        return sorted(day for (pkg, day) in self._profiles if pkg == package)
+        return list(self._package_days.get(package, ()))
 
     def install_series(self, package: str) -> List[Tuple[int, int]]:
         """[(day, binned installs)] across all crawls of this app."""
@@ -150,9 +185,7 @@ class CrawlArchive:
         return packages
 
     def chart_appearances(self, package: str) -> List[ChartAppearance]:
-        found = []
-        for appearances in self._chart_days.values():
-            found.extend(a for a in appearances if a.package == package)
+        found = self._chart_by_package.get(package, [])
         return sorted(found, key=lambda a: (a.day, a.chart))
 
     def charted_on(self, package: str, day: int) -> bool:
@@ -284,6 +317,9 @@ class PlayStoreCrawler:
         #: visit so the archive keeps longitudinal chart-app series.
         self._followed: List[str] = []
         self._followed_set: set = set()
+        #: Last day whose resumption template was shipped to process
+        #: workers (guards against re-broadcasting within one day).
+        self._template_broadcast_day: Optional[int] = None
 
     def should_crawl(self, day: int, start_day: int = 0) -> bool:
         return day >= start_day and (day - start_day) % self.cadence_days == 0
@@ -412,19 +448,51 @@ class PlayStoreCrawler:
         outcome = self._fetch_profile(self._client, package)
         return self._apply_profile_outcome(package, outcome, is_retry)
 
-    def _make_fetch_task(self, package: str, day: Optional[int]):
-        """A self-contained shard task for one profile fetch."""
-        flow_key = f"crawl:{day}:{package}"
+    def _ensure_template(self, day: Optional[int],
+                         scheduler: Optional[ShardScheduler]) -> None:
+        """Prime one TLS resumption template for the store host so the
+        day's fan-out fetches (each on a throwaway task client with a
+        never-repeating flow) resume instead of re-handshaking.
+
+        The prime always runs in the calling (parent) interpreter, so
+        its one handshake is counted identically under every backend;
+        process workers receive the resulting ticket by broadcast and
+        seed it into their replica store-front session table.  Priming
+        is opportunistic — on failure the day simply runs on full
+        handshakes everywhere.
+        """
+        if day is None:
+            return
+        if not self._client.prime_resumption(self._play_host, day):
+            return
+        if scheduler is not None and self._template_broadcast_day != day:
+            template = self._client.resume_templates[self._play_host]
+            scheduler.broadcast(("crawl_template", self._play_host)
+                                + template)
+            self._template_broadcast_day = day
+
+    def install_template(self, host: str, day: int, ticket: bytes,
+                         enc_key: bytes, mac_key: bytes) -> None:
+        """Adopt a parent-minted resumption template (process workers)."""
+        self._client.install_template(host, day, ticket, enc_key, mac_key)
+
+    def run_fetch_payload(self, payload) -> Tuple[FetchOutcome, Observability]:
+        """Execute one ``("crawl", day, package)`` spec payload: a
+        self-contained profile fetch with its own derived RNG, task-local
+        client/observability, and chaos flow scope.
+
+        This is both the scheduler's local runner (serial/thread
+        backends) and what a process-backend worker host calls against
+        its replica crawler — one code path, so the backends cannot
+        drift apart behaviourally.
+        """
+        _kind, day, package = payload
         rng = derive_rng(self._task_seed, "crawl", package, day)
-
-        def task() -> Tuple[FetchOutcome, Observability]:
-            task_obs = Observability()
-            client = self._client.for_task(rng, task_obs)
-            with flow_scope(flow_key):
-                outcome = self._fetch_profile(client, package)
-            return outcome, task_obs
-
-        return task
+        task_obs = Observability()
+        client = self._client.for_task(rng, task_obs)
+        with flow_scope(f"crawl:{day}:{package}"):
+            outcome = self._fetch_profile(client, package)
+        return outcome, task_obs
 
     # -- charts --------------------------------------------------------------
 
@@ -486,6 +554,7 @@ class PlayStoreCrawler:
                         scheduler: Optional[ShardScheduler]) -> int:
         """Fetch a queue of profiles (cache-filtered), serially or on
         the scheduler; side effects are applied in queue order."""
+        self._ensure_template(day, scheduler)
         best_day = -1
         to_fetch: List[Tuple[str, bool]] = []
         for package in queue:
@@ -510,13 +579,18 @@ class PlayStoreCrawler:
                 if snapshot is not None:
                     best_day = snapshot.day
             return best_day
-        tasks = [(package, self._make_fetch_task(package, day))
+        specs = [(package, ("crawl", day, package))
                  for package, _ in to_fetch]
-        results = scheduler.run(tasks, salt=f"crawl:{day}")
-        for (package, is_retry), (outcome, task_obs) in zip(to_fetch, results):
+        results = scheduler.run_specs(specs, self.run_fetch_payload,
+                                      salt=f"crawl:{day}")
+        # Process-backend envelopes carry world-side recording deltas;
+        # apply them all before any task-obs merge, mirroring the serial
+        # order (world ticks land during the task, pre-merge barrier).
+        apply_world_deltas(self.obs, results)
+        for (package, is_retry), item in zip(to_fetch, results):
             self.requests_made += 1
             self.obs.metrics.inc("monitor.crawl_requests", kind="profile")
-            self.obs.merge(task_obs)
+            outcome = unwrap_result(self.obs, item)
             snapshot = self._apply_profile_outcome(package, outcome, is_retry)
             if snapshot is not None:
                 best_day = snapshot.day
@@ -563,6 +637,7 @@ class PlayStoreCrawler:
         in both the baseline list and the discovered set costs one
         fetch), then optionally every charted app's profile (where the
         cache absorbs the overlap with the tracked set)."""
+        self._ensure_template(day, scheduler)
         best_day = self.crawl_charts(day=day)
         tracked_set = set(packages)
         pending = set(self.retry_queue)

@@ -12,7 +12,15 @@ from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Set, Tuple
 
 from repro.affiliates.app import AffiliateAppSpec
+from repro.analysis.columnar import ColumnarFrame
 from repro.obs import NULL_OBS, Observability
+
+#: The record attributes the dataset's columnar frame carries — what
+#: the analysis tables consume (sets like ``countries`` stay on the
+#: records; tables that need them go through :meth:`OfferDataset.offers`).
+FRAME_FIELDS = ("iip_name", "offer_id", "package", "app_title",
+                "description", "payout_usd", "first_seen_day",
+                "last_seen_day")
 
 
 @dataclass(frozen=True)
@@ -93,6 +101,10 @@ class OfferDataset:
         self._specs = dict(affiliate_specs)
         self._records: Dict[Tuple[str, str], OfferRecord] = {}
         self.obs = obs or NULL_OBS
+        #: Columnar view of the records, built lazily and invalidated on
+        #: every mutation; all aggregate queries below run against it.
+        self._frame: Optional[ColumnarFrame] = None
+        self._windows: Optional[Dict[str, Tuple[int, int]]] = None
 
     # -- ingestion ------------------------------------------------------------
 
@@ -107,6 +119,8 @@ class OfferDataset:
     def ingest(self, observation: ObservedOffer) -> None:
         key = (observation.iip_name, observation.offer_id)
         payout_usd = self.normalize_payout(observation)
+        self._frame = None
+        self._windows = None
         record = self._records.get(key)
         if record is None:
             self.obs.metrics.inc("monitor.offers_new",
@@ -159,6 +173,8 @@ class OfferDataset:
 
     def load_state(self, state: Dict[str, object]) -> None:
         self._records = {}
+        self._frame = None
+        self._windows = None
         for data in state["records"].values():  # type: ignore[union-attr]
             record = OfferRecord(
                 iip_name=str(data["iip_name"]),
@@ -176,6 +192,21 @@ class OfferDataset:
 
     # -- queries ------------------------------------------------------------
 
+    def frame(self) -> ColumnarFrame:
+        """The columnar view of the deduplicated corpus, in canonical
+        (iip, offer_id) order.  Built once per mutation epoch; every
+        aggregate query and analysis table shares it."""
+        if self._frame is None:
+            self._frame = ColumnarFrame.from_records(self.offers(),
+                                                     FRAME_FIELDS)
+        return self._frame
+
+    def _campaign_windows(self) -> Dict[str, Tuple[int, int]]:
+        if self._windows is None:
+            self._windows = self.frame().group_min_max(
+                "package", "first_seen_day", "last_seen_day")
+        return self._windows
+
     def offers(self) -> List[OfferRecord]:
         return [self._records[key] for key in sorted(self._records)]
 
@@ -187,34 +218,30 @@ class OfferDataset:
         return len(self._records)
 
     def unique_packages(self) -> List[str]:
-        return sorted({record.package for record in self._records.values()})
+        return self.frame().distinct("package")
 
     def unique_descriptions(self) -> List[str]:
-        return sorted({record.description for record in self._records.values()})
+        return self.frame().distinct("description")
 
     def packages_for_iip(self, iip_name: str) -> List[str]:
-        return sorted({record.package for record in self.offers_for_iip(iip_name)})
+        return self.frame().filter_eq(iip_name=iip_name).distinct("package")
 
     def iips_observed(self) -> List[str]:
-        return sorted({record.iip_name for record in self._records.values()})
+        return self.frame().distinct("iip_name")
 
     def campaign_window(self, package: str) -> Tuple[int, int]:
         """(first day, last day) this app's offers were observed."""
-        records = [r for r in self._records.values() if r.package == package]
-        if not records:
+        window = self._campaign_windows().get(package)
+        if window is None:
             raise KeyError(f"package never observed: {package!r}")
-        return (min(r.first_seen_day for r in records),
-                max(r.last_seen_day for r in records))
+        return window
 
     def mean_campaign_duration_days(self) -> float:
-        packages = self.unique_packages()
-        if not packages:
+        windows = self._campaign_windows()
+        if not windows:
             return 0.0
-        total = 0
-        for package in packages:
-            start, end = self.campaign_window(package)
-            total += end - start + 1
-        return total / len(packages)
+        total = sum(end - start + 1 for start, end in windows.values())
+        return total / len(windows)
 
     def offers_by_package(self) -> Dict[str, List[OfferRecord]]:
         grouped: Dict[str, List[OfferRecord]] = defaultdict(list)

@@ -17,7 +17,12 @@ from repro.affiliates.app import AffiliateAppRuntime, AffiliateAppSpec
 from repro.iip.offerwall import OfferWallServer
 from repro.monitor.dataset import ObservedOffer
 from repro.monitor.fuzzer import FuzzReport, UiFuzzer
-from repro.net.client import CircuitBreaker, HttpClient, RetryPolicy
+from repro.net.client import (
+    CircuitBreaker,
+    HttpClient,
+    RetryPolicy,
+    TlsSessionCache,
+)
 from repro.net.errors import NetError, TlsError
 from repro.net.fabric import NetworkFabric
 from repro.net.proxy import MitmProxy
@@ -62,6 +67,7 @@ class Milker:
         obs: Optional[Observability] = None,
         retry_policy: Optional[RetryPolicy] = None,
         breaker: Optional[CircuitBreaker] = None,
+        session_cache: Optional[TlsSessionCache] = None,
     ) -> None:
         """``phone.trust_store`` must already contain ``mitm``'s CA
         certificate (the self-signed cert installed on the device).
@@ -69,7 +75,9 @@ class Milker:
         ``retry_policy`` and ``breaker`` (both optional) are handed to
         the measurement phone's HTTP client; the breaker is shared
         across milk runs so a persistently dead wall stays quarantined
-        until its half-open window elapses.
+        until its half-open window elapses.  ``session_cache`` (also
+        shared across runs) lets the phone resume TLS sessions with the
+        mitm proxy instead of re-handshaking per request.
         """
         self._fabric = fabric
         self.phone = phone
@@ -81,6 +89,7 @@ class Milker:
         self.obs = obs or fabric.obs
         self.retry_policy = retry_policy
         self.breaker = breaker
+        self.session_cache = session_cache
         if public_trust is not None:
             self.mitm.upstream_trust = public_trust
 
@@ -96,6 +105,8 @@ class Milker:
             "breaker": (None if self.breaker is None
                         else self.breaker.state_dict()),
             "mitm": self.mitm.state_dict(),
+            "session_cache": (None if self.session_cache is None
+                              else self.session_cache.state_dict()),
         }
 
     def load_state(self, state: dict) -> None:
@@ -104,6 +115,9 @@ class Milker:
         if self.breaker is not None and state["breaker"] is not None:
             self.breaker.load_state(state["breaker"])
         self.mitm.load_state(state["mitm"])
+        if self.session_cache is not None \
+                and state.get("session_cache") is not None:
+            self.session_cache.load_state(state["session_cache"])
 
     def milk(self, spec: AffiliateAppSpec, day: int,
              country: Optional[str] = None,
@@ -150,7 +164,8 @@ class Milker:
             self._fabric, self.phone.endpoint, self.phone.trust_store,
             self._rng, proxy=(self.mitm.hostname, self.mitm.port),
             obs=obs, retry_policy=self.retry_policy,
-            breaker=self.breaker)
+            breaker=self.breaker,
+            session_cache=self.session_cache, today=day)
         self.mitm.clear()
         try:
             runtime = AffiliateAppRuntime(spec, client, self._walls)

@@ -33,6 +33,7 @@ from repro.net.server import HTTPS_PORT
 from repro.net.tls import TlsClientSession, TrustStore
 from repro.obs import Observability
 from repro.parallel.flow import current_flow
+from repro.parallel.hashing import stable_hash
 
 #: Response statuses worth retrying (rate limits and server-side faults).
 RETRIABLE_STATUSES: Tuple[int, ...] = (429, 500, 502, 503, 504)
@@ -322,6 +323,13 @@ class HttpClient:
         self.retry_policy = retry_policy
         self.breaker = breaker
         self.session_cache = session_cache
+        #: Read-only *resumption templates*: ``host -> (day, ticket,
+        #: enc_key, mac_key)``, installed by :meth:`prime_resumption`.
+        #: Unlike the per-flow session cache, a template is never
+        #: mutated by use — each request derives its resumption counter
+        #: from its own flow — so a template shared across concurrent
+        #: shard tasks leaks no ordering between them.
+        self.resume_templates: Dict[str, Tuple[int, bytes, bytes, bytes]] = {}
         if breaker is not None and breaker.obs is None:
             breaker.obs = self.obs
 
@@ -339,12 +347,16 @@ class HttpClient:
         own breaker and session cache, keeping circuit and resumption
         state shard-local.
         """
-        return HttpClient(
+        clone = HttpClient(
             self.fabric, self.endpoint, self.trust_store, rng,
             proxy=self.proxy, pinned_fingerprints=self.pinned_fingerprints,
             today=self.today, obs=obs or self.obs,
             retry_policy=self.retry_policy, breaker=breaker,
             session_cache=session_cache or self.session_cache)
+        # Shared by reference: templates are written only between task
+        # phases (by the owner) and read during tasks.
+        clone.resume_templates = self.resume_templates
+        return clone
 
     # -- checkpoint/restore ---------------------------------------------------
 
@@ -517,7 +529,7 @@ class HttpClient:
         otherwise handshake in full (and bank the ticket for next time)."""
         metrics = self.obs.metrics
         cache = self.session_cache
-        flow = (current_flow() or "") if cache is not None else ""
+        flow = current_flow() or ""
         claimed = (cache.checkout(host, self.today, flow)
                    if cache is not None else None)
         if claimed is not None:
@@ -538,6 +550,24 @@ class HttpClient:
                 raise
             metrics.inc("net.client.tls_resumptions", host=host)
             return response
+        template = self.resume_templates.get(host)
+        if template is not None:
+            day, ticket, enc_key, mac_key = template
+            # The counter is a pure function of the request's flow, so
+            # concurrent tasks resuming off one template never observe
+            # each other (and the server derives keys statelessly).
+            counter = stable_hash("resume", host, day, flow) % (1 << 32)
+            session = TlsClientSession.resume(
+                connection, host, ticket, enc_key, mac_key, counter)
+            try:
+                response = HttpResponse.from_bytes(
+                    session.send(request.to_bytes()))
+            except TlsError as exc:
+                metrics.inc("net.client.tls_resume_failures", host=host,
+                            error=type(exc).__name__)
+                raise
+            metrics.inc("net.client.tls_resumptions", host=host)
+            return response
         session = self._handshake(connection, host)
         if (cache is not None and session.session_ticket is not None
                 and session.base_keys is not None):
@@ -550,6 +580,43 @@ class HttpClient:
             if cache is not None:
                 cache.invalidate_host(host)
             raise
+
+    def prime_resumption(self, host: str, day: int,
+                         port: int = HTTPS_PORT) -> bool:
+        """Handshake once and bank a read-only resumption template for
+        ``host``, replacing any previous day's.  Fan-out callers (the
+        crawler's per-task clients all talk to one store host) prime at
+        the start of a phase so every task resumes in a single flight
+        instead of re-handshaking.  Opportunistic: a failed priming
+        leaves no template and the tasks fall back to full handshakes.
+        Returns True when a template for ``(host, day)`` is installed.
+        """
+        current = self.resume_templates.get(host)
+        if current is not None and current[0] == day:
+            return True
+        self.resume_templates.pop(host, None)
+        try:
+            connection = self.fabric.connect(self.endpoint, host, port)
+        except NetError:
+            return False
+        try:
+            session = self._handshake(connection, host)
+        except (NetError, TlsError):
+            return False
+        finally:
+            connection.close()
+        if session.session_ticket is None or session.base_keys is None:
+            return False
+        enc_key, mac_key = session.base_keys
+        self.install_template(host, day, session.session_ticket,
+                              enc_key, mac_key)
+        return True
+
+    def install_template(self, host: str, day: int, ticket: bytes,
+                         enc_key: bytes, mac_key: bytes) -> None:
+        """Install a resumption template minted elsewhere (a process
+        worker receives the parent's template by broadcast)."""
+        self.resume_templates[host] = (day, ticket, enc_key, mac_key)
 
     # -- instrumentation -------------------------------------------------------
 

@@ -64,6 +64,11 @@ class ConnectionHandler:
 HandlerFactory = Callable[[ConnectionInfo], ConnectionHandler]
 TapCallback = Callable[["Frame"], None]
 
+#: Pre-computed label keys for the two per-frame counters (see
+#: ``MetricsRegistry.inc_keyed``).
+_REQUEST_LABELS = (("direction", "request"),)
+_RESPONSE_LABELS = (("direction", "response"),)
+
 
 @dataclass(frozen=True)
 class Frame:
@@ -93,25 +98,18 @@ class Connection:
     def roundtrip(self, data: bytes) -> bytes:
         if self._closed:
             raise NetError("connection is closed")
-        self._fabric._observe(Frame(
-            source=self._info.client_address,
-            destination_host=self._info.server_host,
-            destination_port=self._info.server_port,
-            direction="request",
-            payload=data,
-        ))
+        info = self._info
+        self._fabric._observe_wire(
+            info.client_address, info.server_host, info.server_port,
+            "request", data)
         reply = self._handler.on_data(data)
         if not isinstance(reply, bytes):
             raise NetError(f"handler returned non-bytes: {type(reply).__name__}")
         # The fabric may corrupt response frames under chaos; what the
         # taps observe is what the client actually receives.
-        return self._fabric._observe(Frame(
-            source=self._info.client_address,
-            destination_host=self._info.server_host,
-            destination_port=self._info.server_port,
-            direction="response",
-            payload=reply,
-        ))
+        return self._fabric._observe_wire(
+            info.client_address, info.server_host, info.server_port,
+            "response", reply)
 
     def close(self) -> None:
         if not self._closed:
@@ -225,32 +223,40 @@ class NetworkFabric:
         self._taps = [tap for tap in self._taps if tap is not callback]
 
     def _observe(self, frame: Frame) -> bytes:
+        """Record one wire frame; returns the payload actually delivered."""
+        return self._observe_wire(frame.source, frame.destination_host,
+                                  frame.destination_port, frame.direction,
+                                  frame.payload)
+
+    def _observe_wire(self, source: IPv4Address, host: str, port: int,
+                      direction: str, payload: bytes) -> bytes:
         """Record one wire frame; returns the payload actually delivered.
 
         Response frames consult the chaos plan, which may hand back a
         truncated copy — the taps then observe the corrupted frame, as a
-        real packet capture would.
+        real packet capture would.  The :class:`Frame` object itself is
+        only materialised when a tap is attached; the metrics path uses
+        pre-computed label keys (two counters for every frame on the
+        wire make this the hottest recording site in the repo).
         """
-        if frame.direction == "response":
-            corrupted = self.chaos.corrupt_frame(frame.destination_host,
-                                                 frame.payload)
+        if direction == "response":
+            corrupted = self.chaos.corrupt_frame(host, payload)
             if corrupted is not None:
-                self.obs.metrics.inc("net.fabric.frames_corrupted",
-                                     host=frame.destination_host)
-                frame = Frame(
-                    source=frame.source,
-                    destination_host=frame.destination_host,
-                    destination_port=frame.destination_port,
-                    direction=frame.direction,
-                    payload=corrupted,
-                )
+                self.obs.metrics.inc("net.fabric.frames_corrupted", host=host)
+                payload = corrupted
+            labels = _RESPONSE_LABELS
+        else:
+            labels = _REQUEST_LABELS
         metrics = self.obs.metrics
-        metrics.inc("net.fabric.frames", direction=frame.direction)
-        metrics.inc("net.fabric.bytes", len(frame.payload),
-                    direction=frame.direction)
-        for tap in self._taps:
-            tap(frame)
-        return frame.payload
+        metrics.inc_keyed("net.fabric.frames", labels)
+        metrics.inc_keyed("net.fabric.bytes", labels, len(payload))
+        if self._taps:
+            frame = Frame(source=source, destination_host=host,
+                          destination_port=port, direction=direction,
+                          payload=payload)
+            for tap in self._taps:
+                tap(frame)
+        return payload
 
     # -- fault injection -------------------------------------------------------
 

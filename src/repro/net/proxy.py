@@ -17,6 +17,7 @@ import random
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.net.client import TlsSessionCache
 from repro.net.errors import HttpProtocolError, NetError
 from repro.net.fabric import (
     Connection,
@@ -30,6 +31,7 @@ from repro.net.ip import IPv4Address
 from repro.net.tls import (
     CertificateAuthority,
     ServerIdentity,
+    ServerSessionStore,
     TlsClientSession,
     TlsServerHandler,
     TrustStore,
@@ -138,7 +140,14 @@ class _MitmInnerHandler(ConnectionHandler):
 
     def on_data(self, data: bytes) -> bytes:
         request = HttpRequest.from_bytes(data)
-        response_bytes = self._upstream.send(data)
+        try:
+            response_bytes = self._upstream.send(data)
+        except NetError:
+            # Mirror the HTTP client's cache semantics: any failure on
+            # the upstream leg drops the host's resumption state so the
+            # retry (a fresh connection) re-handshakes in full.
+            self._proxy.upstream_sessions.invalidate_host(self._host)
+            raise
         response = HttpResponse.from_bytes(response_bytes)
         self._proxy._log_exchange(InterceptedExchange(
             host=self._host,
@@ -221,6 +230,16 @@ class MitmProxy:
         #: proxy (e.g. a VPN country exit), so origin servers see the
         #: exit's address -- how the paper milked from eight countries.
         self.upstream_proxy = upstream_proxy
+        #: Ticket table for the client-facing leg: devices that carry a
+        #: :class:`~repro.net.client.TlsSessionCache` resume against the
+        #: minted impersonation identities in one flight.
+        self.sessions = ServerSessionStore()
+        #: Ticket cache for the upstream leg: one full handshake per
+        #: (host, day), every later intercepted connection that day
+        #: resumes.  Flow-keyed with the empty flow — the proxy is
+        #: per-cell state, serialised inside its shard bucket, so the
+        #: reuse order is deterministic.
+        self.upstream_sessions = TlsSessionCache()
         self.intercepted: List[InterceptedExchange] = []
         fabric.register_host(hostname, address)
         fabric.listen(hostname, port, lambda info: _MitmHandler(info, self))
@@ -249,6 +268,8 @@ class MitmProxy:
             "identities": {
                 host: identity_to_state(identity)
                 for host, identity in sorted(self._identity_cache.items())},
+            "sessions": self.sessions.state_dict(),
+            "upstream_sessions": self.upstream_sessions.state_dict(),
         }
 
     def load_state(self, state: dict) -> None:
@@ -259,6 +280,10 @@ class MitmProxy:
         self._identity_cache = {
             str(host): identity_from_state(data)
             for host, data in state["identities"].items()}
+        if "sessions" in state:
+            self.sessions.load_state(state["sessions"])
+        if "upstream_sessions" in state:
+            self.upstream_sessions.load_state(state["upstream_sessions"])
         self.intercepted.clear()
 
     # -- internals ----------------------------------------------------------
@@ -290,8 +315,7 @@ class MitmProxy:
                             port: int) -> TlsServerHandler:
         self.obs.metrics.inc("net.proxy.intercept_sessions", host=host)
         upstream_connection = self._connect_upstream(host, port)
-        upstream_session = TlsClientSession(
-            upstream_connection, host, self.upstream_trust, self._rng)
+        upstream_session = self._open_upstream(upstream_connection, host)
         identity = self._identity_cache.get(host)
         if identity is None:
             identity = issue_server_identity(self.ca, host, self._rng)
@@ -303,7 +327,27 @@ class MitmProxy:
             lambda inner_info: _MitmInnerHandler(
                 inner_info, upstream_session, host, port, self),
             self._rng,
+            session_store=self.sessions,
         )
+
+    def _open_upstream(self, connection: Connection,
+                       host: str) -> TlsClientSession:
+        """TLS to the real server: resume with a banked same-day ticket
+        when there is one, otherwise handshake in full and bank it."""
+        day = self._today()
+        claimed = self.upstream_sessions.checkout(host, day, "")
+        if claimed is not None:
+            ticket, enc_key, mac_key, counter = claimed
+            self.obs.metrics.inc("net.proxy.upstream_resumptions", host=host)
+            return TlsClientSession.resume(
+                connection, host, ticket, enc_key, mac_key, counter)
+        session = TlsClientSession(
+            connection, host, self.upstream_trust, self._rng)
+        if session.session_ticket is not None and session.base_keys is not None:
+            enc_key, mac_key = session.base_keys
+            self.upstream_sessions.store(
+                host, day, "", session.session_ticket, enc_key, mac_key)
+        return session
 
 
 __all__ = ["ForwardProxy", "InterceptedExchange", "MitmProxy", "NetError"]

@@ -498,22 +498,62 @@ class ServerIdentity:
         return self.chain[0]
 
 
+#: ``server_random`` placeholder for pre-serialised hello templates.
+#: "@" is not a hex digit, so a generated 32-hex-char random can never
+#: collide with it.
+_HELLO_PLACEHOLDER = "@" * 32
+
+
+def _server_hello_template(identity: ServerIdentity) -> Optional[Tuple[str, str]]:
+    """(prefix, suffix) around the ``server_random`` value in this
+    identity's serialised server_hello, or ``None`` if splicing is not
+    provably safe.  The chain dominates the message and never changes
+    for a given identity, so serialising it on every handshake is pure
+    waste; the spliced output is byte-identical to a fresh
+    ``json.dumps`` because the random is a fixed-width hex string.
+    """
+    template = getattr(identity, "_hello_template", False)
+    if template is not False:
+        return template
+    text = json.dumps({
+        "type": "server_hello",
+        "server_random": _HELLO_PLACEHOLDER,
+        "chain": [certificate.to_json() for certificate in identity.chain],
+    }, sort_keys=True)
+    marker = '"server_random": "' + _HELLO_PLACEHOLDER + '"'
+    if text.count(marker) == 1:
+        prefix, suffix = text.split(marker)
+        template = (prefix + '"server_random": "', '"' + suffix)
+    else:  # a certificate field contains the marker; don't splice
+        template = None
+    identity._hello_template = template  # type: ignore[attr-defined]
+    return template
+
+
 def identity_to_state(identity: ServerIdentity) -> Dict[str, object]:
     """JSON form of a minted identity (checkpointing mitm caches)."""
-    return {
+    state = {
         "chain": [cert.to_json() for cert in identity.chain],
         "private_modulus": f"{identity.private_key.modulus:x}",
         "private_exponent": f"{identity.private_key.exponent:x}",
     }
+    if identity.private_key.prime_p is not None:
+        state["private_primes"] = [f"{identity.private_key.prime_p:x}",
+                                   f"{identity.private_key.prime_q:x}"]
+    return state
 
 
 def identity_from_state(state: Dict[str, object]) -> ServerIdentity:
+    primes = state.get("private_primes")  # type: ignore[union-attr]
+    prime_p = int(str(primes[0]), 16) if primes else None
+    prime_q = int(str(primes[1]), 16) if primes else None
     return ServerIdentity(
         chain=[Certificate.from_json(data)
                for data in state["chain"]],  # type: ignore[union-attr]
         private_key=crypto.RsaPrivateKey(
             modulus=int(str(state["private_modulus"]), 16),
-            exponent=int(str(state["private_exponent"]), 16)),
+            exponent=int(str(state["private_exponent"]), 16),
+            prime_p=prime_p, prime_q=prime_q),
     )
 
 
@@ -568,6 +608,11 @@ class TlsServerHandler(ConnectionHandler):
         self._client_random = bytes.fromhex(str(message["client_random"]))
         self._server_random = self._rng.getrandbits(128).to_bytes(16, "big")
         self._state = "expect_key_exchange"
+        template = _server_hello_template(self._identity)
+        if template is not None:
+            prefix, suffix = template
+            return _HANDSHAKE_MAGIC + (
+                prefix + self._server_random.hex() + suffix).encode("utf-8")
         return _handshake_message({
             "type": "server_hello",
             "server_random": self._server_random.hex(),

@@ -28,7 +28,17 @@ DEFAULT_BUCKETS: Tuple[float, ...] = (
 
 
 def label_key(labels: Mapping[str, object]) -> LabelItems:
-    """Canonical, hashable form of a label set."""
+    """Canonical, hashable form of a label set.
+
+    The no-label and single-label cases — the overwhelming majority of
+    recording calls on the hot network path — skip the sort; the result
+    is identical to the general branch.
+    """
+    if not labels:
+        return ()
+    if len(labels) == 1:
+        ((key, value),) = labels.items()
+        return ((key, value if type(value) is str else str(value)),)
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
 
 
@@ -236,6 +246,18 @@ class MetricsRegistry:
             series = self._counters.setdefault(name, {})
             series[key] = series.get(key, 0) + value
 
+    def inc_keyed(self, name: str, key: LabelItems, value: Number = 1) -> None:
+        """`inc` with a pre-computed :func:`label_key` tuple.
+
+        Hot callers (the fabric observes two counters per wire frame)
+        pass a module-level constant key instead of rebuilding the same
+        kwargs dict and sorting it on every call.
+        """
+        self._tick()
+        with self._lock:
+            series = self._counters.setdefault(name, {})
+            series[key] = series.get(key, 0) + value
+
     def set_gauge(self, name: str, value: Number, **labels: object) -> None:
         self._tick()
         with self._lock:
@@ -401,6 +423,9 @@ class NullMetricsRegistry(MetricsRegistry):
         return False
 
     def inc(self, name: str, value: Number = 1, **labels: object) -> None:
+        pass
+
+    def inc_keyed(self, name: str, key: LabelItems, value: Number = 1) -> None:
         pass
 
     def set_gauge(self, name: str, value: Number, **labels: object) -> None:

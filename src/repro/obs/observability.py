@@ -56,6 +56,48 @@ class Observability:
                            parent_id=self.tracer.current_span_id)
         self.ops.advance(other.ops.value)
 
+    # -- delta capture (process-backend obs shipping) -------------------------
+
+    def begin_delta(self) -> object:
+        """Start capturing subsequent recordings into a detachable
+        *delta* registry.
+
+        Process-backend shard workers run tasks against a full world
+        replica: client-level metrics land in the task-local context
+        (shipped back whole), but fabric/server counters land in the
+        replica world's context, which the parent never sees.  A worker
+        brackets each task with ``begin_delta``/``collect_delta`` to
+        capture exactly those world-side recordings and ship them back
+        as plain state.  The delta registry shares this context's op
+        counter, so op ticks behave exactly as without the bracket.
+        """
+        original = self.metrics
+        delta = MetricsRegistry(counter=self.ops)
+        delta._histogram_bounds = dict(original._histogram_bounds)
+        self.metrics = delta
+        return (original, delta, self.ops.value)
+
+    def collect_delta(self, token: object) -> Dict[str, object]:
+        """Stop a :meth:`begin_delta` capture; returns the picklable
+        delta (metrics state + op ticks) and folds it back into this
+        context so the local view stays complete."""
+        original, delta, ops_before = token  # type: ignore[misc]
+        ops_delta = self.ops.value - ops_before
+        self.metrics = original
+        original.merge(delta)
+        return {"ops": ops_delta, "metrics": delta.state_dict()}
+
+    def apply_delta(self, delta_state: Dict[str, object]) -> None:
+        """Fold a shipped :meth:`collect_delta` payload into this
+        context: counters/histograms sum in, gauges last-write, and the
+        op counter advances by the ticks the capture recorded —
+        commutative, so applying per-task deltas in canonical merge
+        order reproduces the serial op totals exactly."""
+        registry = MetricsRegistry()
+        registry.load_state(delta_state["metrics"])  # type: ignore[arg-type]
+        self.metrics.merge(registry)
+        self.ops.advance(int(delta_state["ops"]))  # type: ignore[arg-type]
+
     def snapshot(self) -> Dict[str, object]:
         return {
             "metrics": self.metrics.snapshot(),

@@ -20,15 +20,34 @@ serial run:
   per-task ``Observability`` contexts) in a canonical order.
 """
 
+from repro.parallel.envelope import (
+    apply_domain_deltas,
+    apply_world_deltas,
+    is_envelope,
+    unwrap_result,
+)
 from repro.parallel.flow import current_flow, flow_scope
 from repro.parallel.hashing import derive_rng, derive_seed, stable_hash
-from repro.parallel.scheduler import ShardScheduler
+from repro.parallel.procpool import (
+    ProcessWorkerPool,
+    WorkerHostSpec,
+    WorkerTaskError,
+)
+from repro.parallel.scheduler import BACKENDS, ShardScheduler
 
 __all__ = [
+    "BACKENDS",
+    "ProcessWorkerPool",
     "ShardScheduler",
+    "WorkerHostSpec",
+    "WorkerTaskError",
+    "apply_domain_deltas",
+    "apply_world_deltas",
     "current_flow",
     "derive_rng",
     "derive_seed",
     "flow_scope",
+    "is_envelope",
     "stable_hash",
+    "unwrap_result",
 ]

@@ -2,9 +2,30 @@
 
 ``ShardScheduler.run`` takes ``(shard_key, thunk)`` pairs, partitions
 them into ``shards`` buckets by :func:`stable_hash` of the key, runs
-each bucket's thunks **in input order** (buckets execute concurrently
-on a thread pool when ``shards > 1``, serially otherwise), and returns
-the results in input order.
+each bucket's thunks **in input order**, and returns the results in
+input order.  ``run_specs`` is the payload-based twin that every
+backend supports (closures cannot cross a process boundary).
+
+Backends:
+
+``serial``
+    Everything runs inline on the calling thread, in input order.
+``thread``
+    Buckets run concurrently on a ``ThreadPoolExecutor`` (the default;
+    shards=1 degenerates to serial).
+``process``
+    Each task's payload ships to a persistent spawn-context worker
+    process (see :mod:`repro.parallel.procpool`).  Keys are *pinned*
+    first-seen round-robin: all tasks with one key run on one worker,
+    in input order, for the scheduler's whole lifetime — so stateful
+    cells (a milk country's RNG/breaker/mitm) evolve exactly as they
+    would inline.  Workers are bootstrapped from a picklable
+    :class:`~repro.parallel.procpool.WorkerHostSpec`, and results come
+    back as plain pickled state merged post-barrier in input order.
+    The pool holds ``min(shards, cores)`` processes: replicas are
+    expensive to bootstrap, and because pinning + canonical-order
+    merging make results worker-count-invariant, shrinking the pool
+    never changes a byte of output.
 
 Determinism contract — why a sharded run equals the serial run:
 
@@ -17,44 +38,129 @@ Determinism contract — why a sharded run equals the serial run:
 * tasks that do not share state must be self-contained: own RNG
   (:func:`repro.parallel.hashing.derive_rng`), own client, own
   per-task ``Observability`` — the caller merges those in canonical
-  order after ``run`` returns, at which point thread interleaving has
-  no surviving trace.
+  order after ``run`` returns, at which point thread or process
+  interleaving has no surviving trace.
+
+Error contract: a raising task aborts the rest of its bucket; once
+every bucket has drained, the exception from the **lowest task input
+index** is raised, with any other buckets' failures chained onto it via
+``__context__`` (deterministic regardless of which bucket finished
+first).
 """
 
 from __future__ import annotations
 
+import os
 from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, List, Sequence, Tuple, TypeVar
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
 from repro.parallel.hashing import stable_hash
+from repro.parallel.procpool import ProcessWorkerPool, WorkerHostSpec
 
 T = TypeVar("T")
 
 Task = Tuple[object, Callable[[], T]]
 
+BACKENDS = ("serial", "thread", "process")
+
+
+def _raise_chained(failures: List[Tuple[int, BaseException]]) -> None:
+    """Raise the lowest-input-index failure, chaining the rest."""
+    failures.sort(key=lambda item: item[0])
+    exceptions = [exc for _, exc in failures]
+    for earlier, later in zip(exceptions, exceptions[1:]):
+        earlier.__context__ = later
+    raise exceptions[0]
+
 
 class ShardScheduler:
     """Partitions keyed tasks into stable-hash shards and runs them."""
 
-    def __init__(self, shards: int = 1) -> None:
+    def __init__(self, shards: int = 1, backend: str = "thread",
+                 worker_host: Optional[WorkerHostSpec] = None,
+                 workers: Optional[int] = None) -> None:
         if shards < 1:
             raise ValueError("shards must be at least 1")
+        if backend not in BACKENDS:
+            raise ValueError(f"unknown backend {backend!r}; "
+                             f"expected one of {BACKENDS}")
+        if backend == "process" and worker_host is None:
+            raise ValueError("process backend requires a worker_host spec")
+        if workers is not None and workers < 1:
+            raise ValueError("workers must be at least 1")
         self.shards = shards
+        self.backend = backend
+        #: Physical process count.  Shards are the *logical* determinism
+        #: unit; a worker replica's bootstrap (world rebuild + scenario
+        #: replay) is pure overhead, so by default the pool never exceeds
+        #: the machine's cores.  Results are worker-count-invariant:
+        #: pinning keeps every key's task stream in input order on one
+        #: worker regardless of how many workers exist, and the merge
+        #: runs in canonical input order either way.
+        self.workers = workers or min(shards, os.cpu_count() or 1)
+        self._worker_host = worker_host
+        self._pool: Optional[ProcessWorkerPool] = None
+        #: ``(salt, key) -> shard`` memo: keys repeat run after run
+        #: (same countries every milk day, same packages every crawl),
+        #: so the stable hash is computed once per distinct key.
+        self._shard_cache: Dict[Tuple[str, object], int] = {}
+        #: ``key -> worker index`` pins (process backend), first-seen
+        #: round-robin.  Input order is deterministic, so the pinning —
+        #: and therefore each worker's task stream — is too.
+        self._pins: Dict[object, int] = {}
 
     def shard_of(self, key: object, salt: str = "") -> int:
         """The shard index a key lands on (stable across runs)."""
-        return stable_hash("shard", salt, key) % self.shards
+        cache_key = (salt, key)
+        shard = self._shard_cache.get(cache_key)
+        if shard is None:
+            shard = stable_hash("shard", salt, key) % self.shards
+            self._shard_cache[cache_key] = shard
+        return shard
+
+    # -- process-backend plumbing ---------------------------------------------
+
+    def _worker_of(self, key: object) -> int:
+        worker = self._pins.get(key)
+        if worker is None:
+            worker = len(self._pins) % self.workers
+            self._pins[key] = worker
+        return worker
+
+    def _ensure_pool(self) -> ProcessWorkerPool:
+        if self._pool is None:
+            assert self._worker_host is not None
+            self._pool = ProcessWorkerPool(self.workers, self._worker_host)
+        return self._pool
+
+    def broadcast(self, payload: object) -> None:
+        """Advance every process worker's host state (e.g. a new
+        scenario day).  No-op for in-process backends, which see the
+        caller's state directly."""
+        if self.backend == "process":
+            self._ensure_pool().broadcast(payload)
+
+    def close(self) -> None:
+        """Shut down worker processes (no-op for in-process backends)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    # -- execution ------------------------------------------------------------
 
     def run(self, tasks: Sequence[Task], salt: str = "") -> List[T]:
-        """Execute the tasks; results come back in input order.
+        """Execute closure tasks; results come back in input order.
 
-        A raised exception in any task propagates to the caller after
-        every shard has drained (tasks are expected to capture their
-        own failures as return values).
+        Closures cannot cross a process boundary, so the process
+        backend rejects this entry point — callers there go through
+        :meth:`run_specs` with picklable payloads.
         """
+        if self.backend == "process":
+            raise ValueError(
+                "the process backend cannot run closures; use run_specs")
         results: List[T] = [None] * len(tasks)  # type: ignore[list-item]
 
-        if self.shards == 1 or len(tasks) <= 1:
+        if self.backend == "serial" or self.shards == 1 or len(tasks) <= 1:
             for index, (_, thunk) in enumerate(tasks):
                 results[index] = thunk()
             return results
@@ -64,19 +170,52 @@ class ShardScheduler:
         for index, (key, thunk) in enumerate(tasks):
             buckets[self.shard_of(key, salt)].append((index, thunk))
 
+        failures: List[Tuple[int, BaseException]] = []
+
         def drain(bucket: List[Tuple[int, Callable[[], T]]]) -> None:
             for index, thunk in bucket:
-                results[index] = thunk()
+                try:
+                    results[index] = thunk()
+                except Exception as exc:  # noqa: BLE001 - re-raised below
+                    failures.append((index, exc))
+                    return  # abort the rest of this bucket
 
         occupied = [bucket for bucket in buckets if bucket]
         with ThreadPoolExecutor(max_workers=self.shards) as pool:
-            futures = [pool.submit(drain, bucket) for bucket in occupied]
-            errors = []
-            for future in futures:
-                try:
-                    future.result()
-                except Exception as exc:  # noqa: BLE001 - re-raised below
-                    errors.append(exc)
+            for future in [pool.submit(drain, bucket) for bucket in occupied]:
+                future.result()
+        if failures:
+            _raise_chained(failures)
+        return results
+
+    def run_specs(self, specs: Sequence[Tuple[object, object]],
+                  local_runner: Callable[[object], T],
+                  salt: str = "") -> List[T]:
+        """Execute ``(shard_key, payload)`` specs; results in input order.
+
+        ``local_runner`` executes one payload against the caller's own
+        state (serial and thread backends).  The process backend ships
+        payloads to the pinned workers instead, where the worker host
+        interprets them against its replica state — so the two paths
+        must be written to be behaviourally identical (the determinism
+        tests enforce it end to end).
+        """
+        if self.backend != "process":
+            tasks: List[Task] = [
+                (key, (lambda payload=payload: local_runner(payload)))
+                for key, payload in specs]
+            return self.run(tasks, salt=salt)
+
+        results: List[T] = [None] * len(specs)  # type: ignore[list-item]
+        if not specs:
+            return results
+        batches: Dict[int, List[Tuple[int, object]]] = {}
+        for index, (key, payload) in enumerate(specs):
+            batches.setdefault(self._worker_of(key), []).append(
+                (index, payload))
+        by_index, errors = self._ensure_pool().run_batches(batches)
         if errors:
-            raise errors[0]
+            _raise_chained(list(errors))
+        for index, result in by_index.items():
+            results[index] = result
         return results

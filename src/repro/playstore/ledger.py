@@ -59,10 +59,16 @@ class InstallLedger:
         # package -> day -> source -> count
         self._daily: Dict[str, Dict[int, Dict[InstallSource, int]]] = (
             defaultdict(lambda: defaultdict(lambda: defaultdict(int))))
+        # package -> day -> gross count (all sources); derived mirror of
+        # ``_daily`` so the cumulative-total query the frontend runs on
+        # every profile render sums ints instead of per-source dicts.
+        self._gross: Dict[str, Dict[int, int]] = defaultdict(lambda: defaultdict(int))
         self._campaign_totals: Dict[str, int] = defaultdict(int)
         self._campaign_batches: Dict[str, List[InstallBatch]] = defaultdict(list)
         self._removed: Dict[Tuple[str, int], int] = defaultdict(int)
         # (package, day-removal-was-applied) -> count removed
+        self._removed_by_package: Dict[str, Dict[int, int]] = (
+            defaultdict(lambda: defaultdict(int)))
 
     # -- recording -----------------------------------------------------------
 
@@ -70,6 +76,7 @@ class InstallLedger:
         with self._lock:
             self._batches.append(batch)
             self._daily[batch.package][batch.day][batch.source] += batch.count
+            self._gross[batch.package][batch.day] += batch.count
             if batch.campaign_id is not None:
                 self._campaign_totals[batch.campaign_id] += batch.count
                 self._campaign_batches[batch.campaign_id].append(batch)
@@ -85,6 +92,7 @@ class InstallLedger:
             raise ValueError("removal count must be positive")
         with self._lock:
             self._removed[(package, day)] += count
+            self._removed_by_package[package][day] += count
 
     # -- checkpoint/restore ---------------------------------------------------
 
@@ -117,6 +125,49 @@ class InstallLedger:
             for key, count in state["removed"].items():  # type: ignore[union-attr]
                 package, day = split_key(key)
                 self._removed[(package, int(day))] = int(count)
+                self._removed_by_package[package][int(day)] = int(count)
+
+    # -- domain deltas (process-backend replicas) -----------------------------
+
+    def delta_cursor(self) -> Tuple[int, Dict[Tuple[str, int], int]]:
+        """A cursor into the append-only logs; see :meth:`collect_delta`."""
+        with self._lock:
+            return len(self._batches), dict(self._removed)
+
+    def collect_delta(self, cursor) -> Dict[str, object]:
+        """Everything recorded since ``cursor``, in the ``state_dict``
+        wire format.  Removal counts only ever grow, so the removal
+        delta is a per-key difference."""
+        from repro.recovery.state import join_key
+        count, removed_before = cursor
+        with self._lock:
+            return {
+                "batches": [
+                    [batch.package, batch.day, batch.source.value,
+                     batch.count, batch.campaign_id]
+                    for batch in self._batches[count:]],
+                "removed": {
+                    join_key(package, str(day)):
+                        total - removed_before.get((package, day), 0)
+                    for (package, day), total in sorted(self._removed.items())
+                    if total != removed_before.get((package, day), 0)},
+            }
+
+    def apply_delta(self, delta: Dict[str, object]) -> None:
+        """Replay a replica's delta; appends commute with local appends,
+        so applying campaign deltas in canonical order reproduces the
+        serial ledger exactly."""
+        from repro.recovery.state import split_key
+        for package, day, source, count, campaign_id in (
+                delta["batches"]):  # type: ignore[union-attr]
+            self.record(InstallBatch(
+                package=str(package), day=int(day),
+                source=InstallSource(source), count=int(count),
+                campaign_id=(None if campaign_id is None
+                             else str(campaign_id))))
+        for key, count in delta["removed"].items():  # type: ignore[union-attr]
+            package, day = split_key(key)
+            self.remove_installs(package, int(day), int(count))
 
     # -- queries -----------------------------------------------------------
 
@@ -132,12 +183,22 @@ class InstallLedger:
 
     def total_installs(self, package: str, through_day: Optional[int] = None) -> int:
         """Cumulative installs net of enforcement removals (floored at 0)."""
-        gross = sum(self.installs_by_source(package, through_day).values())
-        removed = sum(
-            count for (removed_package, removal_day), count in self._removed.items()
-            if removed_package == package
-            and (through_day is None or removal_day <= through_day)
-        )
+        days = self._gross.get(package)
+        if days is None:
+            gross = 0
+        elif through_day is None:
+            gross = sum(days.values())
+        else:
+            gross = sum(count for day, count in days.items()
+                        if day <= through_day)
+        removals = self._removed_by_package.get(package)
+        if removals is None:
+            removed = 0
+        elif through_day is None:
+            removed = sum(removals.values())
+        else:
+            removed = sum(count for day, count in removals.items()
+                          if day <= through_day)
         return max(0, gross - removed)
 
     def daily_installs(self, package: str, day: int) -> Dict[InstallSource, int]:
@@ -149,14 +210,17 @@ class InstallLedger:
     def installs_in_window(self, package: str, start_day: int,
                            end_day: int) -> int:
         """Gross installs over [start_day, end_day] inclusive (velocity)."""
-        days = self._daily.get(package)
+        days = self._gross.get(package)
         if not days:
             return 0
-        return sum(
-            sum(by_source.values())
-            for day, by_source in days.items()
-            if start_day <= day <= end_day
-        )
+        # A long-running app accumulates one entry per active day, so
+        # probe the (typically 7-day) window rather than scanning the
+        # whole history once the history is the bigger side.
+        if end_day - start_day + 1 < len(days):
+            return sum(days.get(day, 0)
+                       for day in range(start_day, end_day + 1))
+        return sum(count for day, count in days.items()
+                   if start_day <= day <= end_day)
 
     def campaign_installs(self, campaign_id: str) -> int:
         return self._campaign_totals.get(campaign_id, 0)
@@ -168,5 +232,5 @@ class InstallLedger:
         return sorted(self._daily)
 
     def removals_for(self, package: str) -> int:
-        return sum(count for (removed_package, _), count in self._removed.items()
-                   if removed_package == package)
+        removals = self._removed_by_package.get(package)
+        return sum(removals.values()) if removals else 0

@@ -79,6 +79,7 @@ class PlayStore:
         """The profile page payload, as the crawler scrapes it."""
         listing = self.catalog.get(package)
         developer = listing.developer
+        total = self.ledger.total_installs(package, day)
         return {
             "package": listing.package,
             "title": listing.title,
@@ -87,8 +88,8 @@ class PlayStore:
             "price_usd": listing.price_usd,
             "has_in_app_purchases": listing.has_in_app_purchases,
             "release_day": listing.release_day,
-            "installs_floor": self.displayed_installs(package, day),
-            "installs_label": bin_label(self.ledger.total_installs(package, day)),
+            "installs_floor": bin_floor(total),
+            "installs_label": bin_label(total),
             "developer": {
                 "id": developer.developer_id,
                 "name": developer.name,

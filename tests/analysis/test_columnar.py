@@ -1,0 +1,117 @@
+"""ColumnarFrame must agree with the per-record loops it replaced.
+
+The analysis layer swapped per-record Python scans for single-pass
+columnar index maps; these property tests drive both implementations
+over seeded random record sets and require bit-identical answers —
+including ordering (group keys in first-seen order, distinct sorted),
+which the deterministic exports depend on.
+"""
+
+import random
+from dataclasses import dataclass
+
+import pytest
+
+from repro.analysis.columnar import ColumnarFrame
+
+
+@dataclass(frozen=True)
+class Record:
+    package: str
+    country: str
+    day: int
+    payout: float
+
+
+def make_records(seed: int, count: int = 300):
+    rng = random.Random(seed)
+    packages = [f"com.app{i}" for i in range(12)]
+    countries = ["US", "IN", "BR", "DE"]
+    return [
+        Record(package=rng.choice(packages),
+               country=rng.choice(countries),
+               day=rng.randrange(0, 40),
+               payout=round(rng.uniform(0.01, 2.0), 4))
+        for _ in range(count)]
+
+
+FIELDS = ("package", "country", "day", "payout")
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+class TestColumnarMatchesPerRecordLoops:
+    def test_filter_eq_matches_loop(self, seed):
+        records = make_records(seed)
+        frame = ColumnarFrame.from_records(records, FIELDS)
+        got = frame.filter_eq(country="US")
+        want = [r for r in records if r.country == "US"]
+        assert got.column("package") == [r.package for r in want]
+        assert got.column("day") == [r.day for r in want]
+
+    def test_stacked_filters_match_loop(self, seed):
+        records = make_records(seed)
+        frame = ColumnarFrame.from_records(records, FIELDS)
+        target = records[0]
+        got = frame.filter_eq(package=target.package, country=target.country)
+        want = [r for r in records if r.package == target.package
+                and r.country == target.country]
+        assert got.column("payout") == [r.payout for r in want]
+
+    def test_group_indexes_match_loop_with_first_seen_order(self, seed):
+        records = make_records(seed)
+        frame = ColumnarFrame.from_records(records, FIELDS)
+        want = {}
+        for i, record in enumerate(records):
+            want.setdefault(record.package, []).append(i)
+        got = frame.group_indexes("package")
+        assert got == want
+        assert list(got) == list(want)  # first-seen key order, exactly
+
+    def test_group_by_preserves_row_order_within_groups(self, seed):
+        records = make_records(seed)
+        frame = ColumnarFrame.from_records(records, FIELDS)
+        for package, group in frame.group_by("package").items():
+            want = [r for r in records if r.package == package]
+            assert group.column("day") == [r.day for r in want]
+            assert group.column("payout") == [r.payout for r in want]
+
+    def test_group_min_max_matches_loop(self, seed):
+        records = make_records(seed)
+        frame = ColumnarFrame.from_records(records, FIELDS)
+        want = {}
+        for record in records:
+            low, high = want.get(record.package,
+                                 (record.day, record.day))
+            want[record.package] = (min(low, record.day),
+                                    max(high, record.day))
+        assert frame.group_min_max("package", "day", "day") == want
+
+    def test_distinct_matches_sorted_set(self, seed):
+        records = make_records(seed)
+        frame = ColumnarFrame.from_records(records, FIELDS)
+        assert frame.distinct("country") == sorted(
+            {r.country for r in records})
+
+    def test_filter_by_predicate_matches_loop(self, seed):
+        records = make_records(seed)
+        frame = ColumnarFrame.from_records(records, FIELDS)
+        got = frame.filter_by("day", lambda day: day >= 20)
+        want = [r for r in records if r.day >= 20]
+        assert list(got.rows("package", "day")) == [
+            (r.package, r.day) for r in want]
+
+
+class TestFrameShape:
+    def test_ragged_columns_rejected(self):
+        with pytest.raises(ValueError, match="ragged"):
+            ColumnarFrame({"a": [1, 2], "b": [1]})
+
+    def test_empty_frame(self):
+        frame = ColumnarFrame({"a": [], "b": []})
+        assert len(frame) == 0
+        assert frame.distinct("a") == []
+        assert frame.group_indexes("a") == {}
+
+    def test_select_reorders(self):
+        frame = ColumnarFrame({"v": [10, 20, 30]})
+        assert frame.select([2, 0]).column("v") == [30, 10]

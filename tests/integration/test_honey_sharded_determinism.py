@@ -22,10 +22,10 @@ INSTALLS = 120
 
 
 def run_honey(shards: int, chaos: ChaosScenario = None,
-              tls_resumption: bool = True):
+              tls_resumption: bool = True, backend: str = "thread"):
     world = World(seed=SEED, obs=Observability(), chaos=chaos)
     experiment = HoneyAppExperiment(world, installs_per_iip=INSTALLS,
-                                    shards=shards,
+                                    shards=shards, backend=backend,
                                     tls_resumption=tls_resumption)
     results = experiment.run()
     return world, results
@@ -61,6 +61,45 @@ class TestHoneyShardedDeterminism:
         assert to_json(world_3.obs) == to_json(world_1.obs)
         assert (render_honey_report(results_3)
                 == render_honey_report(results_1))
+
+    def test_process_backend_matches_serial_byte_for_byte(self):
+        # Campaigns *write* shared domain state (installs, telemetry,
+        # money, enforcement), so this also pins the domain-delta
+        # replay: the parent world must end up with the exact ledgers a
+        # serial run produces, not just the same obs export.
+        world_1, results_1 = run_honey(1, backend="serial")
+        world_p, results_p = run_honey(4, backend="process")
+        assert to_json(world_p.obs) == to_json(world_1.obs)
+        assert (render_honey_report(results_p)
+                == render_honey_report(results_1))
+        assert (results_p.displayed_installs_after
+                == results_1.displayed_installs_after)
+        assert (results_p.enforcement_actions
+                == results_1.enforcement_actions)
+        assert (len(world_p.telemetry.events)
+                == len(world_1.telemetry.events))
+        assert (world_p.money.state_dict()
+                == world_1.money.state_dict())
+        assert (world_p.mediator.total_conversions
+                == world_1.mediator.total_conversions)
+        assert (world_p.store.ledger.state_dict()
+                == world_1.store.ledger.state_dict())
+
+    @pytest.mark.chaos
+    def test_process_backend_matches_serial_under_chaos(self):
+        chaos = ChaosScenario.profile("paper", seed=7)
+        world_1, results_1 = run_honey(1, chaos=chaos, backend="serial")
+        world_p, results_p = run_honey(4, chaos=chaos, backend="process")
+        assert to_json(world_p.obs) == to_json(world_1.obs)
+        assert (render_honey_report(results_p)
+                == render_honey_report(results_1))
+
+    def test_recovery_rejects_process_backend(self):
+        world = World(seed=SEED, obs=Observability())
+        experiment = HoneyAppExperiment(world, installs_per_iip=INSTALLS,
+                                        backend="process")
+        with pytest.raises(ValueError, match="in-process backend"):
+            experiment.run(recovery=object())
 
     def test_resumption_does_not_change_results(self):
         _, results_on = run_honey(1, tls_resumption=True)

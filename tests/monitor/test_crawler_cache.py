@@ -131,7 +131,9 @@ class TestOfferPageCapture:
         captured = crawler.capture_offer_pages(impressions, day=0)
         assert captured == 5
         assert crawler.requests_made == 2        # one per unique package
-        assert play_connections(fabric) == 2
+        # One connection per unique package plus the day's resumption-
+        # template priming handshake.
+        assert play_connections(fabric) == 3
         assert crawler.cache_hits == 3           # the collapsed duplicates
         total = crawler.obs.metrics.counter_total
         assert total("monitor.offer_pages") == 5
@@ -166,9 +168,10 @@ class TestCrawlEverything:
         _, _, crawler, fabric = rig
         crawler.crawl_everything(
             ["com.app.alpha", "com.app.beta", "com.app.alpha"], day=0)
-        # 3 charts + 2 unique profiles = 5 wire requests, not 6.
+        # 3 charts + 2 unique profiles = 5 wire requests, not 6 (plus
+        # one non-request connection for the template priming handshake).
         assert crawler.requests_made == 5
-        assert play_connections(fabric) == 5
+        assert play_connections(fabric) == 6
         total = crawler.obs.metrics.counter_total
         assert total("monitor.crawl_deduped") == 1
 

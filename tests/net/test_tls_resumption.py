@@ -223,8 +223,8 @@ class TestTicketMinting:
         assert len(server.sessions) == 1
         assert len(cache) == 1
 
-    def test_proxied_requests_never_cache(self, fabric, root_ca,
-                                          trust_store, rng):
+    def test_proxied_requests_resume_both_legs(self, fabric, root_ca,
+                                               trust_store, rng):
         from repro.net.proxy import MitmProxy
         from repro.net.tls import TrustStore
         make_https_server(fabric, root_ca, rng)
@@ -240,9 +240,12 @@ class TestTicketMinting:
         first = client.get(HOST, "/json")
         second = client.get(HOST, "/json")
         assert first.status == second.status == 200
-        # The MITM impersonation handler has no ticket store, so the
-        # client never obtains a ticket and never resumes.
-        assert len(cache) == 0
+        # The impersonation handler mints tickets off the proxy-wide
+        # ticket table, so the phone-side client banks a session for the
+        # logical host; the proxy's upstream leg caches its own.
+        assert len(cache) == 1
+        assert len(proxy.sessions) >= 1
+        assert len(proxy.upstream_sessions) == 1
 
 
 class TestTlsSessionCacheUnit:

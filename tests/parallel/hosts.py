@@ -1,0 +1,40 @@
+"""Spawn-importable worker hosts for the process-backend tests.
+
+These live in a real module (not a test function) because the spawn
+context bootstraps workers by importing ``module:callable`` from a
+:class:`~repro.parallel.procpool.WorkerHostSpec` — a closure defined
+inside a test cannot cross the process boundary.
+"""
+
+from __future__ import annotations
+
+
+class ArithmeticHost:
+    """Squares task payloads; state advances only via broadcasts."""
+
+    def __init__(self, bias: int = 0) -> None:
+        self.bias = bias
+        self.day = 0
+
+    def on_broadcast(self, payload) -> None:
+        kind = payload[0]
+        if kind == "day":
+            self.day = int(payload[1])
+            return
+        if kind == "explode":
+            raise RuntimeError("broadcast exploded")
+        raise ValueError(f"unknown broadcast {kind!r}")
+
+    def run_task(self, payload):
+        kind, value = payload
+        if kind == "boom":
+            raise KeyError(f"task exploded on {value}")
+        return value * value + self.bias + self.day
+
+
+def build_host(bias: int = 0) -> ArithmeticHost:
+    return ArithmeticHost(bias=bias)
+
+
+def broken_factory() -> ArithmeticHost:
+    raise RuntimeError("factory cannot build a host")

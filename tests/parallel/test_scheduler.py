@@ -119,6 +119,37 @@ class TestRun:
         assert ShardScheduler(4).run([]) == []
         assert ShardScheduler(4).run([("k", lambda: 9)]) == [9]
 
+    def test_two_failing_buckets_raise_lowest_input_index(self):
+        # Both buckets fail; the raised exception must be the one from
+        # the lowest task input index — deterministically, even though
+        # the higher-index bucket finishes (and fails) first — with the
+        # other bucket's failure chained on via __context__.
+        scheduler = ShardScheduler(8)
+        assert scheduler.shard_of("a") != scheduler.shard_of("b")
+
+        def slow_boom():
+            time.sleep(0.05)
+            raise RuntimeError("first by input index")
+
+        def fast_boom():
+            raise KeyError("second by input index")
+
+        with pytest.raises(RuntimeError,
+                           match="first by input index") as excinfo:
+            scheduler.run([("a", slow_boom), ("b", fast_boom)])
+        chained = excinfo.value.__context__
+        assert isinstance(chained, KeyError)
+        assert "second by input index" in str(chained)
+
+    def test_shard_of_is_memoised_per_scheduler(self):
+        # Keys repeat run after run (same countries, same packages), so
+        # the stable hash is computed once per distinct (salt, key).
+        scheduler = ShardScheduler(4)
+        first = scheduler.shard_of("US", salt="day:0")
+        assert ("day:0", "US") in scheduler._shard_cache
+        scheduler._shard_cache[("day:0", "US")] = (first + 1) % 4
+        assert scheduler.shard_of("US", salt="day:0") == (first + 1) % 4
+
 
 class TestFlowScope:
     def test_default_is_empty(self):
