@@ -58,6 +58,21 @@ class TestHoneyPerf:
         assert (op_cost["honey.campaign_ops"]["p99_ops"]
                 >= op_cost["honey.campaign_ops"]["p50_ops"])
 
+    def test_throughput_is_reported_and_real(self, report):
+        """BENCH_honey.json carries the same host-dependent sections
+        BENCH_wild.json does: install throughput and peak RSS."""
+        throughput = report["devices_per_sec"]
+        assert throughput["measured"] > 0
+        assert throughput["baseline_no_resumption"] > 0
+
+    def test_peak_rss_is_tracked_and_bounded(self, report):
+        rss = report["peak_rss_mb"]
+        assert rss["self"] > 0
+        assert rss["total"] == pytest.approx(
+            rss["self"] + rss["children"], abs=0.1)
+        # The honey bench runs in-process; it fits comfortably in 2 GB.
+        assert rss["total"] < 2048
+
     def test_matches_committed_snapshot(self, report):
         assert SNAPSHOT.exists(), (
             "run PYTHONPATH=src python scripts/export_bench_obs.py")

@@ -235,6 +235,12 @@ def build_honey_report() -> dict:
         "measured": round(elapsed, 2),
         "baseline_no_resumption": round(base_elapsed, 2),
     }
+    report["devices_per_sec"] = {
+        "measured": round(results.total_installs() / elapsed, 2),
+        "baseline_no_resumption":
+            round(base_results.total_installs() / base_elapsed, 2),
+    }
+    report["peak_rss_mb"] = peak_rss_mb()
     return report
 
 

@@ -9,6 +9,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.analysis.classify import ClassifiedOffer, OfferClassifier
 from repro.analysis.stats import mean, median
+from repro.analysis.streams import GroupFold
 from repro.iip.offers import ActivityKind, OfferCategory
 from repro.monitor.crawler import CrawlArchive
 from repro.monitor.dataset import OfferDataset
@@ -52,13 +53,13 @@ def classify_dataset(dataset: OfferDataset,
     this per report.
     """
     classifier = classifier or OfferClassifier()
-    frame = dataset.frame()
     by_description = {
         description: classifier.classify(description)
-        for description in frame.distinct("description")}
+        for description in dataset.unique_descriptions()}
     return {
         (iip_name, offer_id): by_description[description]
-        for iip_name, offer_id, description in frame.rows(
+        for chunk in dataset.frame_chunks()
+        for iip_name, offer_id, description in chunk.rows(
             "iip_name", "offer_id", "description")
     }
 
@@ -68,22 +69,22 @@ def offer_type_table(dataset: OfferDataset,
                      ) -> List[OfferTypeRow]:
     """Table 3: prevalence and average payout per offer type."""
     labels = classify_dataset(dataset, classifier)
-    frame = dataset.frame()
-    total = len(frame)
+    total = dataset.offer_count()
     if total == 0:
         return []
     buckets: Dict[str, List[float]] = defaultdict(list)
-    for iip_name, offer_id, payout_usd in frame.rows(
-            "iip_name", "offer_id", "payout_usd"):
-        classified = labels[(iip_name, offer_id)]
-        if classified.category is OfferCategory.NO_ACTIVITY:
-            buckets["No activity"].append(payout_usd)
-        else:
-            buckets["Activity"].append(payout_usd)
-            kind = classified.activity_kind
-            assert kind is not None
-            buckets[f"Activity ({kind.value.capitalize()})"].append(
-                payout_usd)
+    for chunk in dataset.frame_chunks():
+        for iip_name, offer_id, payout_usd in chunk.rows(
+                "iip_name", "offer_id", "payout_usd"):
+            classified = labels[(iip_name, offer_id)]
+            if classified.category is OfferCategory.NO_ACTIVITY:
+                buckets["No activity"].append(payout_usd)
+            else:
+                buckets["Activity"].append(payout_usd)
+                kind = classified.activity_kind
+                assert kind is not None
+                buckets[f"Activity ({kind.value.capitalize()})"].append(
+                    payout_usd)
     order = ("No activity", "Activity", "Activity (Usage)",
              "Activity (Registration)", "Activity (Purchase)")
     rows = []
@@ -110,16 +111,17 @@ def iip_summary_table(dataset: OfferDataset,
     counts as the binned value at first observation.
     """
     labels = classify_dataset(dataset, classifier)
-    groups = dataset.frame().group_by("iip_name")
+    groups = GroupFold("iip_name", "payout_usd", "offer_id",
+                       "package").fold(dataset.frame_chunks()).groups
     rows = []
     for iip_name in sorted(groups):
         group = groups[iip_name]
-        records = len(group)
-        payouts = group.column("payout_usd")
+        records = len(group["offer_id"])
+        payouts = group["payout_usd"]
         activity = sum(
-            1 for offer_id in group.column("offer_id")
+            1 for offer_id in group["offer_id"]
             if labels[(iip_name, offer_id)].is_activity)
-        packages = group.distinct("package")
+        packages = sorted(set(group["package"]))
         developers, countries, genres = set(), set(), set()
         install_counts: List[float] = []
         ages: List[float] = []

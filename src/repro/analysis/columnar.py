@@ -60,6 +60,44 @@ class ColumnarFrame:
         """Iterate tuples of the named columns (zip of the lists)."""
         return zip(*(self._columns[name] for name in names))
 
+    # -- chunking -------------------------------------------------------------
+
+    def iter_chunks(self, size: int) -> Iterable["ColumnarFrame"]:
+        """Yield row-contiguous sub-frames of at most ``size`` rows.
+
+        ``size <= 0`` yields the whole frame as one chunk (the
+        materialised special case); an empty frame yields no chunks.
+        Concatenating the chunks reproduces the frame row for row, which
+        is the property every streaming fold in
+        :mod:`repro.analysis.streams` relies on.
+        """
+        if size <= 0:
+            yield self
+            return
+        for start in range(0, self._length, size):
+            yield ColumnarFrame({
+                name: values[start:start + size]
+                for name, values in self._columns.items()})
+
+    def extend(self, other: "ColumnarFrame") -> None:
+        """Append another frame's rows in place (same field set)."""
+        if list(other._columns) != list(self._columns):
+            raise ValueError(
+                f"field mismatch: {list(self._columns)} vs "
+                f"{list(other._columns)}")
+        for name, values in self._columns.items():
+            values.extend(other._columns[name])
+        self._length += other._length
+
+    @classmethod
+    def concat(cls, chunks: Iterable["ColumnarFrame"],
+               fields: Sequence[str]) -> "ColumnarFrame":
+        """Materialise an iterable of chunks back into one frame."""
+        merged = cls({name: [] for name in fields})
+        for chunk in chunks:
+            merged.extend(chunk)
+        return merged
+
     # -- filtering ------------------------------------------------------------
 
     def select(self, indexes: Sequence[int]) -> "ColumnarFrame":

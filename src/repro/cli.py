@@ -78,6 +78,30 @@ def _chaos_scenario(args):
     return ChaosScenario.profile(args.chaos_profile, seed=seed)
 
 
+def _positive_float(text: str) -> float:
+    """Argparse type: a strictly positive float (``--scale``)."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not a number")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"must be positive, got {value}")
+    return value
+
+
+def _positive_int(text: str) -> int:
+    """Argparse type: a strictly positive integer (``--days``)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"must be positive, got {value}")
+    return value
+
+
 #: Exit code for a run terminated by an injected SimulatedCrash: the
 #: run did what it was told, but the pipeline did not finish.
 CRASH_EXIT_CODE = 70
@@ -107,10 +131,17 @@ def _add_recovery_flags(parser, stages: str) -> None:
                             "(defaults to --seed)")
 
 
-def _recovery_context(args, kind: str, with_wal: bool = False):
+def _recovery_context(args, kind: str, with_wal: bool = False,
+                      allow_process: bool = False):
     """Build the :class:`RecoveryContext` the recovery flags describe,
     ``None`` when recovery is off.  Exits with a usage error when a
-    recovery flag is given without ``--checkpoint-dir``."""
+    recovery flag is given without ``--checkpoint-dir``.
+
+    ``allow_process`` is set by pipelines whose checkpoints carry
+    worker-replica state (wild): their ``--backend process`` runs can
+    checkpoint and resume.  The others reject the combination here
+    rather than fail deep inside the run.
+    """
     wants = (args.resume or args.crash_at or args.crash_rate > 0.0
              or args.crash_seed is not None)
     if args.checkpoint_dir is None:
@@ -119,7 +150,7 @@ def _recovery_context(args, kind: str, with_wal: bool = False):
                   file=sys.stderr)
             raise SystemExit(2)
         return None
-    if getattr(args, "backend", None) == "process":
+    if not allow_process and getattr(args, "backend", None) == "process":
         print("error: --checkpoint-dir/--resume require an in-process "
               "backend (serial or thread), not --backend process",
               file=sys.stderr)
@@ -169,9 +200,24 @@ def _add_wild(subparsers) -> None:
     parser = subparsers.add_parser(
         "wild", help="run the Section-4 wild measurement")
     parser.add_argument("--seed", type=int, default=2019)
-    parser.add_argument("--scale", type=float, default=0.25,
-                        help="fraction of the paper's 922 advertised apps")
-    parser.add_argument("--days", type=int, default=60)
+    parser.add_argument("--scale", type=_positive_float, default=0.25,
+                        help="fraction of the paper's 922 advertised apps "
+                             "(must be positive)")
+    parser.add_argument("--days", type=_positive_int, default=60,
+                        help="measurement days (must be positive)")
+    parser.add_argument("--batch-devices", type=int, default=0,
+                        metavar="N",
+                        help="stream the analysis in N-row chunks and "
+                             "spill the observation/archive logs to disk "
+                             "(bounded peak-RSS; 0 = materialise "
+                             "everything in memory, the default); any "
+                             "value yields byte-identical exports at the "
+                             "same seed")
+    parser.add_argument("--spill-dir", metavar="DIR", default=None,
+                        help="directory for the streamed append-only "
+                             "spill files (default: a fresh temporary "
+                             "directory); required to --resume a "
+                             "streamed run")
     parser.add_argument("--export-offers", metavar="PATH",
                         help="write the offer corpus JSON here")
     parser.add_argument("--export-archive", metavar="PATH",
@@ -366,8 +412,9 @@ def _cmd_wild(args) -> int:
     scenario.build()
     measurement = WildMeasurement(world, scenario, WildMeasurementConfig(
         measurement_days=args.days, shards=args.shards,
-        backend=args.backend))
-    recovery = _recovery_context(args, "wild")
+        backend=args.backend, batch_devices=args.batch_devices,
+        spill_dir=args.spill_dir))
+    recovery = _recovery_context(args, "wild", allow_process=True)
     try:
         results = measurement.run(recovery=recovery)
     except SimulatedCrash as exc:

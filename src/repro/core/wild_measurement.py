@@ -17,10 +17,13 @@ the October Crunchbase snapshot is taken.
 
 from __future__ import annotations
 
+import os
+import tempfile
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.affiliates.registry import AFFILIATE_SPECS
+from repro.analysis.streams import SpillableLog
 from repro.crunchbase.database import CrunchbaseSnapshot
 from repro.detection.live import LiveDetection, WildEventBridge
 from repro.iip.registry import UNVETTED_IIPS, VETTED_IIPS
@@ -87,6 +90,17 @@ class WildMeasurementConfig:
     #: package appears on ~10 walls/countries per day, so the cache
     #: collapses the impression stream to one fetch per (package, day).
     capture_offer_pages: bool = True
+    #: Streaming mode: when positive, analysis folds run over columnar
+    #: chunks of at most this many rows, the raw observation log and
+    #: the crawl archive's profiles spill to disk, and the crawler's
+    #: request memo keeps a one-day window — peak RSS stops growing
+    #: with ``scale x days`` while every export stays byte-identical
+    #: to the materialised (0) mode.
+    batch_devices: int = 0
+    #: Where streaming mode spills (a directory); ``None`` uses a fresh
+    #: temporary directory.  A resumed streaming run must point at the
+    #: crashed run's spill directory.
+    spill_dir: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -151,7 +165,11 @@ class WildResults:
     """Everything the analysis stage consumes."""
 
     dataset: OfferDataset
-    observations: List  # every raw ObservedOffer, pre-dedup (ablations)
+    #: Every raw ObservedOffer, pre-dedup (the ablations re-scan it).
+    #: An iterable — a plain list in materialised mode, a disk-backed
+    #: :class:`repro.analysis.streams.SpillableLog` in streaming mode
+    #: (re-iterable; each pass replays the spill file).
+    observations: object
     archive: CrawlArchive
     apk_scan: Dict[str, int]
     snapshot: CrunchbaseSnapshot
@@ -239,18 +257,37 @@ class WildMeasurement:
                 obs=world.obs, retry_policy=self.retry_policy,
                 breaker=CircuitBreaker(obs=world.obs),
                 session_cache=TlsSessionCache())
-        self.dataset = OfferDataset(AFFILIATE_SPECS, obs=world.obs)
+        streaming = self.config.batch_devices > 0
+        self.spill_root: Optional[str] = None
+        if streaming:
+            self.spill_root = self.config.spill_dir or tempfile.mkdtemp(
+                prefix="repro-spill-")
+        self.dataset = OfferDataset(AFFILIATE_SPECS, obs=world.obs,
+                                    batch_rows=self.config.batch_devices)
+        archive = CrawlArchive(
+            spill_path=(os.path.join(self.spill_root, "profiles.jsonl")
+                        if streaming else None))
         self.crawler = PlayStoreCrawler(
             world.measurement_client(retry_policy=self.retry_policy),
             PLAY_HOST,
+            archive=archive,
             cadence_days=self.config.crawl_cadence_days,
             obs=world.obs,
             cache_enabled=self.config.crawl_cache,
             crawl_chart_profiles=self.config.crawl_chart_profiles,
             task_seed=world.seeds.seed_for("crawler-tasks"))
+        if streaming:
+            # Day-window memo eviction: the wild crawl never reads a
+            # prior day's cache key (the store day is monotonic), so
+            # this changes no counter — only peak RSS.
+            self.crawler.cache_window_days = 1
         self._milk_errors: List[str] = []
         self._milk_runs = 0
-        self._observations: List = []
+        self._observations = SpillableLog(
+            encode=observed_offer_to_state,
+            decode=observed_offer_from_state,
+            spill_path=(os.path.join(self.spill_root, "observations.jsonl")
+                        if streaming else None))
         self._declare_stage_histograms()
 
     def _declare_stage_histograms(self) -> None:
@@ -280,11 +317,6 @@ class WildMeasurement:
         (``tests/recovery/`` enforces it).
         """
         config = self.config
-        if recovery is not None and config.backend == "process":
-            # Worker replicas rebuild the world from the seed; they have
-            # no way to adopt a parent checkpoint's mid-run cell state.
-            raise ValueError("checkpoint/resume requires an in-process "
-                             "backend (serial or thread), not process")
         tracer = self.world.obs.tracer
         start_day = 0
         adopted_span = None
@@ -293,6 +325,28 @@ class WildMeasurement:
             if loaded is not None:
                 day, state = loaded
                 start_day = day + 1
+                workers_state = state.get("workers")
+                if config.backend == "process":
+                    # Arm the replica warm-up before the pool exists:
+                    # workers restore their pinned cells' mid-run state
+                    # at bootstrap (see WildWorkerHost.adopt_checkpoint)
+                    # and the scheduler reuses the original pinning —
+                    # re-deriving pins from a later day's key order
+                    # would route cells to different replicas.
+                    if workers_state is None:
+                        raise ValueError(
+                            "checkpoint was written by an in-process "
+                            "backend; resume with --backend serial or "
+                            "thread (or re-run from scratch)")
+                    self._scheduler.adopt_workers(
+                        int(workers_state["count"]),
+                        {str(key): int(index) for key, index
+                         in workers_state["pins"].items()},
+                        checkpoint_dir=str(recovery.store.root))
+                elif workers_state is not None:
+                    raise ValueError(
+                        "checkpoint was written by a --backend process "
+                        "run; resume with --backend process")
                 for replay_day in range(start_day):
                     self.scenario.run_day(replay_day)
                     self.world.clock.advance()
@@ -355,13 +409,17 @@ class WildMeasurement:
         store state are deliberately absent: they are reconstructed by
         deterministic replay on resume.  Observability is captured last
         so its op counter covers every state-gathering read above it
-        (the reads cost no ops; the invariant is about ordering)."""
+        (the reads cost no ops; the invariant is about ordering).
+
+        Under the process backend the checkpoint additionally carries a
+        ``workers`` section — the scheduler's worker count and pinning
+        map plus each worker replica's wire-facing state — so a resumed
+        pool warms its replicas instead of starting them pristine."""
         world = self.world
-        return {
+        state: Dict[str, object] = {
             "phone_installed": sorted(self.phone.installed_packages),
             "dataset": self.dataset.state_dict(),
-            "observations": [observed_offer_to_state(offer)
-                             for offer in self._observations],
+            "observations": self._observations.state_dict(),
             "milk_runs": self._milk_runs,
             "milk_errors": list(self._milk_errors),
             "crawler": self.crawler.state_dict(),
@@ -379,15 +437,21 @@ class WildMeasurement:
                 "live": self.detection.state_dict(),
                 "bridge": self._detection_bridge.state_dict(),
             }),
-            "obs": world.obs.state_dict(),
         }
+        if self.config.backend == "process":
+            state["workers"] = {
+                "count": self._scheduler.workers,
+                "pins": dict(self._scheduler.pins),
+                "states": self._scheduler.collect_states(),
+            }
+        state["obs"] = world.obs.state_dict()
+        return state
 
     def _restore_state(self, state: Dict[str, object]) -> None:
         world = self.world
         self.phone.installed_packages = set(state["phone_installed"])
         self.dataset.load_state(state["dataset"])
-        self._observations = [observed_offer_from_state(item)
-                              for item in state["observations"]]
+        self._observations.load_state(state["observations"])
         self._milk_runs = int(state["milk_runs"])
         self._milk_errors = [str(err) for err in state["milk_errors"]]
         self.crawler.load_state(state["crawler"])
@@ -520,10 +584,17 @@ class WildMeasurement:
             ops.advance(len(snapshot.organizations()))
         metrics.observe("wild.analyse_ops", span.duration_ops)
         with tracer.span("wild.finalize.frame") as span:
-            # Build the dataset's columnar frame once, inside the
-            # measurement wall clock, so every downstream analysis table
-            # reuses it instead of re-walking the records.
-            ops.advance(len(self.dataset.frame()))
+            if self.config.batch_devices > 0:
+                # Streaming mode never materialises the full frame;
+                # advance the op clock by the same record count so the
+                # histogram — and every downstream op offset — matches
+                # the materialised run exactly.
+                ops.advance(self.dataset.offer_count())
+            else:
+                # Build the dataset's columnar frame once, inside the
+                # measurement wall clock, so every downstream analysis
+                # table reuses it instead of re-walking the records.
+                ops.advance(len(self.dataset.frame()))
         metrics.observe("wild.analyse_ops", span.duration_ops)
         with tracer.span("wild.finalize.coverage") as span:
             coverage = self._coverage_loss()

@@ -44,8 +44,12 @@ def wild_worker_spec(world, scenario_config,
                      measurement_config) -> WorkerHostSpec:
     """The picklable bootstrap recipe for one wild shard worker."""
     import dataclasses
+    # Replicas never accumulate observations or archive profiles (those
+    # side effects are parent-side), so streaming/spill settings are
+    # stripped along with the backend.
     replica_config = dataclasses.replace(
-        measurement_config, backend="serial", shards=1)
+        measurement_config, backend="serial", shards=1,
+        batch_devices=0, spill_dir=None)
     return WorkerHostSpec(
         factory="repro.core.wild_worker:build_wild_worker",
         config={
@@ -109,6 +113,76 @@ class WildWorkerHost:
             if self._day > 0:
                 self.world.clock.advance()
             self.scenario.run_day(self._day)
+
+    # -- checkpoint/resume ----------------------------------------------------
+
+    def collect_state(self) -> Dict[str, object]:
+        """The replica-side mutable surfaces a resumed worker must
+        restore: exactly the wire-facing subset of the parent's
+        ``_checkpoint_state`` (cells, walls, frontend, chaos, client).
+        Parent-side accumulators (dataset, archive, observations, obs)
+        never live here — tasks ship those back per envelope.
+        """
+        world = self.world
+        measurement = self.measurement
+        return {
+            "day": self._day,
+            "phone_installed": sorted(
+                measurement.phone.installed_packages),
+            "crawler_client": measurement.crawler.client.state_dict(),
+            "cells": {country: measurement.cells[country].state_dict()
+                      for country in sorted(measurement.cells)},
+            "frontend": world.frontend.state_dict(),
+            "walls": {name: world.walls[name].server.state_dict()
+                      for name in sorted(world.walls)},
+            "fault_plan": world.fabric.chaos.state_dict(),
+            "root_ca": world.root_ca.state_dict(),
+            "device_factory": world.device_factory.state_dict(),
+        }
+
+    def adopt_checkpoint(self, checkpoint_dir: str,
+                         worker_index: int) -> None:
+        """Warm this replica from a parent checkpoint: replay the
+        scenario to the checkpointed day (wire-free, exact), then
+        restore this worker's slice of the recorded worker states.
+
+        After adoption the replica is indistinguishable from one that
+        ran every pinned task itself, so the resumed run's remaining
+        days execute the uninterrupted run's exact operation sequence.
+        """
+        from repro.recovery.checkpoint import CheckpointStore
+        loaded = CheckpointStore(checkpoint_dir, kind="wild").latest()
+        if loaded is None:
+            return
+        day, state = loaded
+        workers_state = state.get("workers")
+        if workers_state is None:
+            raise ValueError(
+                "checkpoint carries no worker states (written by an "
+                "in-process backend?); cannot warm a process replica")
+        states = workers_state["states"]
+        if worker_index >= len(states):
+            raise ValueError(
+                f"checkpoint recorded {len(states)} workers; worker "
+                f"{worker_index} has no state to adopt")
+        # Same replay the parent performs: scenario days 0..day, clock
+        # advancing between days — the ("day", day+1) broadcast that
+        # follows then advances both in lockstep.
+        self.on_broadcast(("day", day))
+        my_state = states[worker_index]
+        world = self.world
+        measurement = self.measurement
+        measurement.phone.installed_packages = set(
+            my_state["phone_installed"])
+        measurement.crawler.client.load_state(my_state["crawler_client"])
+        for country, cell_state in my_state["cells"].items():
+            measurement.cells[country].load_state(cell_state)
+        world.frontend.load_state(my_state["frontend"])
+        for name, wall_state in my_state["walls"].items():
+            world.walls[name].server.load_state(wall_state)
+        world.fabric.chaos.load_state(my_state["fault_plan"])
+        world.root_ca.load_state(my_state["root_ca"])
+        world.device_factory.load_state(my_state["device_factory"])
 
     # -- task execution -------------------------------------------------------
 

@@ -9,9 +9,11 @@ longitudinal analysis has to work from.
 from __future__ import annotations
 
 import bisect
-from collections import defaultdict
+import json
+import os
+from collections import OrderedDict, defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.net.client import HttpClient
 from repro.net.errors import NetError
@@ -56,9 +58,20 @@ class ChartAppearance:
 
 
 class CrawlArchive:
-    """Everything the crawler has collected, indexed for analysis."""
+    """Everything the crawler has collected, indexed for analysis.
 
-    def __init__(self) -> None:
+    With ``spill_path`` set the profile snapshots — the archive's only
+    unbounded-in-scale store — live in an append-only JSONL file on
+    disk; memory holds a ``(package, day) -> byte offset`` index, a
+    bounded decode cache (``cache_window`` snapshots, LRU), and the
+    per-package day index the analyses query.  Chart appearances stay
+    resident: their size is fixed by the chart roster, not the device
+    population.  Queries behave identically in both modes; only peak
+    RSS differs.
+    """
+
+    def __init__(self, spill_path: Optional[str] = None,
+                 cache_window: int = 64) -> None:
         self._profiles: Dict[Tuple[str, int], ProfileSnapshot] = {}
         self._chart_days: Dict[Tuple[str, int], List[ChartAppearance]] = {}
         self.crawl_days: List[int] = []
@@ -67,9 +80,66 @@ class CrawlArchive:
         # a full-archive scan per ask is O(packages x archive).
         self._package_days: Dict[str, List[int]] = {}
         self._chart_by_package: Dict[str, List[ChartAppearance]] = {}
+        self._spill_path = spill_path
+        self._spill_handle = None
+        self._spill_index: Dict[Tuple[str, int], int] = {}
+        self._spill_cache: "OrderedDict[Tuple[str, int], ProfileSnapshot]" \
+            = OrderedDict()
+        self._cache_window = cache_window
+        if spill_path is not None:
+            os.makedirs(os.path.dirname(spill_path) or ".", exist_ok=True)
+
+    @property
+    def spilling(self) -> bool:
+        return self._spill_path is not None
+
+    def _spill_file(self, preserve: bool = False):
+        """Lazily open the spill file: a fresh run truncates leftovers,
+        a restore (``preserve=True``) keeps the bytes so they can be
+        truncated back to the checkpointed offset."""
+        if self._spill_handle is None:
+            mode = "r+" if preserve and os.path.exists(self._spill_path) \
+                else "w+"
+            self._spill_handle = open(self._spill_path, mode,
+                                      encoding="utf-8")
+        return self._spill_handle
+
+    def _cache_put(self, key: Tuple[str, int],
+                   snapshot: ProfileSnapshot) -> None:
+        cache = self._spill_cache
+        cache[key] = snapshot
+        cache.move_to_end(key)
+        while len(cache) > self._cache_window:
+            cache.popitem(last=False)
+
+    def _spill_read(self, key: Tuple[str, int]) -> ProfileSnapshot:
+        cached = self._spill_cache.get(key)
+        if cached is not None:
+            self._spill_cache.move_to_end(key)
+            return cached
+        handle = self._spill_file()
+        handle.flush()
+        handle.seek(self._spill_index[key])
+        snapshot = _snapshot_from_state(json.loads(handle.readline()))
+        self._cache_put(key, snapshot)
+        return snapshot
 
     def add_profile(self, snapshot: ProfileSnapshot) -> None:
         key = (snapshot.package, snapshot.day)
+        if self.spilling:
+            if key not in self._spill_index:
+                days = self._package_days.setdefault(snapshot.package, [])
+                bisect.insort(days, snapshot.day)
+            handle = self._spill_file()
+            handle.seek(0, os.SEEK_END)
+            # Re-adding a (package, day) appends a fresh line and moves
+            # the index pointer; the dead line is reclaimed at the next
+            # checkpoint-truncate or run end.
+            self._spill_index[key] = handle.tell()
+            handle.write(json.dumps(_snapshot_to_state(snapshot),
+                                    sort_keys=True) + "\n")
+            self._cache_put(key, snapshot)
+            return
         if key not in self._profiles:
             days = self._package_days.setdefault(snapshot.package, [])
             bisect.insort(days, snapshot.day)
@@ -102,10 +172,19 @@ class CrawlArchive:
 
     def state_dict(self) -> Dict[str, object]:
         from repro.recovery.state import join_key
-        return {
-            "profiles": {
+        if self.spilling:
+            handle = self._spill_file()
+            handle.flush()
+            handle.seek(0, os.SEEK_END)
+            profiles: object = {"spill": {"count": len(self._spill_index),
+                                          "offset": handle.tell()}}
+        else:
+            profiles = {
                 join_key(package, str(day)): _snapshot_to_state(snapshot)
-                for (package, day), snapshot in sorted(self._profiles.items())},
+                for (package, day), snapshot in sorted(
+                    self._profiles.items())}
+        return {
+            "profiles": profiles,
             "chart_days": {
                 join_key(chart, str(day)): [_appearance_to_state(a)
                                             for a in appearances]
@@ -116,52 +195,138 @@ class CrawlArchive:
 
     def load_state(self, state: Dict[str, object]) -> None:
         from repro.recovery.state import split_key
+        profiles = state["profiles"]
         self._profiles = {}
-        for key, data in state["profiles"].items():  # type: ignore[union-attr]
-            package, day = split_key(key)
-            self._profiles[(package, int(day))] = _snapshot_from_state(data)
+        self._package_days = {}
+        if isinstance(profiles, dict) and "spill" in profiles:
+            if not self.spilling:
+                raise ValueError(
+                    "archive checkpoint was written by a spilling run; "
+                    "resume with the same --batch-devices/--spill-dir "
+                    "configuration")
+            self._reindex_spill(int(profiles["spill"]["offset"]))
+        elif self.spilling:
+            # Materialised checkpoint resumed in spill mode: re-spill.
+            handle = self._spill_file()
+            handle.seek(0)
+            handle.truncate()
+            self._spill_index = {}
+            self._spill_cache.clear()
+            for data in profiles.values():  # type: ignore[union-attr]
+                self.add_profile(_snapshot_from_state(data))
+            handle.flush()
+        else:
+            for key, data in profiles.items():  # type: ignore[union-attr]
+                package, day = split_key(key)
+                self._profiles[(package, int(day))] = \
+                    _snapshot_from_state(data)
+            for package, day in sorted(self._profiles):
+                self._package_days.setdefault(package, []).append(day)
         self._chart_days = {}
         for key, items in state["chart_days"].items():  # type: ignore[union-attr]
             chart, day = split_key(key)
             self._chart_days[(chart, int(day))] = [
                 _appearance_from_state(item) for item in items]
         self.crawl_days = [int(day) for day in state["crawl_days"]]  # type: ignore[union-attr]
-        self._package_days = {}
-        for package, day in sorted(self._profiles):
-            self._package_days.setdefault(package, []).append(day)
         self._rebuild_chart_index()
+
+    def _reindex_spill(self, offset: int) -> None:
+        """Truncate the spill file to the checkpointed offset and
+        rebuild the in-memory indexes by scanning it once."""
+        if not os.path.exists(self._spill_path):
+            if offset == 0:
+                self._spill_index = {}
+                self._spill_cache.clear()
+                return
+            raise ValueError(
+                f"archive spill file {self._spill_path} is missing; "
+                "resume needs the spill directory the crashed run "
+                "wrote to")
+        handle = self._spill_file(preserve=True)
+        handle.flush()
+        handle.seek(0, os.SEEK_END)
+        if handle.tell() < offset:
+            raise ValueError(
+                f"archive spill file {self._spill_path} is shorter than "
+                "its checkpoint; resume needs the spill directory the "
+                "crashed run wrote to")
+        handle.seek(offset)
+        handle.truncate()
+        self._spill_index = {}
+        self._spill_cache.clear()
+        handle.seek(0)
+        while True:
+            line_offset = handle.tell()
+            line = handle.readline()
+            if not line:
+                break
+            data = json.loads(line)
+            key = (str(data["package"]), int(data["day"]))
+            if key not in self._spill_index:
+                days = self._package_days.setdefault(key[0], [])
+                bisect.insort(days, key[1])
+            self._spill_index[key] = line_offset
 
     # -- profile queries -------------------------------------------------------
 
     def profile(self, package: str, day: int) -> Optional[ProfileSnapshot]:
+        if self.spilling:
+            if (package, day) not in self._spill_index:
+                return None
+            return self._spill_read((package, day))
         return self._profiles.get((package, day))
+
+    def profile_count(self) -> int:
+        """Number of distinct (package, day) snapshots archived."""
+        if self.spilling:
+            return len(self._spill_index)
+        return len(self._profiles)
+
+    def profile_packages(self) -> List[str]:
+        """Sorted unique packages with at least one archived profile."""
+        return sorted(self._package_days)
+
+    def iter_profiles(self) -> Iterator[ProfileSnapshot]:
+        """All snapshots in sorted (package, day) order — the canonical
+        export order, identical in spill and in-memory modes."""
+        keys = sorted(self._spill_index) if self.spilling \
+            else sorted(self._profiles)
+        for package, day in keys:
+            snapshot = self.profile(package, day)
+            assert snapshot is not None
+            yield snapshot
 
     def profile_days(self, package: str) -> List[int]:
         return list(self._package_days.get(package, ()))
 
     def install_series(self, package: str) -> List[Tuple[int, int]]:
         """[(day, binned installs)] across all crawls of this app."""
-        return [(day, self._profiles[(package, day)].installs_floor)
-                for day in self.profile_days(package)]
+        series = []
+        for day in self.profile_days(package):
+            snapshot = self.profile(package, day)
+            assert snapshot is not None
+            series.append((day, snapshot.installs_floor))
+        return series
 
     def first_profile(self, package: str) -> Optional[ProfileSnapshot]:
         days = self.profile_days(package)
-        return self._profiles[(package, days[0])] if days else None
+        return self.profile(package, days[0]) if days else None
 
     def last_profile(self, package: str) -> Optional[ProfileSnapshot]:
         days = self.profile_days(package)
-        return self._profiles[(package, days[-1])] if days else None
+        return self.profile(package, days[-1]) if days else None
 
     def filtered(self, keep_days) -> "CrawlArchive":
-        """A copy containing only crawls from ``keep_days``.
+        """An in-memory copy containing only crawls from ``keep_days``.
 
         Used by the crawl-cadence ablation: what would the analysis have
-        seen with a sparser crawl schedule?
+        seen with a sparser crawl schedule?  The copy is always
+        in-memory — ablations keep a strict subset of the archive.
         """
         keep = set(keep_days)
         copy = CrawlArchive()
-        for (package, day), snapshot in self._profiles.items():
-            if day in keep:
+        for snapshot in self.iter_profiles():
+            if snapshot.day in keep:
                 copy.add_profile(snapshot)
         for (chart, day), appearances in self._chart_days.items():
             if day in keep:
@@ -310,6 +475,12 @@ class PlayStoreCrawler:
         #: cache absorbs the heavy overlap with the tracked packages.
         self.crawl_chart_profiles = crawl_chart_profiles
         self._task_seed = task_seed
+        #: In streaming mode the wild pipeline sets a window (in store
+        #: days); memo entries older than ``day - window`` are dropped
+        #: on insert.  The wild crawl never reads a prior day's key (the
+        #: store day is monotonic), so eviction changes no counter —
+        #: only peak RSS.  ``None`` keeps the historical unbounded memo.
+        self.cache_window_days: Optional[int] = None
         self._profile_cache: Dict[Tuple[str, int], ProfileSnapshot] = {}
         self._chart_cache: Dict[Tuple[str, int], List[ChartAppearance]] = {}
         #: Every package ever seen on a chart, in first-seen order; with
@@ -378,6 +549,16 @@ class PlayStoreCrawler:
     def cache_misses(self) -> int:
         return int(self.obs.metrics.counter_total("crawler.cache_misses"))
 
+    def _prune_caches(self, day: int) -> None:
+        """Drop memo entries older than the streaming cache window."""
+        if self.cache_window_days is None:
+            return
+        cutoff = day - self.cache_window_days
+        for key in [k for k in self._profile_cache if k[1] <= cutoff]:
+            del self._profile_cache[key]
+        for key in [k for k in self._chart_cache if k[1] <= cutoff]:
+            del self._chart_cache[key]
+
     def _queue_retry(self, package: str) -> None:
         if package not in self.retry_queue:
             self.retry_queue.append(package)
@@ -433,6 +614,7 @@ class PlayStoreCrawler:
         self.archive.add_profile(snapshot)
         if self.cache_enabled:
             self._profile_cache[(package, snapshot.day)] = snapshot
+            self._prune_caches(snapshot.day)
         return snapshot
 
     def crawl_profile(self, package: str, is_retry: bool = False,
@@ -545,6 +727,7 @@ class PlayStoreCrawler:
             self.archive.add_chart(kind.value, day_seen, appearances)
             if self.cache_enabled:
                 self._chart_cache[(kind.value, chart_day)] = appearances
+                self._prune_caches(chart_day)
         return day_seen
 
     # -- full visits ---------------------------------------------------------

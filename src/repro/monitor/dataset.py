@@ -9,10 +9,12 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
 
 from repro.affiliates.app import AffiliateAppSpec
 from repro.analysis.columnar import ColumnarFrame
+from repro.analysis.streams import (fold_distinct, fold_filtered_distinct,
+                                    fold_group_min_max)
 from repro.obs import NULL_OBS, Observability
 
 #: The record attributes the dataset's columnar frame carries — what
@@ -97,10 +99,16 @@ class OfferDataset:
     """Accumulates milk runs into the deduplicated offer corpus."""
 
     def __init__(self, affiliate_specs: Mapping[str, AffiliateAppSpec],
-                 obs: Optional[Observability] = None) -> None:
+                 obs: Optional[Observability] = None,
+                 batch_rows: int = 0) -> None:
         self._specs = dict(affiliate_specs)
         self._records: Dict[Tuple[str, str], OfferRecord] = {}
         self.obs = obs or NULL_OBS
+        #: Rows per analysis chunk; 0 materialises the full frame (the
+        #: historical behaviour).  With a positive value every aggregate
+        #: query folds over :meth:`frame_chunks` and the full frame is
+        #: never built.
+        self.batch_rows = batch_rows
         #: Columnar view of the records, built lazily and invalidated on
         #: every mutation; all aggregate queries below run against it.
         self._frame: Optional[ColumnarFrame] = None
@@ -201,10 +209,29 @@ class OfferDataset:
                                                      FRAME_FIELDS)
         return self._frame
 
+    def frame_chunks(self) -> Iterable[ColumnarFrame]:
+        """Row-contiguous chunks of the corpus in canonical order.
+
+        With ``batch_rows == 0`` this yields the one cached full frame,
+        so the materialised path is the single-chunk special case of the
+        streaming path — every fold below runs the same code either
+        way, which is what keeps the two modes byte-identical.
+        """
+        if self.batch_rows <= 0:
+            yield self.frame()
+            return
+        keys = sorted(self._records)
+        for start in range(0, len(keys), self.batch_rows):
+            yield ColumnarFrame.from_records(
+                (self._records[key]
+                 for key in keys[start:start + self.batch_rows]),
+                FRAME_FIELDS)
+
     def _campaign_windows(self) -> Dict[str, Tuple[int, int]]:
         if self._windows is None:
-            self._windows = self.frame().group_min_max(
-                "package", "first_seen_day", "last_seen_day")
+            self._windows = fold_group_min_max(
+                self.frame_chunks(), "package",
+                "first_seen_day", "last_seen_day")
         return self._windows
 
     def offers(self) -> List[OfferRecord]:
@@ -218,16 +245,17 @@ class OfferDataset:
         return len(self._records)
 
     def unique_packages(self) -> List[str]:
-        return self.frame().distinct("package")
+        return fold_distinct(self.frame_chunks(), "package")
 
     def unique_descriptions(self) -> List[str]:
-        return self.frame().distinct("description")
+        return fold_distinct(self.frame_chunks(), "description")
 
     def packages_for_iip(self, iip_name: str) -> List[str]:
-        return self.frame().filter_eq(iip_name=iip_name).distinct("package")
+        return fold_filtered_distinct(self.frame_chunks(), "package",
+                                      iip_name=iip_name)
 
     def iips_observed(self) -> List[str]:
-        return self.frame().distinct("iip_name")
+        return fold_distinct(self.frame_chunks(), "iip_name")
 
     def campaign_window(self, package: str) -> Tuple[int, int]:
         """(first day, last day) this app's offers were observed."""

@@ -103,24 +103,28 @@ def rehydrate_dataset(records: List[OfferRecord]) -> OfferDataset:
 
 
 def save_archive(archive: CrawlArchive, path: Union[str, Path]) -> int:
-    """Write the crawl archive to JSON; returns the snapshot count."""
+    """Write the crawl archive to JSON; returns the snapshot count.
+
+    Profiles serialise in sorted (package, day) order — the canonical
+    order :meth:`CrawlArchive.iter_profiles` yields in both spill and
+    in-memory modes.  (The pre-streaming code iterated a package *set*,
+    whose order depended on the interpreter's hash seed: the same run
+    could export differently ordered files on different hosts.)
+    """
     profiles = []
-    for package in {pkg for (pkg, _) in archive._profiles}:
-        for day in archive.profile_days(package):
-            snapshot = archive.profile(package, day)
-            assert snapshot is not None
-            profiles.append({
-                "package": snapshot.package,
-                "day": snapshot.day,
-                "installs_floor": snapshot.installs_floor,
-                "genre": snapshot.genre,
-                "release_day": snapshot.release_day,
-                "developer_id": snapshot.developer_id,
-                "developer_name": snapshot.developer_name,
-                "developer_country": snapshot.developer_country,
-                "developer_website": snapshot.developer_website,
-                "is_game": snapshot.is_game,
-            })
+    for snapshot in archive.iter_profiles():
+        profiles.append({
+            "package": snapshot.package,
+            "day": snapshot.day,
+            "installs_floor": snapshot.installs_floor,
+            "genre": snapshot.genre,
+            "release_day": snapshot.release_day,
+            "developer_id": snapshot.developer_id,
+            "developer_name": snapshot.developer_name,
+            "developer_country": snapshot.developer_country,
+            "developer_website": snapshot.developer_website,
+            "is_game": snapshot.is_game,
+        })
     charts = []
     for (chart, day), appearances in sorted(archive._chart_days.items()):
         charts.append({

@@ -15,8 +15,18 @@ plain payloads:
     ``("done", [(index, result), ...], [(index, exc_state), ...])``.
     A raising task aborts the rest of its batch, mirroring how a
     raising thunk aborts its thread-backend bucket.
+``("collect",)``
+    Gather the host's resumable state (``host.collect_state()``); the
+    reply is ``("state", state_dict)``.  The wild pipeline folds each
+    worker's state into its per-day checkpoint so a ``--backend
+    process`` run can resume.
 ``("stop",)``
     Clean shutdown.
+
+A spec may carry ``checkpoint_dir``: after bootstrap the worker calls
+``host.adopt_checkpoint(checkpoint_dir, worker_index)`` so a resumed
+pool warms every replica back to the checkpointed day before the first
+broadcast arrives.
 
 Workers are *pinned*: the scheduler routes every task with the same
 shard key to the same worker for the pool's whole lifetime, so stateful
@@ -41,10 +51,18 @@ from typing import Dict, List, Optional, Sequence, Tuple
 @dataclass(frozen=True)
 class WorkerHostSpec:
     """How a worker process builds its host: ``module:callable`` plus
-    picklable keyword arguments."""
+    picklable keyword arguments.
+
+    ``checkpoint_dir``, when set, points at a recovery checkpoint
+    directory: right after bootstrap the worker calls
+    ``host.adopt_checkpoint(checkpoint_dir, worker_index)`` (if the
+    host defines it) so a resumed run's replicas restore their pinned
+    cells' mid-run state instead of starting pristine.
+    """
 
     factory: str
     config: Dict[str, object] = field(default_factory=dict)
+    checkpoint_dir: Optional[str] = None
 
     def build(self) -> object:
         module_name, _, attr = self.factory.partition(":")
@@ -69,7 +87,8 @@ def _exception_state(exc: BaseException) -> Tuple[str, str, str]:
             "".join(traceback.format_exception(exc)))
 
 
-def worker_main(connection, spec: WorkerHostSpec) -> None:
+def worker_main(connection, spec: WorkerHostSpec,
+                worker_index: int = 0) -> None:
     """Entry point of one worker process (module-level: spawn-picklable)."""
     import os
     profile_to = os.environ.get("REPRO_WORKER_PROFILE")
@@ -78,18 +97,22 @@ def worker_main(connection, spec: WorkerHostSpec) -> None:
         profiler = cProfile.Profile()
         profiler.enable()
         try:
-            _worker_loop(connection, spec)
+            _worker_loop(connection, spec, worker_index)
         finally:
             profiler.disable()
             profiler.dump_stats(f"{profile_to}.{os.getpid()}")
         return
-    _worker_loop(connection, spec)
+    _worker_loop(connection, spec, worker_index)
 
 
-def _worker_loop(connection, spec: WorkerHostSpec) -> None:
+def _worker_loop(connection, spec: WorkerHostSpec,
+                 worker_index: int = 0) -> None:
     broadcast_failure: Optional[Tuple[str, str, str]] = None
     try:
         host = spec.build()
+        if spec.checkpoint_dir is not None and hasattr(host,
+                                                       "adopt_checkpoint"):
+            host.adopt_checkpoint(spec.checkpoint_dir, worker_index)
     except BaseException as exc:  # noqa: BLE001 - reported to the parent
         connection.send(("bootstrap_error", _exception_state(exc)))
         connection.close()
@@ -109,6 +132,12 @@ def _worker_loop(connection, spec: WorkerHostSpec) -> None:
                     host.on_broadcast(message[1])
                 except BaseException as exc:  # noqa: BLE001
                     broadcast_failure = _exception_state(exc)
+            continue
+        if kind == "collect":
+            try:
+                connection.send(("state", host.collect_state()))
+            except BaseException as exc:  # noqa: BLE001
+                connection.send(("state_error", _exception_state(exc)))
             continue
         if kind == "batch":
             if broadcast_failure is not None:
@@ -138,10 +167,11 @@ class ProcessWorkerPool:
         context = multiprocessing.get_context("spawn")
         self._connections = []
         self._processes = []
-        for _ in range(workers):
+        for worker_index in range(workers):
             parent_end, child_end = context.Pipe()
             process = context.Process(
-                target=worker_main, args=(child_end, host_spec), daemon=True)
+                target=worker_main,
+                args=(child_end, host_spec, worker_index), daemon=True)
             process.start()
             child_end.close()
             self._connections.append(parent_end)
@@ -162,6 +192,21 @@ class ProcessWorkerPool:
         a failure surfaces on the worker's next batch)."""
         for connection in self._connections:
             connection.send(("broadcast", payload))
+
+    def collect_states(self) -> List[object]:
+        """Gather every worker host's resumable state, in worker-index
+        order (the order checkpoints store — and hand back — them)."""
+        for connection in self._connections:
+            connection.send(("collect",))
+        states: List[object] = []
+        for connection in self._connections:
+            reply = connection.recv()
+            if reply[0] == "state_error":
+                raise WorkerTaskError(*reply[1])
+            if reply[0] != "state":
+                raise WorkerTaskError("ProtocolError", str(reply))
+            states.append(reply[1])
+        return states
 
     def run_batches(
         self,

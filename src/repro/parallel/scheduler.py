@@ -140,6 +140,40 @@ class ShardScheduler:
         if self.backend == "process":
             self._ensure_pool().broadcast(payload)
 
+    @property
+    def pins(self) -> Dict[object, int]:
+        """The key -> worker-index pinning map (process backend), for
+        checkpointing: a resumed pool must reuse the original pinning —
+        re-deriving it first-seen from a later day's key order would
+        route keys to different replicas than the original run."""
+        return dict(self._pins)
+
+    def collect_states(self) -> List[object]:
+        """Every process worker host's resumable state, in worker-index
+        order (empty for in-process backends)."""
+        if self.backend != "process":
+            return []
+        return self._ensure_pool().collect_states()
+
+    def adopt_workers(self, workers: int, pins: Dict[object, int],
+                      checkpoint_dir: Optional[str] = None) -> None:
+        """Arm a process-backend resume: fix the worker count and the
+        pinning map to the checkpointed values, and point the host spec
+        at the checkpoint directory so each worker warms its replica
+        via ``adopt_checkpoint`` at bootstrap.  Must run before the
+        pool starts."""
+        if self._pool is not None:
+            raise RuntimeError("cannot adopt worker state after the "
+                               "pool has started")
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        self.workers = workers
+        self._pins = dict(pins)
+        if checkpoint_dir is not None and self._worker_host is not None:
+            import dataclasses
+            self._worker_host = dataclasses.replace(
+                self._worker_host, checkpoint_dir=str(checkpoint_dir))
+
     def close(self) -> None:
         """Shut down worker processes (no-op for in-process backends)."""
         if self._pool is not None:

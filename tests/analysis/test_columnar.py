@@ -115,3 +115,82 @@ class TestFrameShape:
     def test_select_reorders(self):
         frame = ColumnarFrame({"v": [10, 20, 30]})
         assert frame.select([2, 0]).column("v") == [30, 10]
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+@pytest.mark.parametrize("chunk_size", [1, 7, 64, 1000])
+class TestChunkedIteration:
+    """Chunked traversal must be invisible to every consumer: the
+    streamed analysis folds (repro.analysis.streams) rebuild group
+    maps across chunk boundaries and rely on these properties."""
+
+    def test_chunks_cover_rows_in_order(self, seed, chunk_size):
+        records = make_records(seed)
+        frame = ColumnarFrame.from_records(records, FIELDS)
+        rebuilt = [row for chunk in frame.iter_chunks(chunk_size)
+                   for row in chunk.rows(*FIELDS)]
+        assert rebuilt == list(frame.rows(*FIELDS))
+
+    def test_chunk_sizes_are_bounded(self, seed, chunk_size):
+        frame = ColumnarFrame.from_records(make_records(seed), FIELDS)
+        sizes = [len(chunk) for chunk in frame.iter_chunks(chunk_size)]
+        assert sum(sizes) == len(frame)
+        assert all(size <= chunk_size for size in sizes)
+        assert all(size == chunk_size for size in sizes[:-1])
+
+    def test_concat_of_chunks_is_identity(self, seed, chunk_size):
+        frame = ColumnarFrame.from_records(make_records(seed), FIELDS)
+        rebuilt = ColumnarFrame.concat(
+            frame.iter_chunks(chunk_size), FIELDS)
+        for field in FIELDS:
+            assert rebuilt.column(field) == frame.column(field)
+
+    def test_group_order_stable_across_chunk_boundaries(self, seed,
+                                                        chunk_size):
+        """First-seen group order folded chunk-by-chunk must equal the
+        whole-frame order, even when a group straddles a boundary."""
+        frame = ColumnarFrame.from_records(make_records(seed), FIELDS)
+        folded = {}
+        for chunk in frame.iter_chunks(chunk_size):
+            for key, indexes in chunk.group_indexes("package").items():
+                folded.setdefault(key, 0)
+                folded[key] += len(indexes)
+        whole = frame.group_indexes("package")
+        assert list(folded) == list(whole)
+        assert {k: len(v) for k, v in whole.items()} == folded
+
+    def test_extend_matches_concat(self, seed, chunk_size):
+        frame = ColumnarFrame.from_records(make_records(seed), FIELDS)
+        grown = ColumnarFrame({field: [] for field in FIELDS})
+        for chunk in frame.iter_chunks(chunk_size):
+            grown.extend(chunk)
+        assert list(grown.rows(*FIELDS)) == list(frame.rows(*FIELDS))
+
+
+class TestChunkEdgeCases:
+    def test_empty_frame_yields_no_chunks(self):
+        frame = ColumnarFrame({"a": [], "b": []})
+        assert list(frame.iter_chunks(8)) == []
+
+    def test_nonpositive_size_yields_whole_frame(self):
+        frame = ColumnarFrame({"a": [1, 2, 3]})
+        chunks = list(frame.iter_chunks(0))
+        assert len(chunks) == 1
+        assert chunks[0] is frame
+        assert [c.column("a") for c in frame.iter_chunks(-1)] == [[1, 2, 3]]
+
+    def test_concat_of_nothing_is_empty(self):
+        frame = ColumnarFrame.concat([], ("a", "b"))
+        assert len(frame) == 0
+        assert frame.column("a") == []
+
+    def test_concat_skips_empty_chunks(self):
+        empty = ColumnarFrame({"a": []})
+        full = ColumnarFrame({"a": [1, 2]})
+        frame = ColumnarFrame.concat([empty, full, empty], ("a",))
+        assert frame.column("a") == [1, 2]
+
+    def test_extend_rejects_mismatched_fields(self):
+        frame = ColumnarFrame({"a": [1]})
+        with pytest.raises(ValueError):
+            frame.extend(ColumnarFrame({"b": [2]}))

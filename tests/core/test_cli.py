@@ -42,6 +42,31 @@ class TestParser:
             build_parser().parse_args(
                 ["wild", "--chaos-profile", "catastrophic"])
 
+    @pytest.mark.parametrize("flag,value", [
+        ("--scale", "0"), ("--scale", "-0.5"), ("--scale", "banana"),
+        ("--days", "0"), ("--days", "-3"), ("--days", "2.5"),
+    ])
+    def test_wild_rejects_non_positive_scale_and_days(self, capsys,
+                                                      flag, value):
+        """A clear usage error (exit 2), not a deep traceback from
+        inside the scenario builder."""
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["wild", flag, value])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "positive" in err or "is not" in err
+
+    def test_wild_streaming_arguments(self):
+        args = build_parser().parse_args(
+            ["wild", "--batch-devices", "256", "--spill-dir", "/tmp/s"])
+        assert args.batch_devices == 256
+        assert args.spill_dir == "/tmp/s"
+
+    def test_wild_streaming_defaults_materialised(self):
+        args = build_parser().parse_args(["wild"])
+        assert args.batch_devices == 0
+        assert args.spill_dir is None
+
 
 class TestCommands:
     def test_tables(self, capsys):

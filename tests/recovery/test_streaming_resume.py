@@ -1,0 +1,163 @@
+"""Crash + resume for the streaming and process-backend wild paths.
+
+Two resume surfaces new to the streaming pipeline, each pinned against
+a same-seed uninterrupted run:
+
+* a **streamed** run's checkpoint stores only ``(count, offset)``
+  markers for the spilled observation/archive logs; resume truncates
+  the spill files back to the checkpointed offsets (the WAL contract)
+  and the rest of the run replays byte-identically;
+* a ``--backend process`` run's checkpoint embeds every worker
+  replica's wire-facing state plus the scheduler's pinning map; resume
+  warms a fresh pool from the checkpoint (``adopt_checkpoint``) instead
+  of requiring an in-process backend.
+
+Mode mismatches (streamed checkpoint resumed materialised, process
+checkpoint resumed in-process, and vice versa) must fail loudly, not
+corrupt the run.
+"""
+
+import pytest
+
+from repro.core.wild_measurement import WildMeasurement, WildMeasurementConfig
+from repro.net.chaos import ChaosScenario
+from repro.obs import to_json
+from repro.recovery import CrashPlan, RecoveryContext, SimulatedCrash
+from repro.simulation.scenarios import WildScenario, WildScenarioConfig
+from repro.simulation.world import World
+
+DAYS = 5
+SCALE = 0.04
+SEED = 11
+
+
+def build(profile="off", batch=0, spill_dir=None, backend="thread",
+          shards=1):
+    chaos = ChaosScenario.profile(profile, seed=7)
+    world = World(seed=SEED, chaos=chaos)
+    scenario = WildScenario(world, WildScenarioConfig(
+        scale=SCALE, measurement_days=DAYS))
+    scenario.build()
+    measurement = WildMeasurement(world, scenario, WildMeasurementConfig(
+        measurement_days=DAYS, shards=shards, backend=backend,
+        batch_devices=batch,
+        spill_dir=str(spill_dir) if spill_dir else None))
+    return world, measurement
+
+
+def summarize(world, results):
+    return (
+        to_json(world.obs),
+        results.dataset.offer_count(),
+        sorted(results.dataset.unique_packages()),
+        [(o.offer_id, o.package, o.country, o.day)
+         for o in results.observations],
+        results.milk_runs,
+        results.crawl_requests,
+    )
+
+
+class TestStreamedResume:
+    @pytest.mark.parametrize("profile", ["off", "paper"])
+    def test_streamed_crash_resume_equals_plain(self, tmp_path, profile):
+        world, measurement = build(
+            profile, batch=7, spill_dir=tmp_path / "spill-base")
+        base = summarize(world, measurement.run())
+
+        for stage, day in [("wild.day", 2), ("wild.milk", 2),
+                           ("wild.checkpoint", 3)]:
+            root = tmp_path / f"{stage}-{day}"
+            spill = tmp_path / f"spill-{stage}-{day}"
+            world, measurement = build(profile, batch=7, spill_dir=spill)
+            crashing = RecoveryContext.create(
+                root, "wild", crash=CrashPlan.at(stage, day))
+            with pytest.raises(SimulatedCrash):
+                measurement.run(recovery=crashing)
+            # Same spill dir: resume truncates the crashed run's spill
+            # files to the checkpointed offsets and appends onward.
+            world, measurement = build(profile, batch=7, spill_dir=spill)
+            resuming = RecoveryContext.create(root, "wild", resume=True)
+            resumed = summarize(world, measurement.run(recovery=resuming))
+            assert resumed == base, f"diverged after {stage}:{day}"
+
+    def test_streamed_checkpoint_needs_streamed_resume(self, tmp_path):
+        root = tmp_path / "ckpt"
+        world, measurement = build(batch=7,
+                                   spill_dir=tmp_path / "spill")
+        crashing = RecoveryContext.create(
+            root, "wild", crash=CrashPlan.at("wild.day", 2))
+        with pytest.raises(SimulatedCrash):
+            measurement.run(recovery=crashing)
+        world, measurement = build(batch=0)  # materialised resume
+        resuming = RecoveryContext.create(root, "wild", resume=True)
+        with pytest.raises(Exception, match="--batch-devices|spill"):
+            measurement.run(recovery=resuming)
+
+
+class TestProcessBackendResume:
+    @pytest.mark.parametrize("profile", ["off", "paper"])
+    def test_process_crash_resume_equals_plain(self, tmp_path, profile):
+        world, measurement = build(profile, backend="process", shards=2)
+        base = summarize(world, measurement.run())
+
+        for stage, day in [("wild.day", 2), ("wild.checkpoint", 3)]:
+            root = tmp_path / f"{stage}-{day}"
+            world, measurement = build(profile, backend="process",
+                                       shards=2)
+            crashing = RecoveryContext.create(
+                root, "wild", crash=CrashPlan.at(stage, day))
+            with pytest.raises(SimulatedCrash):
+                measurement.run(recovery=crashing)
+            world, measurement = build(profile, backend="process",
+                                       shards=2)
+            resuming = RecoveryContext.create(root, "wild", resume=True)
+            resumed = summarize(world, measurement.run(recovery=resuming))
+            assert resumed == base, f"diverged after {stage}:{day}"
+
+    def test_process_checkpoint_rejected_by_in_process_resume(
+            self, tmp_path):
+        root = tmp_path / "ckpt"
+        world, measurement = build(backend="process", shards=2)
+        crashing = RecoveryContext.create(
+            root, "wild", crash=CrashPlan.at("wild.day", 2))
+        with pytest.raises(SimulatedCrash):
+            measurement.run(recovery=crashing)
+        world, measurement = build(backend="thread")
+        resuming = RecoveryContext.create(root, "wild", resume=True)
+        with pytest.raises(ValueError, match="process"):
+            measurement.run(recovery=resuming)
+
+    def test_in_process_checkpoint_rejected_by_process_resume(
+            self, tmp_path):
+        root = tmp_path / "ckpt"
+        world, measurement = build(backend="thread")
+        crashing = RecoveryContext.create(
+            root, "wild", crash=CrashPlan.at("wild.day", 2))
+        with pytest.raises(SimulatedCrash):
+            measurement.run(recovery=crashing)
+        world, measurement = build(backend="process", shards=2)
+        resuming = RecoveryContext.create(root, "wild", resume=True)
+        with pytest.raises(ValueError, match="serial or thread"):
+            measurement.run(recovery=resuming)
+
+    def test_streamed_process_crash_resume_equals_plain(self, tmp_path):
+        """The full composition: spilled logs + worker replicas + chaos,
+        crash mid-run, resume, byte-identical."""
+        world, measurement = build(
+            "paper", batch=7, spill_dir=tmp_path / "spill-base",
+            backend="process", shards=2)
+        base = summarize(world, measurement.run())
+
+        root = tmp_path / "ckpt"
+        spill = tmp_path / "spill-resume"
+        world, measurement = build("paper", batch=7, spill_dir=spill,
+                                   backend="process", shards=2)
+        crashing = RecoveryContext.create(
+            root, "wild", crash=CrashPlan.at("wild.day", 2))
+        with pytest.raises(SimulatedCrash):
+            measurement.run(recovery=crashing)
+        world, measurement = build("paper", batch=7, spill_dir=spill,
+                                   backend="process", shards=2)
+        resuming = RecoveryContext.create(root, "wild", resume=True)
+        resumed = summarize(world, measurement.run(recovery=resuming))
+        assert resumed == base
