@@ -59,6 +59,40 @@ class TestDetectBench:
         assert report["honey"]["stream_equals_batch"]
         assert report["wild"]["stream_equals_batch"]
 
+    def test_evasion_degrades_naive_and_hardened_recovers(self, report):
+        wild = report["scenarios"]["evasive"]["wild"]
+        naive_wild = report["wild"]["quality"]
+        # Evasion guts the naive fixed-window detector on the same
+        # world the naive lane just cleared...
+        assert wild["naive"]["recall"] <= naive_wild["recall"] / 2
+        # ...and the honey-seeded hardened detector recovers the floor
+        # without giving up precision.
+        assert wild["hardened"]["recall"] >= 0.63
+        assert wild["hardened"]["precision"] >= 0.95
+        assert wild["hardened"]["false_positive_rate"] <= 0.01
+
+    def test_hardened_recovers_on_honey_too(self, report):
+        honey = report["scenarios"]["evasive"]["honey"]
+        assert honey["naive"]["recall"] <= 0.5
+        assert honey["hardened"]["recall"] >= 0.6
+        assert honey["hardened"]["precision"] >= 0.99
+
+    def test_fake_review_floors(self, report):
+        section = report["scenarios"]["fake_reviews"]
+        assert section["reviews"] > 0
+        assert section["paid_reviewers"] > 0
+        assert section["quality"]["precision"] >= 0.90
+        assert section["quality"]["recall"] >= 0.45
+
+    def test_download_fraud_floors(self, report):
+        section = report["scenarios"]["download_fraud"]
+        assert section["quality"]["precision"] >= 0.90
+        assert section["quality"]["recall"] >= 0.75
+        assert section["boosted_apps"], "no fraud apps were boosted"
+        for app in section["boosted_apps"]:
+            assert app["best_rank"] is not None
+            assert app["best_rank"] <= 20
+
     def test_matches_committed_snapshot(self, report):
         assert SNAPSHOT.exists(), (
             "run PYTHONPATH=src python scripts/export_detect_obs.py")

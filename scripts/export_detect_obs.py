@@ -8,6 +8,14 @@ precision/recall/F1/FPR against the simulation's ground truth, and a
 re-checked against a batch :class:`LockstepDetector` replay of the
 identical log).
 
+On top of the naive lanes, the ``scenarios`` section runs the
+adversarial profiles: the evasive profile against both sources (naive
+degradation plus hardened-detector recovery), the fake-review campaign
+burst against the review-spam detector, and the chart-boost download
+fraud against the spike/deficit detector.  The naive ``honey``/``wild``
+subtrees are computed exactly as before, so adversarial code drifting
+into the naive path shows up as snapshot drift here.
+
 Two outputs:
 
 * ``BENCH_detect.json`` (``--out``): the full report including wall
@@ -42,8 +50,17 @@ from repro import (
     World,
 )
 from repro.core import HoneyAppExperiment
+from repro.detection import HardenedDetectorConfig, HardenedLockstepDetector
+from repro.detection.evaluation import evaluate_detector
 from repro.detection.lockstep import LockstepDetector
 from repro.detection.live import HONEY_DETECTOR_CONFIG
+from repro.scenarios import (
+    DownloadFraudDetector,
+    EvasiveLiveDetection,
+    ReviewSpamDetector,
+    parse_scenario,
+)
+from repro.scenarios.downloadfraud import rank_trajectory
 
 SEED = int(os.environ.get("REPRO_BENCH_SEED", "2019"))
 SHARDS = int(os.environ.get("REPRO_BENCH_DETECT_SHARDS", "1"))
@@ -65,15 +82,28 @@ def run_honey_source() -> tuple:
     return world, hook, time.monotonic() - started
 
 
-def run_wild_source() -> tuple:
+def run_wild_source(profile: str = "naive") -> tuple:
     world = World(seed=SEED)
     hook = world.detection_hook("wild")
     scenario = WildScenario(world, WildScenarioConfig(
-        scale=WILD_SCALE, measurement_days=WILD_DAYS))
+        scale=WILD_SCALE, measurement_days=WILD_DAYS,
+        scenario=parse_scenario(profile)))
     scenario.build()
     started = time.monotonic()
     WildMeasurement(world, scenario, WildMeasurementConfig(
         measurement_days=WILD_DAYS, shards=SHARDS), detection=hook).run()
+    return world, scenario, hook, time.monotonic() - started
+
+
+def run_honey_evasive() -> tuple:
+    pack = parse_scenario("evasive")
+    world = World(seed=SEED)
+    hook = EvasiveLiveDetection(
+        pack.evasion, world.seeds.seed_for("honey-evasion"),
+        obs=world.obs, source="honey", config=HONEY_DETECTOR_CONFIG)
+    started = time.monotonic()
+    HoneyAppExperiment(world, installs_per_iip=HONEY_INSTALLS,
+                       shards=SHARDS, detection=hook).run()
     return world, hook, time.monotonic() - started
 
 
@@ -103,9 +133,92 @@ def source_report(world, hook) -> dict:
     }
 
 
+def _quality(evaluation) -> dict:
+    return {
+        "precision": round(evaluation.precision, 4),
+        "recall": round(evaluation.recall, 4),
+        "false_positive_rate": round(evaluation.false_positive_rate, 4),
+    }
+
+
+def _hardened_recovery(hook, config=None) -> dict:
+    """Naive degradation vs hardened recovery on one evaded log."""
+    detector = HardenedLockstepDetector(config)
+    flagged = detector.flag_devices(hook.log)
+    universe = set(hook.log.devices())
+    recovered = evaluate_detector(flagged, hook.incentivized & universe,
+                                  universe)
+    report = _quality(recovered)
+    report["flagged"] = len(flagged)
+    return {"naive": _quality(hook.evaluate()), "hardened": report}
+
+
+def evasive_report() -> tuple:
+    _world, _scenario, wild_hook, wild_elapsed = run_wild_source("evasive")
+    _hworld, honey_hook, honey_elapsed = run_honey_evasive()
+    report = {
+        "wild": _hardened_recovery(wild_hook),
+        # Honey devices install exactly one app each: the co-install
+        # graph is definitionally empty, so burst evidence alone
+        # carries the flag (same special case as the CLI).
+        "honey": _hardened_recovery(
+            honey_hook, HardenedDetectorConfig(flag_threshold=1.0)),
+    }
+    return report, wild_elapsed + honey_elapsed
+
+
+def fake_reviews_report() -> tuple:
+    world, scenario, _hook, elapsed = run_wild_source("fake-reviews")
+    book = world.store.reviews
+    paid = scenario.paid_reviewer_ids()
+    evaluation = ReviewSpamDetector().evaluate(book, paid)
+    report = {
+        "reviews": len(book),
+        "reviewed_apps": len(book.packages()),
+        "reviewers": len(book.reviewers()),
+        "paid_reviewers": len(paid),
+        "quality": _quality(evaluation),
+    }
+    return report, elapsed
+
+
+def download_fraud_report() -> tuple:
+    world, scenario, _hook, elapsed = run_wild_source("download-fraud")
+    packages = scenario.advertised_packages() + scenario.baseline_packages()
+    through_day = WILD_DAYS - 1
+    evaluation = DownloadFraudDetector().evaluate(
+        world.store, packages, scenario.fraud_packages(), through_day)
+    plans = scenario.boost_plans()
+    boost_ids = {plan.campaign_id for plan in plans}
+    apps = []
+    for plan in plans:
+        trajectory = rank_trajectory(world.store, plan.package,
+                                     plan.start_day,
+                                     min(plan.end_day + 3, through_day))
+        ranks = [rank for _, rank in trajectory if rank is not None]
+        takedown = next(
+            (action.day for action
+             in world.store.enforcement.actions_for(plan.package)
+             if action.campaign_id in boost_ids), None)
+        apps.append({
+            "package": plan.package,
+            "spike_days": [plan.start_day, plan.end_day],
+            "best_rank": min(ranks) if ranks else None,
+            "takedown_day": takedown,
+        })
+    report = {
+        "boosted_apps": apps,
+        "quality": _quality(evaluation),
+    }
+    return report, elapsed
+
+
 def build_report() -> dict:
     honey_world, honey_hook, honey_elapsed = run_honey_source()
-    wild_world, wild_hook, wild_elapsed = run_wild_source()
+    wild_world, _scenario, wild_hook, wild_elapsed = run_wild_source()
+    evasive, evasive_elapsed = evasive_report()
+    reviews, reviews_elapsed = fake_reviews_report()
+    fraud, fraud_elapsed = download_fraud_report()
     report = {
         "run": {
             "seed": SEED,
@@ -116,10 +229,18 @@ def build_report() -> dict:
         },
         "honey": source_report(honey_world, honey_hook),
         "wild": source_report(wild_world, wild_hook),
+        "scenarios": {
+            "evasive": evasive,
+            "fake_reviews": reviews,
+            "download_fraud": fraud,
+        },
     }
     report["wall_seconds"] = {
         "honey": round(honey_elapsed, 2),
         "wild": round(wild_elapsed, 2),
+        "scenario_evasive": round(evasive_elapsed, 2),
+        "scenario_fake_reviews": round(reviews_elapsed, 2),
+        "scenario_download_fraud": round(fraud_elapsed, 2),
     }
     return report
 

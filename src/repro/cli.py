@@ -78,6 +78,46 @@ def _chaos_scenario(args):
     return ChaosScenario.profile(args.chaos_profile, seed=seed)
 
 
+def _add_scenario_flag(parser) -> None:
+    """The ``--scenario`` adversarial-profile flag (wild, detect)."""
+    parser.add_argument("--scenario", default="naive", metavar="PROFILES",
+                        help="adversarial population profile(s), comma-"
+                             "separated: naive (default), evasive, "
+                             "fake-reviews, download-fraud; profiles "
+                             "compose, and every choice stays byte-"
+                             "identical at the same seed across shards, "
+                             "backends, and chaos profiles")
+
+
+def _scenario_pack(args):
+    """Parse ``--scenario`` into a :class:`ScenarioPack`, or exit 2."""
+    from repro.scenarios import parse_scenario
+    try:
+        return parse_scenario(args.scenario)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        raise SystemExit(2)
+
+
+def _print_scenario_sections(world, scenario, through_day: int) -> None:
+    """The adversarial report sections ``wild`` and ``detect`` share."""
+    pack = scenario.config.scenario
+    if pack.fake_reviews:
+        from repro.scenarios import ReviewSpamDetector, render_review_report
+        paid = scenario.paid_reviewer_ids()
+        book = world.store.reviews
+        report = ReviewSpamDetector().evaluate(book, paid)
+        print(render_review_report(book, report, len(paid)))
+    if pack.download_fraud:
+        from repro.scenarios import DownloadFraudDetector, render_fraud_report
+        packages = (scenario.advertised_packages()
+                    + scenario.baseline_packages())
+        report = DownloadFraudDetector().evaluate(
+            world.store, packages, scenario.fraud_packages(), through_day)
+        print(render_fraud_report(world.store, scenario.boost_plans(),
+                                  report, through_day))
+
+
 def _positive_float(text: str) -> float:
     """Argparse type: a strictly positive float (``--scale``)."""
     try:
@@ -222,6 +262,7 @@ def _add_wild(subparsers) -> None:
                         help="write the offer corpus JSON here")
     parser.add_argument("--export-archive", metavar="PATH",
                         help="write the crawl archive JSON here")
+    _add_scenario_flag(parser)
     _add_chaos_flags(parser)
     _add_shards_flag(parser, "milking and crawling")
     _add_backend_flag(parser)
@@ -256,6 +297,8 @@ def _add_detect(subparsers) -> None:
     parser.add_argument("--installs-per-iip", type=int, default=None,
                         help="honey source: installs to purchase from each "
                              "IIP (default: the paper's 500)")
+    _add_backend_flag(parser)
+    _add_scenario_flag(parser)
     _add_chaos_flags(parser)
 
 
@@ -405,10 +448,11 @@ def _cmd_wild(args) -> int:
 
     from repro.recovery import SimulatedCrash
 
+    pack = _scenario_pack(args)
     chaos = _chaos_scenario(args)
     world = World(seed=args.seed, chaos=chaos)
     scenario = WildScenario(world, WildScenarioConfig(
-        scale=args.scale, measurement_days=args.days))
+        scale=args.scale, measurement_days=args.days, scenario=pack))
     scenario.build()
     measurement = WildMeasurement(world, scenario, WildMeasurementConfig(
         measurement_days=args.days, shards=args.shards,
@@ -451,6 +495,9 @@ def _cmd_wild(args) -> int:
         "Vetted": vetted,
         "Unvetted": unvetted,
     })))
+    if pack.adversarial:
+        print(f"\nscenario: {pack.name}")
+        _print_scenario_sections(world, scenario, args.days - 1)
     if args.export_offers or args.export_archive:
         from repro.monitor.storage import save_archive, save_dataset
         if args.export_offers:
@@ -497,8 +544,15 @@ def _cmd_detect(args) -> int:
     from repro.detection.live import HONEY_DETECTOR_CONFIG, LiveDetection
     from repro.obs import Observability
 
+    pack = _scenario_pack(args)
     chaos = _chaos_scenario(args)
+    scenario = None
+    world = None
     if args.source == "corpus":
+        if pack.adversarial:
+            print("error: --scenario applies to the honey and wild "
+                  "sources, not the synthetic corpus", file=sys.stderr)
+            return 2
         from repro.detection.bridge import build_training_corpus
         obs = Observability()
         hook = LiveDetection(obs=obs, source="corpus")
@@ -506,15 +560,28 @@ def _cmd_detect(args) -> int:
         hook.record_incentivized(incentivized)
         hook.publish_batch(log.events())
     elif args.source == "honey":
+        if pack.fake_reviews or pack.download_fraud:
+            print("error: the honey pipeline has no store population; "
+                  "only the evasive scenario applies to --source honey",
+                  file=sys.stderr)
+            return 2
         from repro.simulation.world import World
         from repro.core.honey_experiment import HoneyAppExperiment
         world = World(seed=args.seed, chaos=chaos)
         obs = world.obs
-        hook = world.detection_hook("honey", config=HONEY_DETECTOR_CONFIG)
+        if pack.evasive:
+            from repro.scenarios import EvasiveLiveDetection
+            hook = EvasiveLiveDetection(
+                pack.evasion, world.seeds.seed_for("honey-evasion"),
+                obs=obs, source="honey", config=HONEY_DETECTOR_CONFIG)
+        else:
+            hook = world.detection_hook("honey",
+                                        config=HONEY_DETECTOR_CONFIG)
         kwargs = {}
         if args.installs_per_iip is not None:
             kwargs["installs_per_iip"] = args.installs_per_iip
-        HoneyAppExperiment(world, shards=args.shards, detection=hook,
+        HoneyAppExperiment(world, shards=args.shards,
+                           backend=args.backend, detection=hook,
                            **kwargs).run()
     else:
         from repro.simulation.world import World
@@ -526,16 +593,19 @@ def _cmd_detect(args) -> int:
         obs = world.obs
         hook = world.detection_hook("wild")
         scenario = WildScenario(world, WildScenarioConfig(
-            scale=args.scale, measurement_days=args.days))
+            scale=args.scale, measurement_days=args.days, scenario=pack))
         scenario.build()
         WildMeasurement(world, scenario, WildMeasurementConfig(
-            measurement_days=args.days, shards=args.shards),
+            measurement_days=args.days, shards=args.shards,
+            backend=args.backend),
             detection=hook).run()
     flagged = hook.finalize()
     report = hook.evaluate()
     print(f"{args.source}: {len(hook.log)} events, "
           f"{len(hook.log.devices())} devices, "
           f"{len(hook.incentivized)} incentivized")
+    if pack.adversarial:
+        print(f"scenario: {pack.name}")
     if chaos.enabled and args.source != "corpus":
         print(f"chaos profile: {chaos.name} (seed {chaos.seed})")
     print(f"flagged {len(flagged)}: precision {report.precision:.2f}, "
@@ -546,6 +616,28 @@ def _cmd_detect(args) -> int:
           f"({len(hook.online.clusters)} clusters)")
     for package in hook.online.flagged_packages(min_clusters=1):
         print(f"policy candidate: {package}")
+    if pack.evasive:
+        from repro.detection import (HardenedDetectorConfig,
+                                     HardenedLockstepDetector)
+        from repro.detection.evaluation import evaluate_detector
+        if args.source == "honey":
+            # Honey devices install exactly one app each, so the
+            # co-install graph is definitionally empty; burst evidence
+            # alone has to carry the flag.
+            hardened = HardenedLockstepDetector(
+                HardenedDetectorConfig(flag_threshold=1.0))
+        else:
+            hardened = HardenedLockstepDetector()
+        hardened_flagged = hardened.flag_devices(hook.log)
+        universe = set(hook.log.devices())
+        hardened_report = evaluate_detector(
+            hardened_flagged, hook.incentivized & universe, universe)
+        print(f"hardened flagged {len(hardened_flagged)}: "
+              f"precision {hardened_report.precision:.2f}, "
+              f"recall {hardened_report.recall:.2f}, "
+              f"FPR {hardened_report.false_positive_rate:.3f}")
+    if scenario is not None and pack.adversarial:
+        _print_scenario_sections(world, scenario, args.days - 1)
     return _maybe_dump_metrics(args, obs)
 
 

@@ -228,9 +228,11 @@ class WildMeasurement:
         self.detection = detection
         self._detection_bridge: Optional[WildEventBridge] = None
         if detection is not None:
+            pack = scenario.config.scenario
             self._detection_bridge = WildEventBridge(
                 world.fabric.asn_db,
-                world.seeds.seed_for("detection-bridge"), detection)
+                world.seeds.seed_for("detection-bridge"), detection,
+                evasion=pack.evasion if pack.evasive else None)
         # Resilience for both measurement clients: the paper's milkers
         # and crawler retried flaky fetches rather than losing the day.
         self.retry_policy = RetryPolicy()

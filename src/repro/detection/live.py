@@ -222,10 +222,15 @@ class WildEventBridge:
     """
 
     def __init__(self, asn_db: AsnDatabase, seed: int, hook: LiveDetection,
-                 config: Optional[WildBridgeConfig] = None) -> None:
+                 config: Optional[WildBridgeConfig] = None,
+                 evasion=None) -> None:
         self.hook = hook
         self.seed = seed
         self.config = config or WildBridgeConfig()
+        #: :class:`repro.scenarios.EvasionConfig` when the population
+        #: fights back; ``None`` keeps the naive draw sequence
+        #: bit-for-bit intact.
+        self.evasion = evasion
         self.factory = DeviceFactory(asn_db, derive_rng(seed, "devices"),
                                      namespace="wilddet")
         self._pools: Dict[Tuple[str, str], List[Device]] = {}
@@ -286,6 +291,7 @@ class WildEventBridge:
         only invoke it post-barrier.
         """
         config = self.config
+        evasion = self.evasion
         rng = derive_rng(self.seed, "day", day)
         events: List[DeviceInstallEvent] = []
         incentivized: Set[str] = set()
@@ -298,26 +304,55 @@ class WildEventBridge:
                 continue
             # Campaign conversions cluster around a per-(package, day)
             # anchor hour regardless of which wall/country surfaced the
-            # offer — the lockstep signature the detector hunts.
-            anchor = derive_rng(self.seed, "anchor", package, day).uniform(
-                *config.anchor_range)
+            # offer — the lockstep signature the detector hunts.  An
+            # evasive campaign scatters them instead: split sub-bursts
+            # across most of the day, each narrow but far apart.
+            anchor_rng = derive_rng(self.seed, "anchor", package, day)
+            if evasion is None:
+                anchor = anchor_rng.uniform(*config.anchor_range)
+            else:
+                scatter_start = anchor_rng.uniform(
+                    0.0, max(0.1, 23.0 - evasion.spread_hours))
+                sub_anchors = sorted(
+                    scatter_start + anchor_rng.uniform(
+                        0.0, evasion.spread_hours)
+                    for _ in range(max(1, evasion.split_batches)))
             pool = self._pool(offer.iip_name, offer.country or "anon", rng)
             for _ in range(rng.randint(*config.conversions_range)):
                 device = self._worker(pool, rng)
                 if device.has_installed(package):
                     continue
                 device.install(package)
-                hour = anchor + rng.uniform(0.0, config.burst_spread_hours)
-                opened = rng.random() < config.opened_probability
-                engagement = rng.uniform(*config.engagement_range)
+                if evasion is None:
+                    hour = anchor + rng.uniform(0.0,
+                                                config.burst_spread_hours)
+                    opened = rng.random() < config.opened_probability
+                    engagement = rng.uniform(*config.engagement_range)
+                else:
+                    batch = rng.randrange(len(sub_anchors))
+                    hour = (sub_anchors[batch]
+                            + rng.uniform(0.0, evasion.batch_spread_hours))
+                    opened = rng.random() < config.opened_probability
+                    engagement = rng.uniform(*config.engagement_range)
+                    if rng.random() < evasion.cover_probability:
+                        # Cover traffic: the worker plays the app past
+                        # the detector's low-engagement line.
+                        opened = True
+                        engagement = rng.uniform(
+                            *evasion.cover_engagement_range)
+                hour = min(23.999, hour)
                 events.append(device_event(device, package, day, hour,
                                            opened, engagement))
                 incentivized.add(device.device_id)
         # Sparse organic installs of the same advertised apps: fresh
         # devices, any hour, genuine engagement — the background the
-        # detector must not flag.
+        # detector must not flag.  Evasive campaigns buy extra organic
+        # cover (burst-blurring installs from real-looking devices).
+        organic_cap = config.organic_max_per_package
+        if evasion is not None:
+            organic_cap *= max(1, evasion.organic_cover_multiplier)
         for package in packages_seen:
-            for _ in range(rng.randint(0, config.organic_max_per_package)):
+            for _ in range(rng.randint(0, organic_cap)):
                 device = self.factory.real_phone(
                     rng.choice(config.organic_countries))
                 device.install(package)

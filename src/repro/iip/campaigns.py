@@ -28,6 +28,11 @@ class Campaign:
     state: CampaignState = CampaignState.PENDING
     delivered: int = 0
     launch_day: Optional[int] = None
+    #: Download-fraud campaigns: the buyer wants chart rank, not users.
+    #: Delivery comes from install farms rather than offer-wall workers,
+    #: so the scenario drives these directly instead of pacing them
+    #: through the normal wall-delivery loop.
+    is_chart_boost: bool = False
 
     def __post_init__(self) -> None:
         if self.installs_purchased < 0:

@@ -121,6 +121,7 @@ class IncentivizedInstallPlatform:
         end_day: int,
         target_countries: Optional[Tuple[str, ...]] = None,
         is_arbitrage: bool = False,
+        is_chart_boost: bool = False,
     ) -> Campaign:
         if developer_id not in self._developers:
             raise VettingError(
@@ -158,6 +159,7 @@ class IncentivizedInstallPlatform:
             offer=offer,
             installs_purchased=installs,
             advertiser_cost_per_install_usd=cost_per_install,
+            is_chart_boost=is_chart_boost,
         )
         self._campaigns[campaign_id] = campaign
         return campaign

@@ -1,0 +1,73 @@
+"""App reviews: the store-side book the review-spam detector reads.
+
+Reviews only exist when a scenario writes them (the naive populations
+never review anything), so attaching the book to every
+:class:`~repro.playstore.store.PlayStore` costs nothing on the frozen
+naive exports — ``public_profile`` only grows rating fields for
+packages that actually have reviews.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List
+
+
+@dataclass(frozen=True)
+class AppReview:
+    """One review as the store stores it."""
+
+    reviewer_id: str
+    package: str
+    day: int
+    hour: float
+    rating: int
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.rating <= 5:
+            raise ValueError(f"rating out of [1, 5]: {self.rating}")
+
+    @property
+    def timestamp_hours(self) -> float:
+        return self.day * 24.0 + self.hour
+
+
+class ReviewBook:
+    """Append-only review storage with per-package and per-reviewer views."""
+
+    def __init__(self) -> None:
+        self._by_package: Dict[str, List[AppReview]] = {}
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def add(self, review: AppReview) -> None:
+        self._by_package.setdefault(review.package, []).append(review)
+        self._count += 1
+
+    def packages(self) -> List[str]:
+        return sorted(package for package, reviews
+                      in self._by_package.items() if reviews)
+
+    def reviews_for(self, package: str) -> List[AppReview]:
+        return list(self._by_package.get(package, ()))
+
+    def all_reviews(self) -> Iterator[AppReview]:
+        for package in self.packages():
+            yield from self._by_package[package]
+
+    def reviewers(self) -> List[str]:
+        seen = set()
+        for review in self.all_reviews():
+            seen.add(review.reviewer_id)
+        return sorted(seen)
+
+    def review_count(self, package: str) -> int:
+        return len(self._by_package.get(package, ()))
+
+    def mean_rating(self, package: str) -> float:
+        reviews = self._by_package.get(package)
+        if not reviews:
+            return 0.0
+        return sum(review.rating for review in reviews) / len(reviews)

@@ -12,6 +12,7 @@ from repro.playstore.console import DeveloperConsole
 from repro.playstore.engagement import DailyEngagement, EngagementBook
 from repro.playstore.ledger import InstallBatch, InstallLedger, InstallSource
 from repro.playstore.policy import CampaignSignals, EnforcementEngine
+from repro.playstore.reviews import AppReview, ReviewBook
 
 
 class PlayStore:
@@ -30,6 +31,7 @@ class PlayStore:
                                    chart_size=chart_size, ledger=self.ledger)
         self.console = DeveloperConsole(self.catalog, self.ledger)
         self.enforcement = EnforcementEngine(self.ledger)
+        self.reviews = ReviewBook()
 
     # -- write path ------------------------------------------------------------
 
@@ -69,6 +71,11 @@ class PlayStore:
                         rng: random.Random) -> None:
         self.enforcement.review(signals, day, rng)
 
+    def record_review(self, review: AppReview) -> None:
+        if review.package not in self.catalog:
+            raise KeyError(f"review for unpublished app {review.package!r}")
+        self.reviews.add(review)
+
     # -- read path (public observables) ---------------------------------------
 
     def displayed_installs(self, package: str, day: int) -> int:
@@ -80,7 +87,7 @@ class PlayStore:
         listing = self.catalog.get(package)
         developer = listing.developer
         total = self.ledger.total_installs(package, day)
-        return {
+        profile: Dict[str, object] = {
             "package": listing.package,
             "title": listing.title,
             "genre": listing.genre,
@@ -98,6 +105,14 @@ class PlayStore:
                 "email": developer.email,
             },
         }
+        # Rating fields appear only once the app has reviews: the naive
+        # populations never review anything, so the frozen naive crawl
+        # exports stay byte-identical.
+        count = self.reviews.review_count(package)
+        if count:
+            profile["review_count"] = count
+            profile["rating"] = round(self.reviews.mean_rating(package), 2)
+        return profile
 
     def chart_snapshot(self, kind: ChartKind, day: int) -> ChartSnapshot:
         return self.charts.snapshot(kind, day)

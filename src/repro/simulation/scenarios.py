@@ -10,6 +10,7 @@ everything through the milking + crawling infrastructure.
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
@@ -25,13 +26,20 @@ from repro.iip.offers import (
 from repro.iip.platform import DeveloperCredentials
 from repro.iip.registry import UNVETTED_IIPS, VETTED_IIPS
 from repro.net.ip import MILKER_COUNTRIES, WORLD_COUNTRIES
+from repro.parallel import derive_rng
 from repro.playstore.catalog import GENRES, AppListing, Developer
+from repro.playstore.charts import INSTALL_VELOCITY_WEIGHT, ChartKind
 from repro.playstore.engagement import DailyEngagement
 from repro.playstore.ledger import InstallSource
 from repro.playstore.policy import CampaignSignals
+from repro.playstore.reviews import AppReview
+from repro.scenarios.downloadfraud import BoostPlan
+from repro.scenarios.fakereviews import ReviewCampaignPlan
+from repro.scenarios.profiles import ScenarioPack
 from repro.simulation import paperdata
 from repro.simulation.world import World
 from repro.staticanalysis.apk import ApkBuilder
+from repro.users.reviewers import ReviewerPool
 
 _TITLE_WORDS = ("Super", "Magic", "Epic", "Happy", "Turbo", "Mega", "Pixel",
                 "Crazy", "Royal", "Lucky", "Star", "Prime", "Swift", "Neon")
@@ -148,6 +156,10 @@ class WildScenarioConfig:
     #: measures correlation, not this mechanism); the chart-feedback
     #: ablation bench turns it on to show why developers want charts.
     chart_feedback_installs: float = 0.0
+    #: Which adversarial behaviours are switched on (``repro.scenarios``).
+    #: Frozen and picklable, so the process backend's worker replicas
+    #: inherit the profile through the config with no extra plumbing.
+    scenario: ScenarioPack = field(default_factory=ScenarioPack)
 
     def scaled(self, count: int, minimum: int = 1) -> int:
         return max(minimum, int(round(count * self.scale)))
@@ -171,6 +183,21 @@ class WildScenario:
         self._next_dev = 0
         self._reviewed_campaigns: Set[str] = set()
         self._funded_developers: Set[str] = set()
+        # Adversarial-profile state (repro.scenarios).  Every draw uses
+        # streams derived off one dedicated seed, never the shared
+        # ``wild-scenario`` stream: switching a profile on must not
+        # perturb a single naive-path draw, or the frozen naive exports
+        # (and the cross-shard byte-identity CI checks) would shift.
+        pack = config.scenario
+        self._adv_seed = world.seeds.seed_for("adversarial-scenario")
+        self._review_plans: List[ReviewCampaignPlan] = []
+        self._paid_pool = ReviewerPool("paid", pack.fake_review.paid_pool_reuse)
+        self._burner_pool = ReviewerPool("burner", 0.0)
+        self._organic_pool = ReviewerPool("reviewer",
+                                          pack.fake_review.organic_reuse)
+        self._paid_reviewers: Set[str] = set()
+        self._boost_plans: List[BoostPlan] = []
+        self._boost_campaigns: Dict[str, Campaign] = {}
 
     # ------------------------------------------------------------------
     # generation
@@ -187,6 +214,12 @@ class WildScenario:
         self._create_campaigns()
         self._populate_crunchbase()
         self._build_apks()
+        # Adversarial planning runs strictly after every naive build
+        # step, so the naive draw sequence is a byte-identical prefix.
+        if self.config.scenario.fake_reviews:
+            self._plan_review_campaigns()
+        if self.config.scenario.download_fraud:
+            self._plan_download_fraud()
 
     def _new_package(self, prefix: str) -> str:
         self._next_app += 1
@@ -545,6 +578,10 @@ class WildScenario:
         self._campaign_delivery(day)
         self._chart_feedback(day)
         self._enforcement_sweep(day)
+        if self.config.scenario.fake_reviews:
+            self._review_dynamics(day)
+        if self.config.scenario.download_fraud:
+            self._fraud_spikes(day)
 
     def _chart_feedback(self, day: int) -> None:
         """Chart visibility converts into organic installs (why
@@ -666,6 +703,212 @@ class WildScenario:
                 self.world.store.review_campaign(signals, day,
                                                  self.world.seeds.rng(
                                                      f"enforce:{campaign.campaign_id}"))
+
+    # ------------------------------------------------------------------
+    # adversarial profiles (repro.scenarios)
+    # ------------------------------------------------------------------
+    #
+    # All randomness below derives from ``self._adv_seed`` keyed per
+    # purpose (and per day for the daily dynamics), so replaying the
+    # same days in order — which is what checkpoint resume and the
+    # process-backend replicas do — rebuilds identical store state.
+
+    def _plan_review_campaigns(self) -> None:
+        """Decide which advertised apps buy review bursts (build time).
+
+        A paid burst launches alongside the app's earliest install
+        campaign: the point of bought reviews is to make the freshly
+        promoted app look loved while the installs roll in.
+        """
+        cfg = self.config.scenario.fake_review
+        rng = derive_rng(self._adv_seed, "review-plan")
+        horizon = self.config.measurement_days
+        for app in self.advertised:
+            if rng.random() >= cfg.campaign_probability:
+                continue
+            starts = [c.offer.start_day for c in app.campaigns]
+            start = max(0, min(min(starts) if starts else 0, horizon - 2))
+            duration = rng.randint(*cfg.burst_days_range)
+            total = max(duration, int(_log_uniform(
+                rng, *cfg.reviews_per_app_range)))
+            self._review_plans.append(ReviewCampaignPlan(
+                package=app.package, start_day=start,
+                duration_days=duration, total_reviews=total))
+
+    def _review_dynamics(self, day: int) -> None:
+        """Paid review bursts plus the organic review trickle."""
+        cfg = self.config.scenario.fake_review
+        rng = derive_rng(self._adv_seed, "reviews", day)
+        store = self.world.store
+        for plan in self._review_plans:
+            if not plan.active_on(day):
+                continue
+            quota = _stochastic_round(
+                rng, plan.total_reviews / plan.duration_days
+                * rng.uniform(0.6, 1.4))
+            for _ in range(quota):
+                if rng.random() < cfg.throwaway_probability:
+                    reviewer = self._burner_pool.fresh()
+                else:
+                    reviewer = self._paid_pool.draw(rng)
+                self._paid_reviewers.add(reviewer)
+                rating = 5 if rng.random() < cfg.paid_five_star_rate else 4
+                store.record_review(AppReview(
+                    reviewer_id=reviewer, package=plan.package, day=day,
+                    hour=rng.uniform(8.0, 23.0), rating=rating))
+        for app in self._all_apps():
+            popularity = min(3.0, math.log10(max(10, app.initial_installs))
+                             / 2.5)
+            expected = cfg.organic_reviews_per_day * popularity
+            for _ in range(_stochastic_round(rng, expected)):
+                reviewer = self._organic_pool.draw(rng)
+                # Each app sits at its own quality level; organic
+                # ratings scatter around it.
+                mu = derive_rng(self._adv_seed, "review-mu",
+                                app.package).uniform(2.8, 4.6)
+                rating = max(1, min(5, round(rng.gauss(mu, 0.9))))
+                store.record_review(AppReview(
+                    reviewer_id=reviewer, package=app.package, day=day,
+                    hour=rng.uniform(0.0, 23.99), rating=rating))
+
+    def _plan_download_fraud(self) -> None:
+        """Pick the apps buying chart boosts and open their campaigns.
+
+        The boost goes through the developer's existing IIP as a real
+        paid campaign (``is_chart_boost=True``) so the money trail and
+        the enforcement surface both exist — but it never joins
+        ``app.campaigns``: delivery is driven by :meth:`_fraud_spikes`,
+        and farm installs must not inherit the per-completion
+        engagement that makes naive campaigns look (barely) alive.
+        """
+        cfg = self.config.scenario.fraud
+        rng = derive_rng(self._adv_seed, "fraud-plan")
+        horizon = self.config.measurement_days
+        count = min(len(self.advertised),
+                    max(2, int(round(len(self.advertised)
+                                     * cfg.fraud_app_fraction))))
+        # Chart boosts are bought for unknown apps: sample from the
+        # small end of the advertised population (falling back to the
+        # smallest apps when the world is tiny).
+        ordered = sorted(self.advertised,
+                         key=lambda app: (app.initial_installs, app.package))
+        small = [app for app in ordered
+                 if app.initial_installs <= cfg.max_initial_installs]
+        candidates = small if len(small) >= count else ordered[:count]
+        for app in rng.sample(candidates, count):
+            spike_days = rng.randint(*cfg.spike_days_range)
+            # Start late enough that the day-0 seeding batches have left
+            # the 7-day chart window, early enough that the post-spike
+            # enforcement review still lands inside the horizon.
+            latest = max(1, horizon - spike_days - cfg.enforcement_lag_days)
+            earliest = min(cfg.earliest_start_day, latest)
+            start = rng.randint(earliest, latest)
+            end = min(start + spike_days - 1, horizon - 1)
+            platform = self.world.platforms[app.iips[0]]
+            developer_id = app.listing.developer.developer_id
+            payout = 0.03   # farm installs are bought in bulk, dirt cheap
+            volume = cfg.daily_cap * (end - start + 1)
+            cost = (payout * (1 + platform.config.advertiser_markup)
+                    + self.world.mediator.fee_per_user_usd)
+            budget = max(cost * volume * 1.1,
+                         platform.config.min_deposit_usd * 1.1)
+            self.world.money.mint(developer_id, budget, day=0,
+                                  memo="chart-boost funding")
+            campaign = platform.create_campaign(
+                developer_id=developer_id,
+                package=app.package,
+                app_title=app.listing.title,
+                description=self._describe.describe(
+                    OfferCategory.NO_ACTIVITY, None, app.listing.title),
+                payout_usd=payout,
+                category=OfferCategory.NO_ACTIVITY,
+                activity_kind=None,
+                tasks=tasks_for(OfferCategory.NO_ACTIVITY, None),
+                installs=volume,
+                start_day=start,
+                end_day=end,
+                is_chart_boost=True,
+            )
+            platform.launch(campaign.campaign_id, start)
+            self._boost_campaigns[campaign.campaign_id] = campaign
+            self._boost_plans.append(BoostPlan(
+                package=app.package, campaign_id=campaign.campaign_id,
+                start_day=start, end_day=end))
+        self._boost_plans.sort(key=lambda plan: plan.package)
+
+    def _fraud_spikes(self, day: int) -> None:
+        """Deliver boost installs sized from the live chart; review later.
+
+        Each spike day buys just enough 7-day install velocity to clear
+        the current top-free entry score with margin, so the same
+        profile climbs the chart at any world scale.  The store's
+        enforcement reviews the campaign ``enforcement_lag_days`` after
+        the spike ends — the configurable reaction lag the takedown
+        trajectories in the report measure.
+        """
+        cfg = self.config.scenario.fraud
+        store = self.world.store
+        rng = derive_rng(self._adv_seed, "fraud", day)
+        for plan in self._boost_plans:
+            campaign = self._boost_campaigns[plan.campaign_id]
+            if plan.start_day <= day <= plan.end_day:
+                snapshot = store.chart_snapshot(ChartKind.TOP_FREE, day)
+                entry_score = (snapshot.entries[-1].score
+                               if snapshot.entries else 0.0)
+                target = entry_score * cfg.chart_margin
+                current = store.charts.trending_score(plan.package, day)
+                deficit = max(0.0, target - current)
+                installs = int(math.ceil(deficit / INSTALL_VELOCITY_WEIGHT))
+                installs = max(cfg.daily_floor, installs)
+                installs = int(installs * rng.uniform(1.0, 1.15))
+                installs = min(installs, cfg.daily_cap, campaign.remaining)
+                if installs <= 0:
+                    continue
+                campaign.record_delivery(installs)
+                store.record_install_batch(
+                    plan.package, day, InstallSource.INCENTIVIZED, installs,
+                    campaign_id=plan.campaign_id)
+                # Farm devices barely ever open the app: the engagement
+                # deficit the fraud detector keys on.
+                opens = int(installs * cfg.farm_open_rate)
+                if opens:
+                    store.record_engagement(plan.package, day,
+                                            DailyEngagement(
+                                                active_users=opens,
+                                                sessions=opens,
+                                                session_seconds=opens * 15.0,
+                                                registrations=0,
+                                                purchase_revenue_usd=0.0,
+                                                ad_impressions=0,
+                                            ))
+            elif (day >= plan.end_day + cfg.enforcement_lag_days
+                  and plan.campaign_id not in self._reviewed_campaigns):
+                self._reviewed_campaigns.add(plan.campaign_id)
+                signals = CampaignSignals(
+                    campaign_id=plan.campaign_id,
+                    package=plan.package,
+                    installs_delivered=campaign.delivered,
+                    open_rate=cfg.observed_open_rate,
+                    emulator_rate=cfg.observed_emulator_rate,
+                    delivery_hours=24.0 * plan.spike_days,
+                    end_day=plan.end_day,
+                )
+                store.review_campaign(signals, day,
+                                      self.world.seeds.rng(
+                                          f"enforce:{plan.campaign_id}"))
+
+    # -- adversarial ground truth ---------------------------------------
+
+    def paid_reviewer_ids(self) -> List[str]:
+        """Ground truth for the review-spam detector evaluation."""
+        return sorted(self._paid_reviewers)
+
+    def fraud_packages(self) -> List[str]:
+        """Ground truth for the download-fraud detector evaluation."""
+        return sorted(plan.package for plan in self._boost_plans)
+
+    def boost_plans(self) -> List[BoostPlan]:
+        return list(self._boost_plans)
 
     # -- convenience ------------------------------------------------------
 

@@ -1,0 +1,73 @@
+"""Review storage and its effect on the public crawl surface."""
+
+import pytest
+
+from repro.playstore.reviews import AppReview, ReviewBook
+
+
+def review(reviewer="rev-1", package="app.x", day=3, hour=9.5, rating=5):
+    return AppReview(reviewer_id=reviewer, package=package, day=day,
+                     hour=hour, rating=rating)
+
+
+class TestAppReview:
+    def test_timestamp(self):
+        assert review(day=2, hour=6.0).timestamp_hours == 54.0
+
+    @pytest.mark.parametrize("rating", [0, 6, -1])
+    def test_rating_bounds(self, rating):
+        with pytest.raises(ValueError, match="rating"):
+            review(rating=rating)
+
+
+class TestReviewBook:
+    def test_indexes(self):
+        book = ReviewBook()
+        book.add(review(reviewer="a", package="app.x", rating=5))
+        book.add(review(reviewer="b", package="app.x", rating=3))
+        book.add(review(reviewer="a", package="app.y", rating=4))
+        assert len(book) == 3
+        assert book.packages() == ["app.x", "app.y"]
+        assert book.reviewers() == ["a", "b"]
+        assert book.review_count("app.x") == 2
+        assert book.mean_rating("app.x") == 4.0
+        assert book.mean_rating("app.unknown") == 0.0
+
+    def test_all_reviews_ordered_by_package(self):
+        book = ReviewBook()
+        book.add(review(package="app.z"))
+        book.add(review(package="app.a"))
+        assert [r.package for r in book.all_reviews()] == ["app.a", "app.z"]
+
+
+class TestStoreSurface:
+    def build_store(self):
+        from repro.playstore.catalog import AppListing, Developer
+        from repro.playstore.store import PlayStore
+        store = PlayStore()
+        listing = AppListing(
+            package="app.x", title="X", genre="Tools",
+            developer=Developer(developer_id="dev-1", name="Dev",
+                                country="US"),
+            release_day=0)
+        store.publish(listing)
+        return store
+
+    def test_rating_fields_gated_on_reviews(self):
+        # Naive populations never review, so the frozen naive crawl
+        # exports must not grow rating keys.
+        store = self.build_store()
+        profile = store.public_profile("app.x", day=0)
+        assert "rating" not in profile
+        assert "review_count" not in profile
+        store.record_review(review(package="app.x", rating=4))
+        store.record_review(review(reviewer="rev-2", package="app.x",
+                                   rating=5))
+        profile = store.public_profile("app.x", day=0)
+        assert profile["review_count"] == 2
+        assert profile["rating"] == 4.5
+
+    def test_review_for_unpublished_app_rejected(self):
+        store = self.build_store()
+        with pytest.raises(KeyError, match="unpublished"):
+            store.record_review(review(package="app.ghost"))
